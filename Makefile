@@ -1,0 +1,31 @@
+# Convenience targets for the SWS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-full examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.analysis.cli --exp all --scale quick
+
+experiments-full:
+	$(PYTHON) -m repro.analysis.markdown --scale full --out EXPERIMENTS.md
+
+examples:
+	@for e in quickstart steal_latency damping_demo trace_timeline \
+	          nqueens_demo lifeline_demo; do \
+	    echo "== examples/$$e.py =="; \
+	    $(PYTHON) examples/$$e.py || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the hot paths: schedule math, queue local ops,
+event engine throughput.
+
+These are true pytest-benchmark microbenchmarks (many rounds) — the
+numbers bound how large a simulation the harness can drive.
+"""
+
+from repro.core.config import QueueConfig
+from repro.core.steal_half import max_steals, schedule, steal_displacement, steal_volume
+from repro.core.sws_queue import SwsQueueSystem
+from repro.fabric.engine import Delay, Engine
+from repro.shmem.api import ShmemCtx
+
+
+def test_bench_steal_volume(benchmark):
+    assert benchmark(steal_volume, 150, 2) == 19
+
+
+def test_bench_steal_displacement(benchmark):
+    assert benchmark(steal_displacement, 150, 2) == 112
+
+
+def test_bench_schedule_full(benchmark):
+    out = benchmark(schedule, (1 << 19) - 1)
+    assert sum(out) == (1 << 19) - 1
+
+
+def test_bench_max_steals_cached(benchmark):
+    max_steals.cache_clear()
+    benchmark(max_steals, 150)
+
+
+def test_bench_queue_enqueue_dequeue(benchmark):
+    ctx = ShmemCtx(1)
+    system = SwsQueueSystem(ctx, QueueConfig(qsize=1024, task_size=48))
+    q = system.handle(0)
+    record = bytes(48)
+
+    def cycle():
+        for _ in range(64):
+            q.enqueue(record)
+        for _ in range(64):
+            q.dequeue()
+
+    benchmark(cycle)
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Events per second through the heap-based engine."""
+
+    def run_events():
+        eng = Engine()
+
+        def proc():
+            for _ in range(1000):
+                yield Delay(1e-9)
+
+        eng.spawn(proc())
+        eng.run()
+
+    benchmark(run_events)
+
+
+def test_bench_simulated_steal_throughput(benchmark):
+    """Full simulated SWS steals per second (protocol + fabric events)."""
+
+    def run_steals():
+        ctx = ShmemCtx(2)
+        system = SwsQueueSystem(ctx, QueueConfig(qsize=2048, task_size=48))
+        victim, thief = system.handle(0), system.handle(1)
+        for _ in range(1024):
+            victim.enqueue(bytes(48))
+
+        def owner():
+            yield from victim.release()
+
+        def stealer():
+            yield Delay(1e-6)
+            while True:
+                r = yield from thief.steal(0)
+                if not r.success:
+                    return
+
+        ctx.engine.spawn(owner(), "o")
+        ctx.engine.spawn(stealer(), "t")
+        ctx.run()
+
+    benchmark.pedantic(run_steals, rounds=3, iterations=1)

@@ -1,0 +1,76 @@
+"""Substrate microbenchmarks: collectives, termination, inbox, memory.
+
+Not paper artifacts — these bound the cost of the supporting machinery
+the timed experiments ride on.
+"""
+
+from repro.fabric.memory import SymmetricHeap
+from repro.runtime.inbox import InboxSystem
+from repro.shmem.api import ShmemCtx
+from repro.shmem.collectives import CollectiveSystem
+
+
+def test_bench_heap_fetch_add(benchmark):
+    heap = SymmetricHeap(1)
+    heap.alloc_words("w", 1)
+    benchmark(heap.fetch_add, 0, "w", 0, 1)
+
+
+def test_bench_heap_bytes_roundtrip(benchmark):
+    heap = SymmetricHeap(1)
+    heap.alloc_bytes("b", 4096)
+    data = bytes(256)
+
+    def cycle():
+        heap.write_bytes(0, "b", 128, data)
+        return heap.read_bytes(0, "b", 128, 256)
+
+    assert benchmark(cycle) == data
+
+
+def test_bench_allreduce_16pes(benchmark):
+    """Wall cost of simulating one 16-PE allreduce."""
+
+    def run():
+        ctx = ShmemCtx(16)
+        system = CollectiveSystem(ctx)
+        out = {}
+
+        def p(rank):
+            v = yield from system.handle(rank).allreduce([rank])
+            out[rank] = v[0]
+
+        for r in range(16):
+            ctx.engine.spawn(p(r), f"p{r}")
+        ctx.run()
+        return out
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(v == sum(range(16)) for v in out.values())
+
+
+def test_bench_inbox_send_drain(benchmark):
+    """Wall cost of 32 remote spawns plus the owner drain."""
+
+    def run():
+        ctx = ShmemCtx(2)
+        system = InboxSystem(ctx, 64, 32)
+        sender, owner = system.handle(1), system.handle(0)
+        got = {}
+
+        def s():
+            for _ in range(32):
+                yield from sender.send(0, bytes(32))
+
+        def o():
+            from repro.fabric.engine import Delay
+
+            yield Delay(1.0)
+            got["n"] = len(owner.drain())
+
+        ctx.engine.spawn(s(), "s")
+        ctx.engine.spawn(o(), "o")
+        ctx.run()
+        return got["n"]
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 32

@@ -1,0 +1,62 @@
+"""Workload throughput benches: NQueens, Fibonacci, UTS shapes.
+
+Wall-clock cost of simulating each classic workload end to end — the
+numbers that bound how large an experiment the harness can run.
+"""
+
+from repro.core.config import QueueConfig
+from repro.runtime.pool import run_pool
+from repro.runtime.registry import TaskRegistry
+from repro.runtime.task import Task
+from repro.workloads.fib import FibParams, FibWorkload, task_count
+from repro.workloads.nqueens import SOLUTIONS, NQueensParams, NQueensWorkload
+from repro.workloads.uts import TEST_SMALL, UtsWorkload
+
+
+def test_bench_nqueens8(benchmark):
+    def run():
+        reg = TaskRegistry()
+        wl = NQueensWorkload(reg, NQueensParams(n=8))
+        stats = run_pool(
+            8, reg, [wl.seed_task()],
+            impl="sws", queue_config=QueueConfig(qsize=4096, task_size=24),
+        )
+        return wl.solutions, stats.total_tasks
+
+    solutions, _ = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert solutions == SOLUTIONS[8]
+
+
+def test_bench_fib16(benchmark):
+    def run():
+        reg = TaskRegistry()
+        wl = FibWorkload(reg, FibParams(n=16))
+        return run_pool(8, reg, [wl.seed_task()], impl="sws").total_tasks
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == task_count(16)
+
+
+def test_bench_uts_small_pool(benchmark):
+    def run():
+        reg = TaskRegistry()
+        wl = UtsWorkload(reg, TEST_SMALL)
+        return run_pool(
+            8, reg, [wl.seed_task()],
+            impl="sws", queue_config=QueueConfig(qsize=4096, task_size=48),
+        ).total_tasks
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 3542
+
+
+def test_bench_sdc_vs_sws_wall_cost(benchmark):
+    """Simulating SDC costs more wall time per steal (more events)."""
+
+    def run():
+        reg = TaskRegistry()
+        wl = UtsWorkload(reg, TEST_SMALL)
+        return run_pool(
+            8, reg, [wl.seed_task()],
+            impl="sdc", queue_config=QueueConfig(qsize=4096, task_size=48),
+        ).total_tasks
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 3542

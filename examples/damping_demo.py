@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Steal damping under a work drought (paper §4.3).
+
+One PE holds all the work while many idle PEs hunt for it; once the pool
+drains, the idlers keep probing.  With damping on, exhausted targets are
+demoted to empty-mode and probed with read-only fetches instead of
+claiming fetch-adds — bounding asteals growth and cutting traffic.
+
+Run:  python examples/damping_demo.py
+"""
+
+from repro import QueueConfig, Task, TaskOutcome, TaskPool, TaskRegistry, WorkerConfig
+
+
+def run(damping: bool, seed: int = 5):
+    registry = TaskRegistry()
+    leaf = registry.register("leaf", lambda p, tc: TaskOutcome(2e-4))
+    pool = TaskPool(
+        npes=12,
+        registry=registry,
+        impl="sws",
+        queue_config=QueueConfig(qsize=2048, task_size=24),
+        worker_config=WorkerConfig(damping=damping),
+        seed=seed,
+    )
+    pool.seed(0, [Task(leaf) for _ in range(600)])
+    stats = pool.run()
+    probes = sum(w.probes for w in stats.workers)
+    return stats, probes
+
+
+def main() -> None:
+    print(f"{'damping':<8} {'runtime ms':>11} {'claim AMOs':>11} "
+          f"{'probes':>7} {'failed':>7} {'total comms':>12}")
+    for damping in (False, True):
+        stats, probes = run(damping)
+        claims = stats.comm.get("amo_fetch_add", 0)
+        print(
+            f"{str(damping):<8} {stats.runtime * 1e3:>11.3f} "
+            f"{claims:>11} {probes:>7} {stats.total_failed_steals:>7} "
+            f"{stats.comm['total']:>12}"
+        )
+    print()
+    print("with damping on, some claiming fetch-adds on drained queues are")
+    print("replaced by read-only probes, and runtime is unchanged — the")
+    print("paper found damping costs nothing when work is plentiful.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Visualize the communication of a small run as an ASCII timeline.
+
+Runs a 6-PE UTS search with fabric tracing enabled, then renders which
+PE issued which one-sided operations over time, the victim-pressure
+table, and summary counts — the debugging workflow for protocol work.
+
+Run:  python examples/trace_timeline.py
+"""
+
+from repro import QueueConfig, TaskPool, TaskRegistry
+from repro.fabric.trace import render_timeline, steal_pressure, summarize
+from repro.workloads.uts import TEST_TINY, UtsWorkload
+
+
+def main() -> None:
+    registry = TaskRegistry()
+    workload = UtsWorkload(registry, TEST_TINY)
+    pool = TaskPool(
+        npes=6,
+        registry=registry,
+        impl="sws",
+        queue_config=QueueConfig(qsize=512, task_size=48),
+        seed=4,
+    )
+    # Rebuild the context with tracing on (TaskPool owns its ctx, so the
+    # supported way is the trace_comm flag at construction — shown here
+    # by reaching into the metrics object before the run starts).
+    pool.ctx.metrics.trace_enabled = True
+
+    pool.seed(0, [workload.seed_task()])
+    stats = pool.run()
+    trace = pool.ctx.metrics.trace
+
+    print(f"run: {stats.total_tasks} tasks in {stats.runtime * 1e3:.3f} ms, "
+          f"{len(trace)} one-sided ops\n")
+    print(render_timeline(trace, npes=6, width=72))
+
+    s = summarize(trace)
+    print("ops by kind:", dict(sorted(s.ops_by_kind.items())))
+    print("busiest steal target:", s.busiest_target(),
+          "| claim pressure:", dict(sorted(steal_pressure(trace).items())))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Unbalanced Tree Search over SHA-1 splittable trees.
+
+Enumerates a deterministic unbalanced tree twice — once sequentially (the
+oracle) and once as a parallel task-pool search under both queue
+implementations — and cross-checks the node counts (paper §5.2.2).
+
+Run:  python examples/uts_demo.py [tree]
+      tree ∈ {test_tiny, test_small, bench_geo, bench_bin}
+"""
+
+import sys
+
+from repro import QueueConfig, TaskPool, TaskRegistry
+from repro.workloads.uts import UtsWorkload, enumerate_tree, get_tree
+
+
+def main() -> None:
+    tree_name = sys.argv[1] if len(sys.argv) > 1 else "test_small"
+    tree = get_tree(tree_name)
+
+    oracle = enumerate_tree(tree, max_nodes=2_000_000)
+    print(f"tree {tree_name}: {oracle.nodes} nodes, {oracle.leaves} leaves, "
+          f"max depth {oracle.max_depth}")
+    print(f"imbalance: {oracle.imbalance_hint:.2f} leaves/node; "
+          f"depth histogram {dict(sorted(oracle.depth_histogram.items()))}")
+    print()
+
+    for impl in ("sdc", "sws"):
+        for npes in (8, 16):
+            registry = TaskRegistry()
+            workload = UtsWorkload(registry, tree)
+            pool = TaskPool(
+                npes,
+                registry,
+                impl=impl,
+                queue_config=QueueConfig(qsize=8192, task_size=48),
+                seed=11,
+            )
+            pool.seed(0, [workload.seed_task()])
+            st = pool.run()
+            marker = "OK " if st.total_tasks == oracle.nodes else "MISMATCH"
+            print(
+                f"{impl} npes={npes:<3} visited {st.total_tasks:>8} [{marker}] "
+                f"runtime {st.runtime * 1e3:8.3f} ms  "
+                f"steals {st.total_steals:>5}  "
+                f"steal_t {st.total_steal_time * 1e6:8.1f} us  "
+                f"search_t {st.total_search_time * 1e6:8.1f} us"
+            )
+    print()
+    print("every parallel run must visit exactly the oracle's node count —")
+    print("the work-stealing protocol may not lose or duplicate a subtree.")
+
+
+if __name__ == "__main__":
+    main()

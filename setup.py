@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so the PEP-517
+editable path (which needs ``bdist_wheel``) is unavailable; this shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` route.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

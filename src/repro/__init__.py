@@ -1,0 +1,84 @@
+"""repro — reproduction of *Optimizing Work Stealing Communication with
+Structured Atomic Operations* (Cartier, Dinan, Larkins; ICPP 2021).
+
+The package implements the paper's SWS work-stealing system and its
+Scioto-SDC baseline over a simulated RDMA/PGAS fabric:
+
+* :mod:`repro.fabric` — discrete-event RDMA fabric (engine, symmetric
+  heap, NIC with a calibrated latency model);
+* :mod:`repro.shmem` — OpenSHMEM-flavoured one-sided API;
+* :mod:`repro.core` — the stealval codecs, steal-half schedule, steal
+  damping, and the SDC / SWS task queues;
+* :mod:`repro.runtime` — Scioto-model task pool: workers, termination
+  detection, statistics;
+* :mod:`repro.workloads` — BPC, UTS, and the Figure-6 steal probe;
+* :mod:`repro.analysis` — the experiment harness regenerating every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import TaskPool, Task, TaskOutcome, TaskRegistry
+
+    reg = TaskRegistry()
+    leaf = reg.register("leaf", lambda payload, tc: TaskOutcome(5e-3))
+    pool = TaskPool(npes=16, registry=reg, impl="sws")
+    pool.seed(0, [Task(leaf) for _ in range(10_000)])
+    stats = pool.run()
+    print(f"{stats.throughput:.0f} tasks/s at efficiency "
+          f"{stats.parallel_efficiency:.2%}")
+"""
+
+from .core import (
+    DampingTracker,
+    QueueConfig,
+    SdcQueue,
+    SdcQueueSystem,
+    StealResult,
+    StealStatus,
+    StealValEpoch,
+    StealValV1,
+    SwsQueue,
+    SwsQueueSystem,
+)
+from .fabric import EDR_INFINIBAND, SLOW_ETHERNET, ZERO_LATENCY, LatencyModel
+from .runtime import (
+    RunStats,
+    Task,
+    TaskOutcome,
+    TaskPool,
+    TaskRegistry,
+    WorkerConfig,
+    WorkerStats,
+    run_pool,
+)
+from .shmem import Pe, ShmemCtx
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TaskPool",
+    "run_pool",
+    "TaskRegistry",
+    "Task",
+    "TaskOutcome",
+    "RunStats",
+    "WorkerStats",
+    "WorkerConfig",
+    "QueueConfig",
+    "SwsQueue",
+    "SwsQueueSystem",
+    "SdcQueue",
+    "SdcQueueSystem",
+    "StealResult",
+    "StealStatus",
+    "StealValV1",
+    "StealValEpoch",
+    "DampingTracker",
+    "LatencyModel",
+    "EDR_INFINIBAND",
+    "SLOW_ETHERNET",
+    "ZERO_LATENCY",
+    "ShmemCtx",
+    "Pe",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""``python -m repro`` — a 10-second sanity demonstration.
+
+Prints the package version, the Figure-2 communication counts (the
+paper's headline), and a pointer to the full experiment CLI.
+"""
+
+from __future__ import annotations
+
+from . import __version__
+from .analysis.experiments import run_experiment
+
+
+def main() -> int:
+    """Print the version, the Figure-2 headline, and pointers."""
+    print(f"repro {__version__} — SWS structured-atomic work stealing "
+          f"(ICPP 2021 reproduction)\n")
+    print(run_experiment("fig2").render())
+    print("full harness: python -m repro.analysis.cli --exp all")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .plots import AsciiChart, chart_cells
+from .profiles import imbalance_report, profile_run, render_profiles
+from .report import ascii_table, sparkline, write_csv
+from .store import ResultStore, RowDiff, render_diff
+from .series import (
+    CellSummary,
+    by_impl,
+    relative_improvement,
+    speedup_factor,
+    summarize_cells,
+)
+from .sweep import SweepConfig, SweepPoint, run_point, run_sweep
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "AsciiChart",
+    "chart_cells",
+    "profile_run",
+    "render_profiles",
+    "imbalance_report",
+    "ResultStore",
+    "RowDiff",
+    "render_diff",
+    "ascii_table",
+    "sparkline",
+    "write_csv",
+    "CellSummary",
+    "by_impl",
+    "relative_improvement",
+    "speedup_factor",
+    "summarize_cells",
+    "SweepConfig",
+    "SweepPoint",
+    "run_point",
+    "run_sweep",
+]

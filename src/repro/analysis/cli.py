@@ -1,0 +1,102 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.analysis.cli --exp fig6
+    python -m repro.analysis.cli --exp all --scale full --csv-dir results/
+
+Each experiment prints the table its paper artifact plots; ``--csv-dir``
+additionally writes one CSV per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .experiments import EXPERIMENTS, run_experiment
+from .report import write_csv
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.cli",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--exp",
+        default="all",
+        help=f"experiment id or 'all' (ids: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("quick", "full"),
+        help="quick = seconds per experiment; full = the EXPERIMENTS.md runs",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="directory to write one CSV per experiment",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII charts for experiments that provide them",
+    )
+    parser.add_argument(
+        "--save",
+        default=None,
+        metavar="RUN_LABEL",
+        help="persist results under results/<label>/ for later diffing "
+             "(see repro.analysis.ResultStore)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="root directory for --save (default: results/)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment ids with their descriptions and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[exp_id].__doc__ or "").strip().splitlines()
+            sys.stdout.write(f"{exp_id:<22} {doc[0] if doc else ''}\n")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.exp == "all" else [args.exp]
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {exp_id!r}; ids: {', '.join(sorted(EXPERIMENTS))}"
+            )
+
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        result = run_experiment(exp_id, scale=args.scale)
+        wall = time.perf_counter() - t0
+        sys.stdout.write(result.render(with_charts=args.chart))
+        sys.stdout.write(f"({wall:.1f}s)\n\n")
+        if args.csv_dir:
+            path = Path(args.csv_dir) / f"{exp_id}.csv"
+            write_csv(path, result.headers, result.rows)
+            sys.stdout.write(f"wrote {path}\n\n")
+        if args.save:
+            from .store import ResultStore
+
+            store = ResultStore(args.results_dir)
+            path = store.save(args.save, result)
+            sys.stdout.write(f"saved {path}\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

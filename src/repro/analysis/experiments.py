@@ -1,0 +1,956 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Each experiment function returns an :class:`ExperimentResult` holding the
+series the paper's artifact plots (as table rows) plus free-form notes
+recording what to compare against the publication.  The registry drives
+both the CLI (``python -m repro.analysis.cli``) and the benchmark suite
+under ``benchmarks/``.
+
+Scales:
+
+* ``quick`` — seconds; used by the test/benchmark suites;
+* ``full``  — minutes; the defaults for EXPERIMENTS.md numbers;
+* paper-scale parameters are documented in the workload modules but not
+  wired to a scale knob (enumerating a 270 B-node tree is not a thing a
+  simulator does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.config import QueueConfig
+from ..core.damping import DampingTracker
+from ..core.steal_half import schedule, steal_displacement, steal_volume
+from ..core.stealval import StealValEpoch, StealValV1
+from ..core.task_state import TaskStateTracker
+from ..fabric.latency import EDR_INFINIBAND
+from ..runtime.registry import TaskRegistry
+from ..runtime.worker import WorkerConfig
+from ..workloads.bpc import PAPER_PARAMS as BPC_PAPER
+from ..workloads.bpc import BpcParams, BpcWorkload
+from ..workloads.synthetic import measure_single_steal
+from ..workloads.uts import (
+    BENCH_GEO,
+    TEST_SMALL,
+    UtsWorkload,
+    UtsWorkloadParams,
+    enumerate_tree,
+)
+from ..workloads.uts.workload import PAPER_NODE_TIME, PAPER_TASK_SIZE
+from .report import ascii_table
+from .series import (
+    CellSummary,
+    relative_improvement,
+    speedup_factor,
+    summarize_cells,
+)
+from .sweep import SweepConfig, run_sweep
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered outcome of one experiment."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+
+    def render(self, with_charts: bool = False) -> str:
+        """Human-readable report block."""
+        out = [f"== {self.exp_id}: {self.title} ==", ""]
+        out.append(ascii_table(self.headers, self.rows))
+        if with_charts:
+            out.extend(self.charts)
+        for n in self.notes:
+            out.append(f"note: {n}")
+        return "\n".join(out) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — steal communication counts
+# ----------------------------------------------------------------------
+def exp_fig2(scale: str = "quick") -> ExperimentResult:
+    """Count the one-sided communications of a single successful steal."""
+    rows = []
+    for impl in ("sdc", "sws"):
+        probe = measure_single_steal(impl, volume=8, task_size=24)
+        total = sum(probe.comms.get(k, 0) for k in probe.comms if k not in ("total", "blocking", "bytes"))
+        blocking = probe.comms.get("blocking", 0)
+        rows.append(
+            [impl.upper(), probe.comms.get("total", total), blocking,
+             probe.comms.get("total", total) - blocking]
+        )
+    return ExperimentResult(
+        exp_id="fig2",
+        title="Steal communication counts (SDC vs SWS)",
+        headers=["impl", "total comms", "blocking", "non-blocking"],
+        rows=rows,
+        notes=[
+            "paper: SDC = 6 communications (5 blocking), SWS = 3 (2 blocking)",
+            "counts are exact fabric-op tallies around one non-wrapped steal",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1 — shared-task state machine
+# ----------------------------------------------------------------------
+def exp_tab1(scale: str = "quick") -> ExperimentResult:
+    """Exercise the A/C/F/I lifecycle on a 3-block allotment."""
+    tracker = TaskStateTracker(3)
+    trace = [("init", "".join(s.value for s in tracker.states))]
+    tracker.claim(0)
+    trace.append(("steal 0 claimed", "".join(s.value for s in tracker.states)))
+    tracker.claim(1)
+    tracker.finish(1)
+    trace.append(("steal 1 claimed+finished", "".join(s.value for s in tracker.states)))
+    tracker.finish(0)
+    tracker.invalidate(0)
+    tracker.invalidate(1)
+    tracker.invalidate(2)  # unclaimed block re-acquired by owner
+    trace.append(("owner reclaimed", "".join(s.value for s in tracker.states)))
+    rows = [[step, states] for step, states in trace]
+    return ExperimentResult(
+        exp_id="tab1",
+        title="Shared task states (Available/Claimed/Finished/Invalid)",
+        headers=["event", "block states"],
+        rows=rows,
+        notes=["transition legality is enforced; see tests/test_task_state.py"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 3 & 4 — stealval layouts
+# ----------------------------------------------------------------------
+def exp_fig34(scale: str = "quick") -> ExperimentResult:
+    """Show both packed layouts on the paper's worked example."""
+    # Fig. 3 example: 2 attempted steals, valid, 150 initial tasks, tail 500.
+    v1 = StealValV1.pack(2, True, 150, 500)
+    view1 = StealValV1.unpack(v1)
+    ve = StealValEpoch.pack(2, 1, 150, 500)
+    viewe = StealValEpoch.unpack(ve)
+    rows = [
+        ["fig3 (V1)", f"0x{v1:016x}", view1.asteals, int(view1.valid), view1.itasks, view1.tail],
+        ["fig4 (epoch)", f"0x{ve:016x}", viewe.asteals, viewe.epoch, viewe.itasks, viewe.tail],
+    ]
+    sched = schedule(150)
+    next_vol = steal_volume(150, 2)
+    disp = steal_displacement(150, 2)
+    return ExperimentResult(
+        exp_id="fig34",
+        title="Packed stealval layouts (Figures 3 and 4)",
+        headers=["layout", "word", "asteals", "valid/epoch", "itasks", "tail"],
+        rows=rows,
+        notes=[
+            f"steal-half schedule for 150 tasks: {sched} (paper: "
+            "{75,37,19,9,5,2,1,1,1})",
+            f"with asteals=2 the next steal takes {next_vol} tasks starting at "
+            f"tail+{disp} = {500 + disp} (paper: 19 tasks at index 612)",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — acquire with completion epochs
+# ----------------------------------------------------------------------
+def exp_fig5(scale: str = "quick") -> ExperimentResult:
+    """Measure acquire-time stalls with 1 vs 2 completion epochs.
+
+    A thief with a slow task copy keeps a steal in flight while the owner
+    performs release/acquire cycles; with a single epoch the owner must
+    poll for the in-flight steal, with two it proceeds immediately.
+    """
+    from ..core.sws_queue import SwsQueueSystem
+    from ..fabric.engine import Delay
+    from ..fabric.latency import SLOW_ETHERNET
+    from ..shmem.api import ShmemCtx
+
+    rows = []
+    for epochs in (1, 2):
+        cfg = QueueConfig(qsize=4096, task_size=192, max_epochs=epochs)
+        # One PE per node: every hop pays the full inter-node latency.
+        ctx = ShmemCtx(2, latency=SLOW_ETHERNET, pes_per_node=1)
+        system = SwsQueueSystem(ctx, cfg)
+        owner_q, thief_q = system.handle(0), system.handle(1)
+
+        def owner():
+            for _ in range(2048):
+                owner_q.enqueue(bytes(192))
+            yield from owner_q.release()
+            # The thief claims 512 tasks at ~18 us; its ~100 us task copy
+            # and the passive completion are still in flight when the
+            # owner acquires at 40 us (the Figure-5 snapshot).
+            yield Delay(40e-6)
+            yield from owner_q.acquire()
+            yield Delay(5e-3)
+            owner_q.progress()
+
+        def thief():
+            yield Delay(5e-6)
+            res = yield from thief_q.steal(0)
+            assert res.success, res.status
+
+        ctx.engine.spawn(owner(), "owner")
+        ctx.engine.spawn(thief(), "thief")
+        ctx.run()
+        rows.append([epochs, owner_q.epoch_wait_time * 1e6])
+    return ExperimentResult(
+        exp_id="fig5",
+        title="Acquire behaviour with completion epochs",
+        headers=["epochs", "owner epoch-wait time (us)"],
+        rows=rows,
+        notes=[
+            "paper §4.2: two epochs sufficed to avoid acquire-time polling",
+            "expect epochs=2 wait ≈ 0, epochs=1 wait > 0",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — steal time vs steal volume
+# ----------------------------------------------------------------------
+def exp_fig6(scale: str = "quick") -> ExperimentResult:
+    """Single-steal latency across volumes and task sizes."""
+    volumes = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    if scale == "quick":
+        volumes = [2, 8, 32, 128, 512, 1024]
+    rows = []
+    ratio_notes = {}
+    for ts in (24, 192):
+        for volume in volumes:
+            lat = {}
+            for impl in ("sdc", "sws"):
+                probe = measure_single_steal(impl, volume, ts, latency=EDR_INFINIBAND)
+                lat[impl] = probe.steal_seconds
+            rows.append(
+                [ts, volume, lat["sdc"] * 1e6, lat["sws"] * 1e6,
+                 lat["sdc"] / lat["sws"]]
+            )
+            ratio_notes[(ts, volume)] = lat["sdc"] / lat["sws"]
+    small_ratio = ratio_notes[(24, min(volumes))]
+    big_ratio = ratio_notes[(24, max(volumes))]
+    from .plots import AsciiChart
+
+    charts = []
+    for ts in (24, 192):
+        ts_rows = [r for r in rows if r[0] == ts]
+        chart = AsciiChart(
+            xs=[float(r[1]) for r in ts_rows],
+            title=f"fig6: steal time (us), {ts} B tasks",
+            log_x=True,
+            log_y=True,
+            ylabel="us",
+        )
+        chart.add("sdc", [r[2] for r in ts_rows])
+        chart.add("sws", [r[3] for r in ts_rows])
+        charts.append(chart.render())
+    return ExperimentResult(
+        exp_id="fig6",
+        title="Steal operation time vs steal volume",
+        headers=["task bytes", "volume", "SDC (us)", "SWS (us)", "SDC/SWS"],
+        rows=rows,
+        charts=charts,
+        notes=[
+            "paper: SWS ≈ half SDC at small volumes; curves converge as the "
+            "task copy dominates",
+            f"measured ratio at volume {min(volumes)}: {small_ratio:.2f}x; "
+            f"at {max(volumes)}: {big_ratio:.2f}x",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — workload characteristics
+# ----------------------------------------------------------------------
+def exp_tab2(scale: str = "quick") -> ExperimentResult:
+    """Workload characteristics of the evaluation benchmarks."""
+    bpc_scaled = _bpc_params(scale)
+    uts_tree = _uts_tree(scale)
+    uts_stats = enumerate_tree(uts_tree, max_nodes=2_000_000)
+    rows = [
+        ["BPC (paper)", BPC_PAPER.total_tasks, BPC_PAPER.avg_task_time * 1e3, 32],
+        ["UTS (paper, T1WL)", 270_751_679_750, PAPER_NODE_TIME * 1e3, PAPER_TASK_SIZE],
+        ["BPC (this repro)", bpc_scaled.total_tasks, bpc_scaled.avg_task_time * 1e3, 32],
+        ["UTS (this repro)", uts_stats.nodes, PAPER_NODE_TIME * 1e3, PAPER_TASK_SIZE],
+    ]
+    return ExperimentResult(
+        exp_id="tab2",
+        title="Benchmark workload characteristics",
+        headers=["benchmark", "total tasks", "avg task time (ms)", "task bytes"],
+        rows=rows,
+        notes=[
+            "paper Table 2 reports BPC=2,457,901 tasks (n=8192, depth 500 per "
+            "the text gives 4,096,500; the table matches depth≈300 — the "
+            "discrepancy is the paper's, recorded here verbatim)",
+            "repro workloads are scaled; shape (coarse BPC vs fine UTS) is "
+            "preserved",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7 & 8 — the six-panel sweeps
+# ----------------------------------------------------------------------
+def _bpc_params(scale: str) -> BpcParams:
+    if scale == "full":
+        return BpcParams(n_consumers=128, depth=64, consumer_time=5e-3, producer_time=1e-3)
+    return BpcParams(n_consumers=32, depth=16, consumer_time=5e-3, producer_time=1e-3)
+
+
+def _uts_tree(scale: str):
+    return BENCH_GEO if scale == "full" else TEST_SMALL
+
+
+def _sweep_config(scale: str, task_size: int, qsize: int) -> SweepConfig:
+    if scale == "full":
+        npes = (2, 4, 8, 16, 32, 64)
+        reps = 5
+    else:
+        npes = (2, 4, 8, 16)
+        reps = 3
+    return SweepConfig(
+        npes_list=npes,
+        reps=reps,
+        queue_config=QueueConfig(qsize=qsize, task_size=task_size),
+        worker_config=WorkerConfig(),
+    )
+
+
+def _panel_rows(cells: list[CellSummary]) -> list[list]:
+    rows = []
+    improvement = relative_improvement(cells)
+    for c in sorted(cells, key=lambda c: (c.npes, c.impl)):
+        rows.append(
+            [
+                c.impl.upper(),
+                c.npes,
+                c.runtime_mean * 1e3,
+                c.throughput,
+                improvement.get(c.npes, float("nan")) if c.impl == "sws" else 100.0,
+                c.efficiency * 100.0,
+                c.rel_sd_pct,
+                c.rel_range_pct,
+                c.steal_time * 1e3,
+                c.search_time * 1e3,
+            ]
+        )
+    return rows
+
+
+_PANEL_HEADERS = [
+    "impl", "npes", "runtime(ms)", "tasks/s", "rel. perf %",
+    "efficiency %", "SD %", "range %", "steal time(ms)", "search time(ms)",
+]
+
+
+def exp_fig7(scale: str = "quick") -> ExperimentResult:
+    """BPC: all six panels of Figure 7 from one sweep."""
+    params = _bpc_params(scale)
+
+    def factory():
+        reg = TaskRegistry()
+        wl = BpcWorkload(reg, params)
+        return reg, [wl.seed_task()]
+
+    cfg = _sweep_config(scale, task_size=32, qsize=4096)
+    points = run_sweep(factory, cfg)
+    cells = summarize_cells(points)
+    steal_factor = speedup_factor(cells, "steal_time")
+    search_factor = speedup_factor(cells, "search_time")
+    from .plots import chart_cells
+
+    return ExperimentResult(
+        exp_id="fig7",
+        title=f"BPC sweep (n={params.n_consumers}, depth={params.depth})",
+        headers=_PANEL_HEADERS,
+        rows=_panel_rows(cells),
+        charts=[
+            chart_cells(cells, "throughput", "fig7a: BPC tasks/s vs PEs"),
+            chart_cells(cells, "steal_time", "fig7e: steal time vs PEs", log_y=True),
+            chart_cells(cells, "search_time", "fig7f: search time vs PEs", log_y=True),
+        ],
+        notes=[
+            "panels: (a)=tasks/s, (b)=rel. perf %, (c)=efficiency, "
+            "(d)=SD/range %, (e)=steal time, (f)=search time",
+            f"steal-time factor SDC/SWS by npes: "
+            + ", ".join(f"{k}:{v:.2f}x" for k, v in sorted(steal_factor.items())),
+            f"search-time factor SDC/SWS by npes: "
+            + ", ".join(f"{k}:{v:.2f}x" for k, v in sorted(search_factor.items())),
+            "paper: runtimes near parity at small scale, SWS edging ahead as "
+            "PEs grow; SWS steal time flat vs SDC growth",
+        ],
+    )
+
+
+def exp_fig8(scale: str = "quick") -> ExperimentResult:
+    """UTS: all six panels of Figure 8 from one sweep."""
+    tree = _uts_tree(scale)
+
+    def factory():
+        reg = TaskRegistry()
+        wl = UtsWorkload(reg, tree, UtsWorkloadParams(node_time=PAPER_NODE_TIME))
+        return reg, [wl.seed_task()]
+
+    cfg = _sweep_config(scale, task_size=48, qsize=8192)
+    points = run_sweep(factory, cfg)
+    cells = summarize_cells(points)
+    steal_factor = speedup_factor(cells, "steal_time")
+    improvement = relative_improvement(cells)
+    from .plots import chart_cells
+
+    return ExperimentResult(
+        exp_id="fig8",
+        title=f"UTS sweep ({'BENCH_GEO' if tree is BENCH_GEO else 'TEST_SMALL'})",
+        headers=_PANEL_HEADERS,
+        rows=_panel_rows(cells),
+        charts=[
+            chart_cells(cells, "throughput", "fig8a: UTS tasks/s vs PEs"),
+            chart_cells(cells, "steal_time", "fig8e: steal time vs PEs", log_y=True),
+            chart_cells(cells, "search_time", "fig8f: search time vs PEs", log_y=True),
+        ],
+        notes=[
+            "panels as fig7; UTS tasks are ~110 ns, so steal overheads "
+            "dominate and the SWS gap is larger than BPC's",
+            f"steal-time factor SDC/SWS by npes: "
+            + ", ".join(f"{k}:{v:.2f}x" for k, v in sorted(steal_factor.items())),
+            f"relative improvement by npes: "
+            + ", ".join(f"{k}:{v:.1f}%" for k, v in sorted(improvement.items())),
+            "paper: ~9% runtime improvement, 3-4x lower steal time, low flat "
+            "search time",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md §5)
+# ----------------------------------------------------------------------
+def exp_ablation_damping(scale: str = "quick") -> ExperimentResult:
+    """Steal damping on/off: AMO traffic on drained queues."""
+    tree = TEST_SMALL
+
+    def factory():
+        reg = TaskRegistry()
+        wl = UtsWorkload(reg, tree)
+        return reg, [wl.seed_task()]
+
+    rows = []
+    for damping in (False, True):
+        cfg = SweepConfig(
+            npes_list=(8,),
+            impls=("sws",),
+            reps=3,
+            queue_config=QueueConfig(qsize=4096, task_size=48),
+            worker_config=WorkerConfig(damping=damping),
+        )
+        points = run_sweep(factory, cfg)
+        cells = summarize_cells(points)
+        c = cells[0]
+        rows.append(
+            [damping, c.runtime_mean * 1e3, c.comm_total, c.steals_failed]
+        )
+    return ExperimentResult(
+        exp_id="ablate-damping",
+        title="Steal damping ablation (SWS, 8 PEs, UTS)",
+        headers=["damping", "runtime(ms)", "total comms", "failed claims"],
+        rows=rows,
+        notes=["paper §4.3: damping costs nothing measurable; probe mode "
+               "trades claiming AMOs for read-only fetches on empty targets"],
+    )
+
+
+def exp_ablation_epochs(scale: str = "quick") -> ExperimentResult:
+    """1 vs 2 completion epochs under a real workload."""
+    tree = TEST_SMALL
+
+    rows = []
+    for epochs in (1, 2):
+        def factory():
+            reg = TaskRegistry()
+            wl = UtsWorkload(reg, tree)
+            return reg, [wl.seed_task()]
+
+        cfg = SweepConfig(
+            npes_list=(8,),
+            impls=("sws",),
+            reps=3,
+            queue_config=QueueConfig(qsize=4096, task_size=48, max_epochs=epochs),
+        )
+        points = run_sweep(factory, cfg)
+        cells = summarize_cells(points)
+        c = cells[0]
+        rows.append([epochs, c.runtime_mean * 1e3, c.steal_time * 1e3])
+    return ExperimentResult(
+        exp_id="ablate-epochs",
+        title="Completion-epoch count ablation (SWS, 8 PEs, UTS)",
+        headers=["epochs", "runtime(ms)", "steal time(ms)"],
+        rows=rows,
+        notes=["single-epoch queues must wait out in-flight steals at every "
+               "acquire/release; two epochs overlap them (§4.2)"],
+    )
+
+
+def exp_ablation_contention(scale: str = "quick") -> ExperimentResult:
+    """Many thieves hitting one victim: protocol behaviour under contention."""
+    from ..core.sdc_queue import SdcQueueSystem
+    from ..core.sws_queue import SwsQueueSystem
+    from ..fabric.engine import Delay
+    from ..shmem.api import ShmemCtx
+
+    nthieves = 8 if scale == "quick" else 16
+    rows = []
+    for impl in ("sdc", "sws"):
+        cfg = QueueConfig(qsize=2048, task_size=24)
+        ctx = ShmemCtx(nthieves + 1)
+        system = (SwsQueueSystem if impl == "sws" else SdcQueueSystem)(ctx, cfg)
+        victim_q = system.handle(0)
+        done: list[float] = []
+
+        def owner():
+            for _ in range(1024):
+                victim_q.enqueue(bytes(24))
+            if impl == "sws":
+                yield from victim_q.release()
+            else:
+                victim_q.release()
+
+        def thief(rank):
+            q = system.handle(rank)
+            yield Delay(1e-6)
+            t0 = ctx.engine.now
+            res = yield from q.steal(0)
+            if res.success:
+                done.append(ctx.engine.now - t0)
+
+        ctx.engine.spawn(owner(), "owner")
+        for r in range(1, nthieves + 1):
+            ctx.engine.spawn(thief(r), f"t{r}")
+        ctx.run()
+        mean = sum(done) / len(done) if done else 0.0
+        rows.append(
+            [impl.upper(), len(done), mean * 1e6, max(done) * 1e6 if done else 0.0]
+        )
+    return ExperimentResult(
+        exp_id="ablate-contention",
+        title=f"Simultaneous steals from one victim ({nthieves} thieves)",
+        headers=["impl", "successful", "mean steal (us)", "max steal (us)"],
+        rows=rows,
+        notes=["SDC thieves serialize behind the queue lock; SWS claims "
+               "pipeline through the NIC atomic unit (paper §6: 'better "
+               "properties when a target is contended')"],
+    )
+
+
+def exp_ablation_granularity(scale: str = "quick") -> ExperimentResult:
+    """Task-granularity sweep (paper §2).
+
+    "An application with short-lived, fine grained tasks (~10us) will be
+    easier to balance, but will be more sensitive to overheads in the
+    load balancing system" — so the SWS advantage should shrink as tasks
+    coarsen.  Fixed task count and PE count; only the task duration moves.
+    """
+    from ..runtime.registry import TaskOutcome
+    from ..runtime.task import Task
+
+    durations = (1e-6, 10e-6, 100e-6, 1e-3)
+    if scale == "full":
+        durations = (1e-6, 10e-6, 100e-6, 1e-3, 10e-3)
+    ntasks = 2000
+    rows = []
+    for dur in durations:
+        runtimes = {}
+        overheads = {}
+
+        def factory(d=dur):
+            reg = TaskRegistry()
+            reg.register(
+                "root",
+                lambda p, tc: TaskOutcome(1e-6, [Task(1)] * ntasks),
+            )
+            reg.register("leaf", lambda p, tc, d=d: TaskOutcome(d))
+            return reg, [Task(0)]
+
+        for impl in ("sdc", "sws"):
+            cfg = SweepConfig(
+                npes_list=(8,),
+                impls=(impl,),
+                reps=5,
+                queue_config=QueueConfig(qsize=4096, task_size=24),
+            )
+            cells = summarize_cells(run_sweep(factory, cfg))
+            runtimes[impl] = cells[0].runtime_mean
+            overheads[impl] = cells[0].steal_time + cells[0].search_time
+        rows.append(
+            [
+                dur * 1e6,
+                runtimes["sdc"] * 1e3,
+                runtimes["sws"] * 1e3,
+                100.0 * runtimes["sdc"] / runtimes["sws"],
+                overheads["sdc"] * 1e6,
+                overheads["sws"] * 1e6,
+            ]
+        )
+    return ExperimentResult(
+        exp_id="ablate-granularity",
+        title=f"Task-granularity sweep ({ntasks} tasks, 8 PEs)",
+        headers=["task (us)", "SDC ms", "SWS ms", "rel. perf %",
+                 "SDC overhead (us)", "SWS overhead (us)"],
+        rows=rows,
+        notes=[
+            "paper §2: fine-grained tasks are sensitive to steal latency, "
+            "coarse tasks tolerate it — the SWS relative advantage should "
+            "decay toward 100% as tasks coarsen",
+        ],
+    )
+
+
+def exp_ablation_latency(scale: str = "quick") -> ExperimentResult:
+    """Network-latency sensitivity: scale all fabric latencies.
+
+    The SWS win is a round-trip-count argument, so slower wires should
+    widen the absolute steal-time gap.
+    """
+    factors = (0.25, 1.0, 4.0) if scale == "quick" else (0.25, 1.0, 4.0, 16.0)
+    rows = []
+    for f in factors:
+        lat = EDR_INFINIBAND.scaled(f)
+        times = {}
+        for impl in ("sdc", "sws"):
+            probe = measure_single_steal(impl, 8, 48, latency=lat)
+            times[impl] = probe.steal_seconds
+        rows.append(
+            [f, times["sdc"] * 1e6, times["sws"] * 1e6,
+             times["sdc"] / times["sws"],
+             (times["sdc"] - times["sws"]) * 1e6]
+        )
+    return ExperimentResult(
+        exp_id="ablate-latency",
+        title="Fabric-latency sensitivity (single 8-task steal)",
+        headers=["latency x", "SDC (us)", "SWS (us)", "ratio", "gap (us)"],
+        rows=rows,
+        notes=[
+            "the absolute SDC-SWS gap grows linearly with wire latency — "
+            "three fewer blocking messages each pay the round trip",
+        ],
+    )
+
+
+def exp_ablation_v1(scale: str = "quick") -> ExperimentResult:
+    """Figure-3 (valid-bit) vs Figure-4 (epoch) stealval under churn."""
+    def factory():
+        reg = TaskRegistry()
+        wl = UtsWorkload(reg, TEST_SMALL)
+        return reg, [wl.seed_task()]
+
+    rows = []
+    for impl in ("sws-v1", "sws"):
+        cfg = SweepConfig(
+            npes_list=(8,),
+            impls=(impl,),
+            reps=3,
+            queue_config=QueueConfig(qsize=4096, task_size=48),
+        )
+        cells = summarize_cells(run_sweep(factory, cfg))
+        c = cells[0]
+        rows.append(
+            [impl, c.runtime_mean * 1e3, c.steal_time * 1e3,
+             c.steals_ok, c.comm_total]
+        )
+    return ExperimentResult(
+        exp_id="ablate-v1",
+        title="Initial (Fig. 3) vs epoch (Fig. 4) stealval, UTS at 8 PEs",
+        headers=["impl", "runtime(ms)", "steal time(ms)", "steals", "comms"],
+        rows=rows,
+        notes=[
+            "the steal protocol is identical; the epoch variant avoids the "
+            "§4.1 management stall on in-flight steals",
+        ],
+    )
+
+
+def exp_ablation_termination(scale: str = "quick") -> ExperimentResult:
+    """Ring vs tree termination: pure detection latency.
+
+    A pool seeded with zero tasks measures nothing but detection — the
+    virtual runtime is the time for the detector to notice the empty
+    system.  Ring rounds cost O(P) hops; tree rounds O(log P).
+    """
+    from ..runtime.pool import TaskPool
+
+    npes_list = (8, 32, 64) if scale == "quick" else (8, 32, 64, 128, 256)
+    rows = []
+    for npes in npes_list:
+        times = {}
+        for kind in ("ring", "tree"):
+            reg = TaskRegistry()
+            reg.register("noop", lambda p, tc: None)
+            pool = TaskPool(
+                npes,
+                reg,
+                impl="sws",
+                queue_config=QueueConfig(qsize=128, task_size=16),
+                termination=kind,
+            )
+            times[kind] = pool.run().runtime
+        rows.append(
+            [npes, times["ring"] * 1e6, times["tree"] * 1e6,
+             times["ring"] / times["tree"]]
+        )
+    return ExperimentResult(
+        exp_id="ablate-termination",
+        title="Termination detection latency: ring vs tree",
+        headers=["npes", "ring (us)", "tree (us)", "ring/tree"],
+        rows=rows,
+        notes=[
+            "empty-pool runtime is pure detection time; the tree's "
+            "O(log P) rounds pull ahead as the ring grows",
+        ],
+    )
+
+
+def exp_ablation_victims(scale: str = "quick") -> ExperimentResult:
+    """Victim-selection policies on a multi-node layout.
+
+    Locality-aware selection (SLAW/HotSLAW, §2.2) trades discovery
+    breadth for cheap intra-node steals; the hierarchical variant
+    escalates adaptively.  SWS composes with all of them — the paper's
+    'can be used in conjunction with enhancements to the work stealing
+    algorithm' claim, measured.
+    """
+    from ..runtime.registry import TaskOutcome
+    from ..runtime.task import Task
+
+    def factory():
+        reg = TaskRegistry()
+        reg.register(
+            "root", lambda p, tc: TaskOutcome(1e-5, [Task(1)] * 800)
+        )
+        reg.register("leaf", lambda p, tc: TaskOutcome(2e-4))
+        return reg, [Task(0)]
+
+    rows = []
+    for victim in ("uniform", "locality", "hierarchical"):
+        runtimes, steal_times = [], []
+        for rep in range(3):
+            from ..runtime.pool import TaskPool
+
+            registry, seeds = factory()
+            pool = TaskPool(
+                16,
+                registry,
+                impl="sws",
+                queue_config=QueueConfig(qsize=4096, task_size=24),
+                pes_per_node=4,
+                victim=victim,
+                seed=200 + rep,
+            )
+            pool.seed(0, seeds)
+            st = pool.run()
+            runtimes.append(st.runtime)
+            steal_times.append(st.total_steal_time)
+        n = len(runtimes)
+        rows.append(
+            [victim, sum(runtimes) / n * 1e3, sum(steal_times) / n * 1e6]
+        )
+    return ExperimentResult(
+        exp_id="ablate-victims",
+        title="Victim policies on 4 nodes x 4 PEs (SWS)",
+        headers=["policy", "runtime(ms)", "steal time(us)"],
+        rows=rows,
+        notes=[
+            "intra-node steals cost ~1/4 of inter-node on the EDR model; "
+            "locality-aware policies shave steal time, at some dispersal "
+            "risk on drought-heavy workloads",
+        ],
+    )
+
+
+def exp_ablation_bandwidth(scale: str = "quick") -> ExperimentResult:
+    """Concurrent bulk steals under link serialization.
+
+    With per-PE link occupancy on, N thieves copying large blocks from
+    one victim queue behind its egress engine — the regime where Fig. 6's
+    convergence argument (copies dominate) turns into outright contention.
+    """
+    from dataclasses import replace
+
+    from ..core.sws_queue import SwsQueueSystem
+    from ..fabric.engine import Delay
+    from ..shmem.api import ShmemCtx
+
+    nthieves = 4
+    rows = []
+    for link_serialize in (False, True):
+        lat = replace(EDR_INFINIBAND, link_serialize=link_serialize)
+        ctx = ShmemCtx(nthieves + 1, latency=lat, pes_per_node=1)
+        system = SwsQueueSystem(ctx, QueueConfig(qsize=16384, task_size=192))
+        victim = system.handle(0)
+        lats: list[float] = []
+
+        def owner():
+            for _ in range(8192):
+                victim.enqueue(bytes(192))
+            yield from victim.release()
+
+        def thief(rank):
+            q = system.handle(rank)
+            yield Delay(1e-6)
+            t0 = ctx.engine.now
+            r = yield from q.steal(0)
+            assert r.success
+            lats.append(ctx.engine.now - t0)
+
+        ctx.engine.spawn(owner(), "o")
+        for r in range(1, nthieves + 1):
+            ctx.engine.spawn(thief(r), f"t{r}")
+        ctx.run()
+        rows.append(
+            [link_serialize, min(lats) * 1e6, max(lats) * 1e6,
+             sum(lats) / len(lats) * 1e6]
+        )
+    return ExperimentResult(
+        exp_id="ablate-bandwidth",
+        title=f"{nthieves} concurrent bulk steals, link serialization on/off",
+        headers=["link serialize", "min steal (us)", "max steal (us)",
+                 "mean steal (us)"],
+        rows=rows,
+        notes=[
+            "with link serialization the victim's egress engine is a "
+            "shared resource: tail steal latency stretches by the queued "
+            "copies ahead of it",
+        ],
+    )
+
+
+def exp_ablation_steal_volume(scale: str = "quick") -> ExperimentResult:
+    """Steal-half vs steal-one on the SDC baseline (§2 cites
+    Hendler-Shavit: stealing half balances with fewer operations)."""
+    from ..runtime.registry import TaskOutcome
+    from ..runtime.task import Task
+
+    def factory():
+        reg = TaskRegistry()
+        reg.register(
+            "root", lambda p, tc: TaskOutcome(1e-5, [Task(1)] * 600)
+        )
+        reg.register("leaf", lambda p, tc: TaskOutcome(3e-4))
+        return reg, [Task(0)]
+
+    rows = []
+    for policy in ("one", "half"):
+        cfg = SweepConfig(
+            npes_list=(8,),
+            impls=("sdc",),
+            reps=3,
+            queue_config=QueueConfig(qsize=2048, task_size=24, sdc_steal=policy),
+        )
+        cells = summarize_cells(run_sweep(factory, cfg))
+        c = cells[0]
+        rows.append(
+            [policy, c.runtime_mean * 1e3, c.steals_ok, c.steal_time * 1e3,
+             c.comm_total]
+        )
+    return ExperimentResult(
+        exp_id="ablate-steal-volume",
+        title="Steal-one vs steal-half (SDC, 8 PEs, 601 tasks)",
+        headers=["policy", "runtime(ms)", "steals", "steal time(ms)", "comms"],
+        rows=rows,
+        notes=[
+            "steal-half moves the same work in far fewer operations "
+            "(Hendler-Shavit); steal-one pays a full 6-comm protocol per "
+            "task moved",
+        ],
+    )
+
+
+def exp_ablation_lifelines(scale: str = "quick") -> ExperimentResult:
+    """Lifelines (Saraswat'11, cited §2.2) composed with SWS: idle PEs
+    quiesce instead of hammering empty queues."""
+    from ..runtime.registry import TaskOutcome
+    from ..runtime.task import Task
+
+    def factory():
+        reg = TaskRegistry()
+        reg.register(
+            "root", lambda p, tc: TaskOutcome(1e-5, [Task(1)] * 400)
+        )
+        reg.register("leaf", lambda p, tc: TaskOutcome(2e-3))
+        return reg, [Task(0)]
+
+    rows = []
+    for lifelines in (False, True):
+        runtimes, failed, comms = [], [], []
+        for rep in range(3):
+            registry, seeds = factory()
+            from ..runtime.pool import TaskPool
+
+            pool = TaskPool(
+                16,
+                registry,
+                impl="sws",
+                queue_config=QueueConfig(qsize=2048, task_size=24),
+                lifelines=lifelines,
+                seed=100 + rep,
+            )
+            pool.seed(0, seeds)
+            st = pool.run()
+            runtimes.append(st.runtime)
+            failed.append(st.total_failed_steals)
+            comms.append(st.comm["total"])
+        n = len(runtimes)
+        rows.append(
+            [lifelines, sum(runtimes) / n * 1e3, sum(failed) / n,
+             sum(comms) / n]
+        )
+    return ExperimentResult(
+        exp_id="ablate-lifelines",
+        title="Lifelines composed with SWS (16 PEs, coarse tasks)",
+        headers=["lifelines", "runtime(ms)", "failed steals", "total comms"],
+        rows=rows,
+        notes=[
+            "§2.2: lifelines 'eliminate unproductive stealing traffic'; "
+            "SWS composes with them — failed-steal counts collapse while "
+            "runtime holds",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+EXPERIMENTS: dict[str, Callable[[str], ExperimentResult]] = {
+    "fig2": exp_fig2,
+    "tab1": exp_tab1,
+    "fig34": exp_fig34,
+    "fig5": exp_fig5,
+    "fig6": exp_fig6,
+    "tab2": exp_tab2,
+    "fig7": exp_fig7,
+    "fig8": exp_fig8,
+    "ablate-damping": exp_ablation_damping,
+    "ablate-epochs": exp_ablation_epochs,
+    "ablate-contention": exp_ablation_contention,
+    "ablate-granularity": exp_ablation_granularity,
+    "ablate-latency": exp_ablation_latency,
+    "ablate-v1": exp_ablation_v1,
+    "ablate-steal-volume": exp_ablation_steal_volume,
+    "ablate-lifelines": exp_ablation_lifelines,
+    "ablate-bandwidth": exp_ablation_bandwidth,
+    "ablate-termination": exp_ablation_termination,
+    "ablate-victims": exp_ablation_victims,
+}
+
+
+def run_experiment(exp_id: str, scale: str = "quick") -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(scale)

@@ -1,0 +1,192 @@
+"""Self-contained HTML reports with inline SVG charts.
+
+No plotting or templating dependencies: the report is a single HTML
+string — tables for every experiment, SVG line charts for the sweep
+figures — suitable for checking into CI artifacts or opening locally.
+
+Usage::
+
+    python -m repro.analysis.html_report --out report.html --exp fig6 fig2
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import html
+import sys
+from pathlib import Path
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .report import format_value
+
+#: Chart line colours (colour-blind-safe pairing).
+COLORS = ["#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 70em; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #0072b2; padding-bottom: .2em; }
+h2 { margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; font-size: .9em; }
+th, td { border: 1px solid #ccc; padding: .3em .7em; text-align: right; }
+th { background: #f0f4f8; }
+td:first-child, th:first-child { text-align: left; }
+.note { color: #555; font-size: .85em; margin: .2em 0; }
+svg { background: #fafafa; border: 1px solid #ddd; margin: 1em 0; }
+"""
+
+
+def svg_line_chart(
+    xs: list[float],
+    series: dict[str, list[float]],
+    title: str,
+    width: int = 460,
+    height: int = 260,
+) -> str:
+    """Render a multi-series line chart as an SVG string (linear axes)."""
+    pad = 45
+    pts = [v for ys in series.values() for v in ys] or [0.0]
+    y_lo, y_hi = min(pts), max(pts)
+    x_lo, x_hi = (min(xs), max(xs)) if xs else (0.0, 1.0)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    def sx(x: float) -> float:
+        return pad + (x - x_lo) / x_span * (width - 2 * pad)
+
+    def sy(y: float) -> float:
+        return height - pad - (y - y_lo) / y_span * (height - 2 * pad)
+
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'xmlns="http://www.w3.org/2000/svg">',
+        f'<text x="{width / 2}" y="16" text-anchor="middle" '
+        f'font-size="13" font-weight="bold">{html.escape(title)}</text>',
+        # axes
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#888"/>',
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{height - pad}" '
+        f'stroke="#888"/>',
+        f'<text x="{pad}" y="{height - pad + 16}" font-size="10">'
+        f"{format_value(x_lo)}</text>",
+        f'<text x="{width - pad}" y="{height - pad + 16}" font-size="10" '
+        f'text-anchor="end">{format_value(x_hi)}</text>',
+        f'<text x="{pad - 4}" y="{height - pad}" font-size="10" '
+        f'text-anchor="end">{format_value(y_lo)}</text>',
+        f'<text x="{pad - 4}" y="{pad + 4}" font-size="10" '
+        f'text-anchor="end">{format_value(y_hi)}</text>',
+    ]
+    for i, (name, ys) in enumerate(series.items()):
+        color = COLORS[i % len(COLORS)]
+        path = " ".join(
+            f"{'M' if j == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+            for j, (x, y) in enumerate(zip(xs, ys))
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{width - pad + 4}" y="{pad + 14 * i + 10}" '
+            f'font-size="11" fill="{color}">{html.escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _sweep_charts(result: ExperimentResult) -> list[str]:
+    """Build SVG charts from a fig7/fig8-shaped panel table."""
+    rows = result.rows
+    impls = sorted({r[0] for r in rows})
+    xs = sorted({r[1] for r in rows})
+    cells = {(r[0], r[1]): r for r in rows}
+    charts = []
+    for col, label in ((3, "tasks per second"), (8, "steal time (ms)"),
+                       (9, "search time (ms)")):
+        series = {
+            impl: [cells[(impl, x)][col] for x in xs] for impl in impls
+        }
+        charts.append(
+            svg_line_chart([float(x) for x in xs], series,
+                           f"{result.exp_id}: {label}")
+        )
+    return charts
+
+
+def _fig6_charts(result: ExperimentResult) -> list[str]:
+    charts = []
+    for ts in sorted({r[0] for r in result.rows}):
+        rows = [r for r in result.rows if r[0] == ts]
+        xs = [float(r[1]) for r in rows]
+        series = {"SDC": [r[2] for r in rows], "SWS": [r[3] for r in rows]}
+        charts.append(
+            svg_line_chart(xs, series, f"fig6: steal time (us), {ts} B tasks")
+        )
+    return charts
+
+
+def result_to_html(result: ExperimentResult) -> str:
+    """One experiment's report section."""
+    out = [f"<h2>{html.escape(result.exp_id)}: {html.escape(result.title)}</h2>"]
+    if result.exp_id in ("fig7", "fig8"):
+        out.extend(_sweep_charts(result))
+    elif result.exp_id == "fig6":
+        out.extend(_fig6_charts(result))
+    out.append("<table><tr>")
+    out.extend(f"<th>{html.escape(str(h))}</th>" for h in result.headers)
+    out.append("</tr>")
+    for row in result.rows:
+        out.append(
+            "<tr>"
+            + "".join(f"<td>{html.escape(format_value(v))}</td>" for v in row)
+            + "</tr>"
+        )
+    out.append("</table>")
+    for note in result.notes:
+        out.append(f'<p class="note">• {html.escape(note)}</p>')
+    return "\n".join(out)
+
+
+def build_report(exp_ids: list[str], scale: str = "quick") -> str:
+    """Run the experiments and assemble the full HTML document."""
+    sections = []
+    for exp_id in exp_ids:
+        sections.append(result_to_html(run_experiment(exp_id, scale=scale)))
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>SWS reproduction report</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>SWS reproduction report</h1>"
+        f"<p>Generated {datetime.date.today().isoformat()} at scale "
+        f"<code>{html.escape(scale)}</code>.  Shapes, not absolute numbers, "
+        "are the comparison target — see EXPERIMENTS.md.</p>"
+        f"{body}</body></html>"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro.analysis.html_report")
+    parser.add_argument("--out", default="report.html")
+    parser.add_argument("--scale", default="quick", choices=("quick", "full"))
+    parser.add_argument(
+        "--exp", nargs="*", default=["fig2", "fig6", "fig7", "fig8"],
+        help="experiment ids to include",
+    )
+    args = parser.parse_args(argv)
+    for exp_id in args.exp:
+        if exp_id not in EXPERIMENTS:
+            parser.error(f"unknown experiment {exp_id!r}")
+    Path(args.out).write_text(build_report(args.exp, args.scale))
+    sys.stdout.write(f"wrote {args.out}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

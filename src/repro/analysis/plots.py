@@ -1,0 +1,118 @@
+"""ASCII line charts for experiment series.
+
+No plotting library exists offline, so the CLI renders figures as
+monospace charts: multiple named series over a shared x axis, log or
+linear scaling, distinct glyphs per series.  Good enough to eyeball the
+crossovers the paper's figures show.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Series glyphs, assigned in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    """One named line: y values aligned with the chart's x values."""
+
+    name: str
+    ys: list[float]
+
+
+@dataclass
+class AsciiChart:
+    """A multi-series scatter/line chart rendered in monospace."""
+
+    xs: list[float]
+    series: list[Series] = field(default_factory=list)
+    title: str = ""
+    ylabel: str = ""
+    height: int = 14
+    width: int = 64
+    log_y: bool = False
+    log_x: bool = False
+
+    def add(self, name: str, ys: list[float]) -> "AsciiChart":
+        """Add one series (must align with ``xs``)."""
+        if len(ys) != len(self.xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(self.xs)} xs"
+            )
+        self.series.append(Series(name, ys))
+        return self
+
+    # ------------------------------------------------------------------
+    def _tx(self, x: float) -> float:
+        return math.log10(x) if self.log_x else x
+
+    def _ty(self, y: float) -> float:
+        return math.log10(y) if self.log_y else y
+
+    def render(self) -> str:
+        """Render the chart to a string."""
+        if not self.series:
+            return "(no series)\n"
+        pts = [
+            (self._tx(x), self._ty(y))
+            for s in self.series
+            for x, y in zip(self.xs, s.ys)
+            if not (self.log_y and y <= 0) and not (self.log_x and x <= 0)
+        ]
+        if not pts:
+            return "(no drawable points)\n"
+        x_lo = min(p[0] for p in pts)
+        x_hi = max(p[0] for p in pts)
+        y_lo = min(p[1] for p in pts)
+        y_hi = max(p[1] for p in pts)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for si, s in enumerate(self.series):
+            glyph = SERIES_GLYPHS[si % len(SERIES_GLYPHS)]
+            for x, y in zip(self.xs, s.ys):
+                if (self.log_y and y <= 0) or (self.log_x and x <= 0):
+                    continue
+                col = int((self._tx(x) - x_lo) / x_span * (self.width - 1))
+                row = int((self._ty(y) - y_lo) / y_span * (self.height - 1))
+                grid[self.height - 1 - row][col] = glyph
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        top_label = f"{10 ** y_hi if self.log_y else y_hi:.3g}"
+        bot_label = f"{10 ** y_lo if self.log_y else y_lo:.3g}"
+        pad = max(len(top_label), len(bot_label))
+        for i, row in enumerate(grid):
+            label = top_label if i == 0 else bot_label if i == self.height - 1 else ""
+            lines.append(f"{label:>{pad}} |{''.join(row)}|")
+        x_left = f"{10 ** x_lo if self.log_x else x_lo:.3g}"
+        x_right = f"{10 ** x_hi if self.log_x else x_hi:.3g}"
+        axis = f"{'':>{pad}} +{'-' * self.width}+"
+        xlab = f"{'':>{pad}}  {x_left}{' ' * max(1, self.width - len(x_left) - len(x_right))}{x_right}"
+        lines.append(axis)
+        lines.append(xlab)
+        legend = "  ".join(
+            f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={s.name}"
+            for i, s in enumerate(self.series)
+        )
+        lines.append(f"{'':>{pad}}  {legend}"
+                     + (f"  [{self.ylabel}]" if self.ylabel else ""))
+        return "\n".join(lines) + "\n"
+
+
+def chart_cells(cells, metric: str, title: str, log_y: bool = False) -> str:
+    """Convenience: chart a CellSummary metric by npes, one series per impl."""
+    from .series import by_impl
+
+    idx = by_impl(cells)
+    xs = sorted({c.npes for c in cells})
+    chart = AsciiChart(xs=[float(x) for x in xs], title=title,
+                       log_x=True, log_y=log_y, ylabel=metric)
+    for impl in sorted(idx):
+        chart.add(impl, [getattr(idx[impl][x], metric) for x in xs])
+    return chart.render()

@@ -1,0 +1,95 @@
+"""Per-PE time-breakdown profiles from run statistics.
+
+Turns a :class:`~repro.runtime.stats.RunStats` into the view performance
+engineers actually read: for each PE, what fraction of the run went to
+task compute, stealing, searching, queue management, and idling — as a
+table and as horizontal stacked ASCII bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.stats import RunStats, WorkerStats
+
+#: Profile categories, in display order, with bar glyphs.
+CATEGORIES = (
+    ("task", "#"),
+    ("steal", "S"),
+    ("search", "?"),
+    ("manage", "m"),
+    ("idle", "."),
+)
+
+
+@dataclass(frozen=True)
+class PeProfile:
+    """One PE's time shares (fractions of the run duration)."""
+
+    rank: int
+    task: float
+    steal: float
+    search: float
+    manage: float
+    idle: float
+
+    def share(self, name: str) -> float:
+        """Share of one category by name (``task``, ``idle``, ...)."""
+        return getattr(self, name)
+
+
+def profile_worker(w: WorkerStats, runtime: float) -> PeProfile:
+    """Compute one PE's breakdown; shares are clamped to [0, 1]."""
+    if runtime <= 0:
+        return PeProfile(w.rank, 0.0, 0.0, 0.0, 0.0, 1.0)
+    task = w.task_time / runtime
+    steal = w.steal_time / runtime
+    search = w.search_time / runtime
+    manage = (w.acquire_time + w.release_time) / runtime
+    idle = max(0.0, 1.0 - task - steal - search - manage)
+    return PeProfile(w.rank, task, steal, search, manage, idle)
+
+
+def profile_run(stats: RunStats) -> list[PeProfile]:
+    """Breakdowns for every PE of a run."""
+    return [profile_worker(w, stats.runtime) for w in stats.workers]
+
+
+def render_profiles(stats: RunStats, width: int = 50) -> str:
+    """Stacked ASCII bars, one row per PE, plus a totals row."""
+    profiles = profile_run(stats)
+    lines = ["per-PE time breakdown "
+             + " ".join(f"{g}={name}" for name, g in CATEGORIES)]
+    for p in profiles:
+        bar = []
+        for name, glyph in CATEGORIES:
+            bar.append(glyph * round(p.share(name) * width))
+        bar_str = "".join(bar)[:width].ljust(width, ".")
+        lines.append(
+            f"pe{p.rank:<3}|{bar_str}| task {p.task:5.1%} idle {p.idle:5.1%}"
+        )
+    mean_task = sum(p.task for p in profiles) / len(profiles) if profiles else 0
+    mean_idle = sum(p.idle for p in profiles) / len(profiles) if profiles else 0
+    lines.append(
+        f"mean task share {mean_task:.1%}, mean idle {mean_idle:.1%}, "
+        f"efficiency {stats.parallel_efficiency:.1%}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def imbalance_report(stats: RunStats) -> dict[str, float]:
+    """Scalar imbalance indicators for quick assertions."""
+    counts = [w.tasks_executed for w in stats.workers]
+    if not counts or sum(counts) == 0:
+        return {"max_over_mean": 0.0, "min_over_mean": 0.0, "gini": 0.0}
+    mean = sum(counts) / len(counts)
+    # Gini coefficient of the per-PE task distribution.
+    sorted_c = sorted(counts)
+    n = len(sorted_c)
+    cum = sum((i + 1) * c for i, c in enumerate(sorted_c))
+    gini = (2 * cum) / (n * sum(sorted_c)) - (n + 1) / n
+    return {
+        "max_over_mean": max(counts) / mean,
+        "min_over_mean": min(counts) / mean,
+        "gini": gini,
+    }

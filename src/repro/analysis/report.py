@@ -1,0 +1,71 @@
+"""Plain-text tables and CSV output for experiment results.
+
+No plotting dependency is available offline, so every figure is rendered
+as the table of the series it would plot, plus a crude ASCII sparkline
+for eyeballing trends.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def format_value(v: Any) -> str:
+    """Human-oriented scalar formatting."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        a = abs(v)
+        if a >= 1e5 or a < 1e-3:
+            return f"{v:.3e}"
+        if a >= 100:
+            return f"{v:.1f}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    out = io.StringIO()
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(line.rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in cells:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Eight-level unicode sparkline of a series."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[min(7, int(8 * (v - lo) / (hi - lo)))] for v in values
+    )
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> Path:
+    """Write rows to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

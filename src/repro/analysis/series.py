@@ -1,0 +1,148 @@
+"""Derived data series: the exact quantities the paper's figures plot.
+
+Figures 7 and 8 share six panels; given the raw sweep points these
+helpers compute each panel's series:
+
+* (a) throughput — tasks/second vs PE count;
+* (b) relative runtime improvement — ``100 * t_sdc / t_sws`` per PE count
+  (values above 100 mean SWS is faster);
+* (c) parallel efficiency vs ideal execution;
+* (d) run variation — relative standard deviation and relative range of
+  runtime across repetitions, as percentages of the mean;
+* (e) total steal time; (f) total search time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .sweep import SweepPoint
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Statistics of one (impl, npes) sweep cell across repetitions."""
+
+    impl: str
+    npes: int
+    reps: int
+    runtime_mean: float
+    runtime_sd: float
+    runtime_min: float
+    runtime_max: float
+    throughput: float
+    efficiency: float
+    steal_time: float
+    search_time: float
+    steals_ok: float
+    steals_failed: float
+    comm_total: float
+    comm_blocking: float
+
+    @property
+    def rel_sd_pct(self) -> float:
+        """Relative standard deviation of runtime, percent (Fig. 7d/8d)."""
+        return 100.0 * self.runtime_sd / self.runtime_mean if self.runtime_mean else 0.0
+
+    @property
+    def rel_range_pct(self) -> float:
+        """Relative max-min range of runtime, percent (Fig. 7d/8d)."""
+        if not self.runtime_mean:
+            return 0.0
+        return 100.0 * (self.runtime_max - self.runtime_min) / self.runtime_mean
+
+
+def summarize_cells(points: list[SweepPoint]) -> list[CellSummary]:
+    """Collapse repetitions into per-(impl, npes) summaries."""
+    groups: dict[tuple[str, int], list[SweepPoint]] = defaultdict(list)
+    for p in points:
+        groups[(p.impl, p.npes)].append(p)
+    cells = []
+    for (impl, npes), pts in sorted(groups.items()):
+        runtimes = [p.stats.runtime for p in pts]
+        n = len(runtimes)
+        mean = sum(runtimes) / n
+        sd = math.sqrt(sum((r - mean) ** 2 for r in runtimes) / n) if n > 1 else 0.0
+        cells.append(
+            CellSummary(
+                impl=impl,
+                npes=npes,
+                reps=n,
+                runtime_mean=mean,
+                runtime_sd=sd,
+                runtime_min=min(runtimes),
+                runtime_max=max(runtimes),
+                throughput=sum(p.stats.throughput for p in pts) / n,
+                efficiency=sum(p.stats.parallel_efficiency for p in pts) / n,
+                steal_time=sum(p.stats.total_steal_time for p in pts) / n,
+                search_time=sum(p.stats.total_search_time for p in pts) / n,
+                steals_ok=sum(p.stats.total_steals for p in pts) / n,
+                steals_failed=sum(p.stats.total_failed_steals for p in pts) / n,
+                comm_total=sum(p.stats.comm.get("total", 0) for p in pts) / n,
+                comm_blocking=sum(p.stats.comm.get("blocking", 0) for p in pts) / n,
+            )
+        )
+    return cells
+
+
+def by_impl(cells: list[CellSummary]) -> dict[str, dict[int, CellSummary]]:
+    """Index summaries as ``{impl: {npes: cell}}``."""
+    out: dict[str, dict[int, CellSummary]] = defaultdict(dict)
+    for c in cells:
+        out[c.impl][c.npes] = c
+    return out
+
+
+def relative_improvement(cells: list[CellSummary]) -> dict[int, float]:
+    """Figure 7b/8b series: ``100 * runtime_sdc / runtime_sws`` per npes.
+
+    100 means parity; the paper reports ~100-112% for UTS.
+    """
+    idx = by_impl(cells)
+    out = {}
+    for npes, sws_cell in idx.get("sws", {}).items():
+        sdc_cell = idx.get("sdc", {}).get(npes)
+        if sdc_cell is None or sws_cell.runtime_mean == 0:
+            continue
+        out[npes] = 100.0 * sdc_cell.runtime_mean / sws_cell.runtime_mean
+    return out
+
+
+def crossover_point(
+    xs: list[float], ratio: list[float], threshold: float = 1.0
+) -> float | None:
+    """First x where a ratio series crosses down through ``threshold``.
+
+    Linear interpolation between the bracketing samples; ``None`` when
+    the series never crosses.  Used to locate where the SDC/SWS latency
+    ratio approaches parity in the Figure-6 curves.
+    """
+    if len(xs) != len(ratio):
+        raise ValueError("xs and ratio must align")
+    for (x0, r0), (x1, r1) in zip(zip(xs, ratio), zip(xs[1:], ratio[1:])):
+        if r0 > threshold >= r1:
+            if r0 == r1:
+                return x1
+            frac = (r0 - threshold) / (r0 - r1)
+            return x0 + frac * (x1 - x0)
+    return None
+
+
+def speedup_factor(
+    cells: list[CellSummary], metric: str = "steal_time"
+) -> dict[int, float]:
+    """Per-npes ratio ``sdc_metric / sws_metric`` (e.g. steal-time factor;
+    the paper reports 3-4x for UTS steal time)."""
+    idx = by_impl(cells)
+    out = {}
+    for npes, sws_cell in idx.get("sws", {}).items():
+        sdc_cell = idx.get("sdc", {}).get(npes)
+        if sdc_cell is None:
+            continue
+        sws_v = getattr(sws_cell, metric)
+        sdc_v = getattr(sdc_cell, metric)
+        if sws_v > 0:
+            out[npes] = sdc_v / sws_v
+    return out

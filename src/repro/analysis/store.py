@@ -1,0 +1,145 @@
+"""Result persistence and run-to-run comparison.
+
+Experiment outputs are plain rows, so they serialize naturally to JSON.
+The store keeps one file per experiment per labelled run, enabling the
+regression workflow::
+
+    store = ResultStore("results/")
+    store.save("baseline", result)           # before a change
+    ...
+    diff = store.compare("baseline", "tuned", "fig8", key_cols=2)
+    print(render_diff(diff))
+
+``compare`` aligns rows by their leading key columns and reports
+per-column relative deltas — the quickest way to see whether a change
+moved steal time or throughput.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .experiments import ExperimentResult
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RowDiff:
+    """Delta of one aligned row between two runs."""
+
+    key: tuple
+    columns: list[str]
+    before: list[float]
+    after: list[float]
+
+    def rel_change(self, i: int) -> float | None:
+        """Relative change of numeric column ``i`` (None if not numeric
+        or the baseline is zero)."""
+        b, a = self.before[i], self.after[i]
+        if not isinstance(b, (int, float)) or not isinstance(a, (int, float)):
+            return None
+        if b == 0:
+            return None
+        return (a - b) / b
+
+
+class ResultStore:
+    """Directory-backed store of experiment results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, run: str, exp_id: str) -> Path:
+        return self.root / run / f"{exp_id}.json"
+
+    def save(self, run: str, result: ExperimentResult) -> Path:
+        """Persist one experiment result under a run label."""
+        path = self._path(run, result.exp_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "exp_id": result.exp_id,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    def load(self, run: str, exp_id: str) -> ExperimentResult:
+        """Load one stored result."""
+        path = self._path(run, exp_id)
+        if not path.exists():
+            raise FileNotFoundError(f"no stored result {run}/{exp_id}")
+        payload = json.loads(path.read_text())
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path} has schema {payload.get('schema')}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        return ExperimentResult(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            headers=payload["headers"],
+            rows=payload["rows"],
+            notes=payload.get("notes", []),
+        )
+
+    def runs(self) -> list[str]:
+        """Labels of all stored runs."""
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def experiments(self, run: str) -> list[str]:
+        """Experiment ids stored under a run label."""
+        d = self.root / run
+        if not d.is_dir():
+            return []
+        return sorted(p.stem for p in d.glob("*.json"))
+
+    def compare(
+        self, run_a: str, run_b: str, exp_id: str, key_cols: int = 1
+    ) -> list[RowDiff]:
+        """Align two stored results on their leading key columns."""
+        a = self.load(run_a, exp_id)
+        b = self.load(run_b, exp_id)
+        if a.headers != b.headers:
+            raise ValueError(
+                f"{exp_id}: header mismatch between {run_a} and {run_b}"
+            )
+        index_b = {tuple(r[:key_cols]): r for r in b.rows}
+        diffs = []
+        for row in a.rows:
+            key = tuple(row[:key_cols])
+            other = index_b.get(key)
+            if other is None:
+                continue
+            diffs.append(
+                RowDiff(
+                    key=key,
+                    columns=a.headers[key_cols:],
+                    before=row[key_cols:],
+                    after=other[key_cols:],
+                )
+            )
+        return diffs
+
+
+def render_diff(diffs: list[RowDiff], threshold: float = 0.02) -> str:
+    """Human-readable diff: one line per changed cell above ``threshold``."""
+    lines = []
+    for d in diffs:
+        for i, col in enumerate(d.columns):
+            rel = d.rel_change(i)
+            if rel is None or abs(rel) < threshold:
+                continue
+            arrow = "+" if rel > 0 else ""
+            lines.append(
+                f"{'/'.join(str(k) for k in d.key)} {col}: "
+                f"{d.before[i]:.6g} -> {d.after[i]:.6g} ({arrow}{rel:.1%})"
+            )
+    return "\n".join(lines) + ("\n" if lines else "(no significant changes)\n")

@@ -1,0 +1,90 @@
+"""Process-count sweeps with repetitions — the engine behind Figs. 7 & 8.
+
+A sweep runs one workload under both queue implementations across a list
+of PE counts, repeating each cell with different seeds (the paper
+averages 10 runs per point; seeds here perturb victim selection, the
+physical source of run-to-run variance on the real cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.config import QueueConfig
+from ..fabric.latency import EDR_INFINIBAND, LatencyModel
+from ..runtime.pool import TaskPool
+from ..runtime.registry import TaskRegistry
+from ..runtime.stats import RunStats
+from ..runtime.task import Task
+from ..runtime.worker import WorkerConfig
+
+#: A workload factory builds (registry, seed tasks) for one run.
+WorkloadFactory = Callable[[], tuple[TaskRegistry, list[Task]]]
+
+
+@dataclass
+class SweepPoint:
+    """One completed run within a sweep."""
+
+    impl: str
+    npes: int
+    rep: int
+    seed: int
+    stats: RunStats
+
+    def row(self) -> dict[str, float]:
+        """Flat record for tables/CSV."""
+        out = {"impl": self.impl, "rep": self.rep, "seed": self.seed}
+        out.update(self.stats.summary())
+        return out
+
+
+@dataclass
+class SweepConfig:
+    """Shape of a sweep."""
+
+    npes_list: tuple[int, ...] = (2, 4, 8, 16, 32)
+    impls: tuple[str, ...] = ("sdc", "sws")
+    reps: int = 3
+    base_seed: int = 100
+    queue_config: QueueConfig = field(default_factory=QueueConfig)
+    worker_config: WorkerConfig = field(default_factory=WorkerConfig)
+    latency: LatencyModel = EDR_INFINIBAND
+    pes_per_node: int = 48
+
+
+def run_point(
+    factory: WorkloadFactory,
+    impl: str,
+    npes: int,
+    seed: int,
+    cfg: SweepConfig,
+) -> RunStats:
+    """Build and run one pool for one sweep cell."""
+    registry, seeds = factory()
+    pool = TaskPool(
+        npes,
+        registry,
+        impl=impl,
+        queue_config=cfg.queue_config,
+        worker_config=cfg.worker_config,
+        latency=cfg.latency,
+        pes_per_node=cfg.pes_per_node,
+        seed=seed,
+    )
+    pool.seed(0, seeds)
+    return pool.run()
+
+
+def run_sweep(factory: WorkloadFactory, cfg: SweepConfig | None = None) -> list[SweepPoint]:
+    """Run the full grid: impls × PE counts × repetitions."""
+    cfg = cfg or SweepConfig()
+    points: list[SweepPoint] = []
+    for impl in cfg.impls:
+        for npes in cfg.npes_list:
+            for rep in range(cfg.reps):
+                seed = cfg.base_seed + rep
+                stats = run_point(factory, impl, npes, seed, cfg)
+                points.append(SweepPoint(impl, npes, rep, seed, stats))
+    return points

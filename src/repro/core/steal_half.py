@@ -1,0 +1,98 @@
+"""Steal-half schedule arithmetic (paper §4, worked example).
+
+Given an initial allotment of ``itasks`` shared tasks, successive steals
+each take half of the *remaining* allotment (at least one task).  For an
+allotment of 150 this yields the paper's sequence::
+
+    {75, 37, 19, 9, 5, 2, 1, 1, 1}
+
+Because the schedule is a pure function of ``(itasks, asteals)``, a thief
+that atomically increments the attempted-steal counter can compute — with
+no further communication — exactly how many tasks it claimed and where
+they start, and the owner can compute the same partition when reclaiming.
+
+The paper approximates the schedule length as ``log2(itasks)``; these
+helpers compute it exactly (the sequence is at most ``~2 + log2`` long),
+which both sides must agree on for the claim arithmetic to partition the
+allotment without gaps or overlap.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def steal_volume(itasks: int, asteals: int) -> int:
+    """Tasks claimed by the ``asteals``-th steal (0-indexed) of an allotment.
+
+    Returns 0 when the allotment is already exhausted — i.e. the steal
+    attempt found no work.
+    """
+    if itasks < 0:
+        raise ValueError(f"itasks must be non-negative, got {itasks}")
+    if asteals < 0:
+        raise ValueError(f"asteals must be non-negative, got {asteals}")
+    rem = itasks
+    for _ in range(asteals):
+        if rem == 0:
+            return 0
+        rem -= max(1, rem // 2)
+    return max(1, rem // 2) if rem > 0 else 0
+
+
+def steal_displacement(itasks: int, asteals: int) -> int:
+    """Tasks claimed by steals *before* the ``asteals``-th one.
+
+    The claimed block of steal ``k`` begins ``steal_displacement(itasks, k)``
+    entries past the allotment's tail (paper example: steal #2 of 150
+    begins at ``tail + 75 + 37``).
+    """
+    if itasks < 0:
+        raise ValueError(f"itasks must be non-negative, got {itasks}")
+    if asteals < 0:
+        raise ValueError(f"asteals must be non-negative, got {asteals}")
+    rem = itasks
+    for _ in range(asteals):
+        if rem == 0:
+            break
+        rem -= max(1, rem // 2)
+    return itasks - rem
+
+
+@lru_cache(maxsize=4096)
+def max_steals(itasks: int) -> int:
+    """Number of non-empty steals that exhaust an allotment of ``itasks``.
+
+    An attempted-steal counter at or above this value means the allotment
+    is fully claimed ("no more work available for stealing").
+    """
+    if itasks < 0:
+        raise ValueError(f"itasks must be non-negative, got {itasks}")
+    count = 0
+    rem = itasks
+    while rem > 0:
+        rem -= max(1, rem // 2)
+        count += 1
+    return count
+
+
+def schedule(itasks: int) -> list[int]:
+    """The full claim sequence for an allotment (sums to ``itasks``)."""
+    out: list[int] = []
+    rem = itasks
+    while rem > 0:
+        vol = max(1, rem // 2)
+        out.append(vol)
+        rem -= vol
+    return out
+
+
+def share_half(navailable: int) -> int:
+    """How many tasks a release/acquire moves across the split point.
+
+    Both queue implementations move half of what is available (rounding
+    up, so a single task still moves), per §3/§4.1.
+    """
+    if navailable < 0:
+        raise ValueError(f"navailable must be non-negative, got {navailable}")
+    return (navailable + 1) // 2

@@ -1,0 +1,98 @@
+"""Shared-task state machine (paper Table 1).
+
+Tasks in the shared portion of an SWS queue progress through::
+
+    AVAILABLE --claim (remote fetch-add)--> CLAIMED
+    CLAIMED --completion notification--> FINISHED
+    FINISHED --owner reclaims space--> INVALID
+
+plus ``AVAILABLE -> INVALID`` when the owner acquires unclaimed tasks
+back into the local portion (they stop being shared without ever being
+stolen).  Any other transition is a protocol bug; :class:`TaskStateTracker`
+enforces this and is used by the SWS queue's debug mode and by the
+Table-1 tests.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TaskState(Enum):
+    """State of one shared task block (Table 1)."""
+
+    AVAILABLE = "A"  #: shared, unclaimed, stealable
+    CLAIMED = "C"    #: steal in progress (claimed via fetch-add)
+    FINISHED = "F"   #: thief signalled completion; copy done
+    INVALID = "I"    #: no longer a shared task (reclaimed or re-acquired)
+
+
+#: Legal transitions of the Table-1 state machine.
+ALLOWED_TRANSITIONS: frozenset[tuple[TaskState, TaskState]] = frozenset(
+    {
+        (TaskState.AVAILABLE, TaskState.CLAIMED),
+        (TaskState.CLAIMED, TaskState.FINISHED),
+        (TaskState.FINISHED, TaskState.INVALID),
+        (TaskState.AVAILABLE, TaskState.INVALID),
+    }
+)
+
+
+class IllegalTransition(Exception):
+    """A shared-task block attempted a transition Table 1 forbids."""
+
+
+class TaskStateTracker:
+    """Tracks per-steal-block states for one allotment epoch.
+
+    Blocks are identified by their steal ordinal within the epoch (the
+    same index the completion array uses).
+    """
+
+    def __init__(self, nblocks: int) -> None:
+        if nblocks < 0:
+            raise ValueError(f"nblocks must be non-negative, got {nblocks}")
+        self.states: list[TaskState] = [TaskState.AVAILABLE] * nblocks
+
+    def transition(self, block: int, new: TaskState) -> None:
+        """Move ``block`` to ``new``; raise :class:`IllegalTransition` otherwise."""
+        old = self.states[block]
+        if (old, new) not in ALLOWED_TRANSITIONS:
+            raise IllegalTransition(
+                f"block {block}: {old.name} -> {new.name} is not allowed"
+            )
+        self.states[block] = new
+
+    def claim(self, block: int) -> None:
+        """AVAILABLE → CLAIMED (remote fetch-add landed)."""
+        self.transition(block, TaskState.CLAIMED)
+
+    def finish(self, block: int) -> None:
+        """CLAIMED → FINISHED (completion notification landed)."""
+        self.transition(block, TaskState.FINISHED)
+
+    def invalidate(self, block: int) -> None:
+        """FINISHED/AVAILABLE → INVALID (owner reclaimed / re-acquired)."""
+        self.transition(block, TaskState.INVALID)
+
+    def count(self, state: TaskState) -> int:
+        """Number of blocks currently in ``state``."""
+        return sum(1 for s in self.states if s is state)
+
+    def finished_prefix(self) -> int:
+        """Length of the leading run of FINISHED/INVALID blocks.
+
+        The owner may only reclaim queue space behind this prefix: a
+        CLAIMED block still being copied pins everything after it.
+        """
+        n = 0
+        for s in self.states:
+            if s in (TaskState.FINISHED, TaskState.INVALID):
+                n += 1
+            else:
+                break
+        return n
+
+    def all_settled(self) -> bool:
+        """True when no block is still CLAIMED (no in-flight steals)."""
+        return all(s is not TaskState.CLAIMED for s in self.states)

@@ -1,0 +1,62 @@
+"""Simulated RDMA/PGAS fabric: the substrate the paper's testbed provided.
+
+The real system ran on EDR InfiniBand with Sandia OpenSHMEM; this package
+replaces that hardware with a deterministic discrete-event model that
+preserves the properties the paper's argument rests on: per-message
+latency costs, one-sided remote memory semantics, and target-side
+serialization of atomics.
+"""
+
+from .engine import Call, Delay, Engine, Process
+from .errors import (
+    AddressError,
+    AlignmentError,
+    DeadlockError,
+    FabricError,
+    PEIndexError,
+    ProtocolError,
+    RegionError,
+    SimulationError,
+)
+from .latency import (
+    EDR_INFINIBAND,
+    PRESETS,
+    SLOW_ETHERNET,
+    ZERO_LATENCY,
+    LatencyModel,
+    get_preset,
+)
+from .memory import RegionSpec, SymmetricHeap
+from .metrics import BLOCKING_KINDS, OP_KINDS, FabricMetrics, OpRecord
+from .nic import WORD_BYTES, Nic
+from .topology import Topology
+
+__all__ = [
+    "Call",
+    "Delay",
+    "Engine",
+    "Process",
+    "FabricError",
+    "AddressError",
+    "AlignmentError",
+    "DeadlockError",
+    "PEIndexError",
+    "ProtocolError",
+    "RegionError",
+    "SimulationError",
+    "LatencyModel",
+    "EDR_INFINIBAND",
+    "SLOW_ETHERNET",
+    "ZERO_LATENCY",
+    "PRESETS",
+    "get_preset",
+    "RegionSpec",
+    "SymmetricHeap",
+    "FabricMetrics",
+    "OpRecord",
+    "OP_KINDS",
+    "BLOCKING_KINDS",
+    "Nic",
+    "WORD_BYTES",
+    "Topology",
+]

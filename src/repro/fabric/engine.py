@@ -1,0 +1,209 @@
+"""Deterministic discrete-event engine with coroutine processes.
+
+The engine owns a virtual clock and a priority queue of events.  Simulated
+processing elements (PEs) are plain Python generators that ``yield``
+*request* objects; the engine resumes a generator with the request's result
+once the requested virtual time has elapsed.  Two request kinds exist at
+this layer:
+
+:class:`Delay`
+    Advance the process's clock by a duration (models local computation).
+
+:class:`Call`
+    Invoke an arbitrary handler that takes over scheduling for the process
+    (the NIC layer uses this to implement one-sided operations whose
+    completion time depends on remote state).
+
+Determinism: events at equal timestamps pop in insertion order (a
+monotonically increasing sequence number breaks ties), so a given seed
+always reproduces the same interleaving — a property the reproduction's
+"run variation" experiments rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from .errors import DeadlockError, SimulationError
+
+#: Type of a simulated process body.
+ProcessGen = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Request: advance virtual time by ``duration`` seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative delay: {self.duration}")
+
+
+@dataclass(frozen=True)
+class Call:
+    """Request: hand control to ``handler(engine, process, *args)``.
+
+    The handler is responsible for eventually calling
+    :meth:`Engine.resume` on the process (possibly immediately).
+    """
+
+    handler: Callable[..., None]
+    args: tuple = ()
+
+
+class Process:
+    """A live coroutine process inside the engine."""
+
+    __slots__ = ("name", "gen", "engine", "finished", "result", "waiting")
+
+    def __init__(self, name: str, gen: ProcessGen, engine: "Engine") -> None:
+        self.name = name
+        self.gen = gen
+        self.engine = engine
+        self.finished = False
+        self.result: Any = None
+        #: True while the process awaits a resume; guards double-resume bugs.
+        self.waiting = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else ("waiting" if self.waiting else "ready")
+        return f"<Process {self.name} {state}>"
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self.processes: list[Process] = []
+        self._live = 0
+        #: Events executed so far — the simulation-cost metric.
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock & event queue
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self.at(self._now + delay, fn)
+
+    def at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (when, self._seq, fn))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Register a generator as a process; it starts when :meth:`run` does.
+
+        The first resume is scheduled at the current virtual time, so
+        processes spawned before ``run()`` all begin at t=0 in spawn order.
+        """
+        proc = Process(name, gen, self)
+        self.processes.append(proc)
+        self._live += 1
+        proc.waiting = True
+        self.at(self._now, lambda: self._step(proc, None))
+        return proc
+
+    def resume(self, proc: Process, value: Any = None, delay: float = 0.0) -> None:
+        """Resume ``proc`` with ``value`` after ``delay`` seconds."""
+        if proc.finished:
+            raise SimulationError(f"resume of finished process {proc.name}")
+        self.schedule(delay, lambda: self._step(proc, value))
+
+    def throw(self, proc: Process, exc: BaseException, delay: float = 0.0) -> None:
+        """Raise ``exc`` inside ``proc`` after ``delay`` seconds."""
+        if proc.finished:
+            raise SimulationError(f"throw into finished process {proc.name}")
+
+        def _do() -> None:
+            proc.waiting = False
+            try:
+                req = proc.gen.throw(exc)
+            except StopIteration as stop:
+                self._finish(proc, stop.value)
+                return
+            self._dispatch(proc, req)
+
+        self.schedule(delay, _do)
+
+    def _step(self, proc: Process, value: Any) -> None:
+        if proc.finished:
+            return
+        if not proc.waiting:
+            raise SimulationError(f"double resume of process {proc.name}")
+        proc.waiting = False
+        try:
+            req = proc.gen.send(value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value)
+            return
+        self._dispatch(proc, req)
+
+    def _dispatch(self, proc: Process, req: Any) -> None:
+        proc.waiting = True
+        if isinstance(req, Delay):
+            self.resume(proc, None, delay=req.duration)
+        elif isinstance(req, Call):
+            req.handler(self, proc, *req.args)
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported request {req!r}"
+            )
+
+    def _finish(self, proc: Process, result: Any) -> None:
+        proc.finished = True
+        proc.result = result
+        self._live -= 1
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Execute events until the queue drains (or ``until`` is reached).
+
+        Returns the final virtual time.  Raises :class:`DeadlockError` if
+        processes remain unfinished when the event queue empties — that
+        means every live process is waiting on a resume nobody will send.
+        """
+        while self._heap:
+            when, _, fn = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = when
+            self.events_processed += 1
+            fn()
+        if self._live > 0:
+            stuck = [p.name for p in self.processes if not p.finished]
+            raise DeadlockError(
+                f"event queue empty with {self._live} live processes: {stuck}"
+            )
+        return self._now
+
+    def run_all(self, gens: Iterable[tuple[str, ProcessGen]]) -> float:
+        """Convenience: spawn named generators then :meth:`run` to completion."""
+        for name, gen in gens:
+            self.spawn(gen, name=name)
+        return self.run()

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the simulated RDMA fabric.
+
+Every error raised by :mod:`repro.fabric` derives from :class:`FabricError`
+so callers can catch substrate failures without masking programming errors
+in the runtime layers above.
+"""
+
+from __future__ import annotations
+
+
+class FabricError(Exception):
+    """Base class for all fabric-level errors."""
+
+
+class AddressError(FabricError):
+    """An operation referenced memory outside a registered region."""
+
+
+class RegionError(FabricError):
+    """A symmetric region was redefined, missing, or shape-mismatched."""
+
+
+class AlignmentError(FabricError):
+    """A word-granularity operation used a misaligned byte offset."""
+
+
+class PEIndexError(FabricError):
+    """A processing-element index was outside ``[0, npes)``."""
+
+
+class SimulationError(FabricError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All live processes are blocked and no events remain."""
+
+
+class ProtocolError(FabricError):
+    """A queue protocol invariant was violated (corrupt metadata, etc.)."""

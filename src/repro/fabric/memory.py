@@ -1,0 +1,218 @@
+"""Symmetric-heap memory model.
+
+OpenSHMEM exposes a *symmetric heap*: every PE allocates the same regions
+at the same offsets, so a remote address is fully described by
+``(pe, region, offset)``.  This module implements that heap with
+numpy-backed storage:
+
+* **word regions** — arrays of unsigned 64-bit words, the unit of atomic
+  operations (OpenSHMEM atomics operate on values up to 64 bits, which is
+  exactly the constraint the stealval design lives within);
+* **byte regions** — raw ``uint8`` buffers used for task payload storage.
+
+All mutation goes through methods on :class:`SymmetricHeap`; the NIC layer
+invokes these *at message-arrival virtual time*, so the heap itself needs
+no locking — event ordering is the serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import Callable
+
+from .errors import AddressError, PEIndexError, RegionError
+
+_U64_MASK = (1 << 64) - 1
+
+#: Waiter callback: invoked with the word's new value after a mutation.
+#: Return True to deregister (condition satisfied).
+WordWaiter = Callable[[int], bool]
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Shape of one symmetric region."""
+
+    name: str
+    kind: str  # "words" | "bytes"
+    length: int  # words or bytes, per PE
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("words", "bytes"):
+            raise RegionError(f"region kind must be words|bytes, got {self.kind!r}")
+        if self.length <= 0:
+            raise RegionError(f"region {self.name!r} length must be positive")
+
+
+class SymmetricHeap:
+    """Per-PE symmetric memory, addressed by ``(pe, region, offset)``."""
+
+    def __init__(self, npes: int) -> None:
+        if npes <= 0:
+            raise PEIndexError(f"npes must be positive, got {npes}")
+        self.npes = npes
+        self._words: dict[str, np.ndarray] = {}
+        self._bytes: dict[str, np.ndarray] = {}
+        self._specs: dict[str, RegionSpec] = {}
+        # Waiters for shmem_wait_until: (pe, region, offset) -> callbacks.
+        self._waiters: dict[tuple[int, str, int], list[WordWaiter]] = {}
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc_words(self, name: str, nwords: int, fill: int = 0) -> RegionSpec:
+        """Allocate a symmetric array of ``nwords`` 64-bit words on every PE."""
+        spec = RegionSpec(name, "words", nwords)
+        self._register(spec)
+        arr = np.full((self.npes, nwords), fill & _U64_MASK, dtype=np.uint64)
+        self._words[name] = arr
+        return spec
+
+    def alloc_bytes(self, name: str, nbytes: int) -> RegionSpec:
+        """Allocate a symmetric byte buffer of ``nbytes`` on every PE."""
+        spec = RegionSpec(name, "bytes", nbytes)
+        self._register(spec)
+        self._bytes[name] = np.zeros((self.npes, nbytes), dtype=np.uint8)
+        return spec
+
+    def _register(self, spec: RegionSpec) -> None:
+        if spec.name in self._specs:
+            raise RegionError(f"region {spec.name!r} already allocated")
+        self._specs[spec.name] = spec
+
+    def spec(self, name: str) -> RegionSpec:
+        """Return the :class:`RegionSpec` for ``name``."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise RegionError(f"no such region: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # bounds checking
+    # ------------------------------------------------------------------
+    def _check_pe(self, pe: int) -> None:
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
+
+    def _word_region(self, pe: int, region: str, offset: int, count: int = 1) -> np.ndarray:
+        self._check_pe(pe)
+        try:
+            arr = self._words[region]
+        except KeyError:
+            raise RegionError(f"no word region {region!r}") from None
+        if not (0 <= offset and offset + count <= arr.shape[1]):
+            raise AddressError(
+                f"word access [{offset}, {offset + count}) exceeds region "
+                f"{region!r} of {arr.shape[1]} words"
+            )
+        return arr
+
+    def _byte_region(self, pe: int, region: str, offset: int, count: int) -> np.ndarray:
+        self._check_pe(pe)
+        try:
+            arr = self._bytes[region]
+        except KeyError:
+            raise RegionError(f"no byte region {region!r}") from None
+        if not (0 <= offset and offset + count <= arr.shape[1]):
+            raise AddressError(
+                f"byte access [{offset}, {offset + count}) exceeds region "
+                f"{region!r} of {arr.shape[1]} bytes"
+            )
+        return arr
+
+    # ------------------------------------------------------------------
+    # word operations (atomic unit)
+    # ------------------------------------------------------------------
+    def load(self, pe: int, region: str, offset: int) -> int:
+        """Read one 64-bit word."""
+        arr = self._word_region(pe, region, offset)
+        return int(arr[pe, offset])
+
+    def store(self, pe: int, region: str, offset: int, value: int) -> None:
+        """Write one 64-bit word (value is masked to 64 bits)."""
+        arr = self._word_region(pe, region, offset)
+        arr[pe, offset] = value & _U64_MASK
+        self._notify(pe, region, offset, value & _U64_MASK)
+
+    def fetch_add(self, pe: int, region: str, offset: int, delta: int) -> int:
+        """Atomic fetch-and-add; returns the *old* value.  Wraps mod 2^64."""
+        arr = self._word_region(pe, region, offset)
+        old = int(arr[pe, offset])
+        new = (old + delta) & _U64_MASK
+        arr[pe, offset] = new
+        self._notify(pe, region, offset, new)
+        return old
+
+    def swap(self, pe: int, region: str, offset: int, value: int) -> int:
+        """Atomic swap; returns the old value."""
+        arr = self._word_region(pe, region, offset)
+        old = int(arr[pe, offset])
+        arr[pe, offset] = value & _U64_MASK
+        self._notify(pe, region, offset, value & _U64_MASK)
+        return old
+
+    def compare_swap(
+        self, pe: int, region: str, offset: int, expected: int, desired: int
+    ) -> int:
+        """Atomic compare-and-swap; returns the old value (match ⇒ stored)."""
+        arr = self._word_region(pe, region, offset)
+        old = int(arr[pe, offset])
+        if old == (expected & _U64_MASK):
+            arr[pe, offset] = desired & _U64_MASK
+            self._notify(pe, region, offset, desired & _U64_MASK)
+        return old
+
+    def load_words(self, pe: int, region: str, offset: int, count: int) -> list[int]:
+        """Read ``count`` consecutive words (one get on the wire)."""
+        arr = self._word_region(pe, region, offset, count)
+        return [int(v) for v in arr[pe, offset : offset + count]]
+
+    def store_words(self, pe: int, region: str, offset: int, values: list[int]) -> None:
+        """Write consecutive words."""
+        arr = self._word_region(pe, region, offset, len(values))
+        arr[pe, offset : offset + len(values)] = np.array(
+            [v & _U64_MASK for v in values], dtype=np.uint64
+        )
+        for i, v in enumerate(values):
+            self._notify(pe, region, offset + i, v & _U64_MASK)
+
+    # ------------------------------------------------------------------
+    # word waiters (shmem_wait_until support)
+    # ------------------------------------------------------------------
+    def add_waiter(self, pe: int, region: str, offset: int, waiter: WordWaiter) -> None:
+        """Register a callback fired on every mutation of one word.
+
+        The callback receives the new value and returns True once its
+        condition is met, which removes it.  This is the mechanism behind
+        ``shmem_wait_until`` — hardware wakes the waiter on a remote
+        write instead of the waiter burning poll cycles.
+        """
+        self._word_region(pe, region, offset)  # validate the address
+        self._waiters.setdefault((pe, region, offset), []).append(waiter)
+
+    def _notify(self, pe: int, region: str, offset: int, new_value: int) -> None:
+        key = (pe, region, offset)
+        waiters = self._waiters.get(key)
+        if not waiters:
+            return
+        remaining = [w for w in waiters if not w(new_value)]
+        if remaining:
+            self._waiters[key] = remaining
+        else:
+            del self._waiters[key]
+
+    # ------------------------------------------------------------------
+    # byte operations (payload)
+    # ------------------------------------------------------------------
+    def read_bytes(self, pe: int, region: str, offset: int, count: int) -> bytes:
+        """Read ``count`` bytes."""
+        arr = self._byte_region(pe, region, offset, count)
+        return bytes(arr[pe, offset : offset + count].tobytes())
+
+    def write_bytes(self, pe: int, region: str, offset: int, data: bytes) -> None:
+        """Write a byte string."""
+        arr = self._byte_region(pe, region, offset, len(data))
+        arr[pe, offset : offset + len(data)] = np.frombuffer(data, dtype=np.uint8)

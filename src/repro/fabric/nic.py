@@ -1,0 +1,345 @@
+"""One-sided RDMA operations over the simulated fabric.
+
+The :class:`Nic` turns OpenSHMEM-style one-sided calls into discrete
+events.  A simulated process performs an operation by yielding the request
+object the corresponding method returns::
+
+    old = yield nic.amo_fetch_add(me, victim, "stealval", qslot, 1)
+    data = yield nic.get_bytes(me, victim, "tasks", off, nbytes)
+    yield nic.amo_add_nb(me, victim, "comp", slot, ntasks)
+    yield nic.quiet(me)
+
+Timing model (see :mod:`repro.fabric.latency`):
+
+* the initiator always pays ``alpha_sw`` of injection overhead;
+* the message reaches the target after a one-way wire latency (payload
+  bytes additionally stream at ``beta`` seconds/byte);
+* **atomics and gets execute at the target at arrival time**, serialized
+  through a per-target NIC unit (``amo_process`` / ``get_process`` of
+  occupancy each).  The event queue's global time order therefore defines
+  the serialization order of racing atomics — the same guarantee a real
+  HCA's atomic unit provides;
+* fetching ops resume the initiator one more one-way latency later (plus
+  payload streaming for gets);
+* non-blocking ops (``put_nb``, ``amo_add_nb``) resume the initiator after
+  the injection overhead only; :meth:`quiet` blocks until every
+  outstanding non-blocking op from that PE has been applied remotely.
+
+Every operation is tallied in :class:`~repro.fabric.metrics.FabricMetrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .engine import Call, Engine, Process
+from .errors import SimulationError
+from .latency import LatencyModel
+from .memory import SymmetricHeap
+from .metrics import FabricMetrics
+from .topology import Topology
+
+WORD_BYTES = 8
+
+
+class Nic:
+    """Simulated RDMA network interface shared by all PEs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        heap: SymmetricHeap,
+        topology: Topology,
+        latency: LatencyModel,
+        metrics: FabricMetrics | None = None,
+        jitter_seed: int = 0,
+    ) -> None:
+        if heap.npes != topology.npes:
+            raise SimulationError(
+                f"heap has {heap.npes} PEs but topology has {topology.npes}"
+            )
+        self.engine = engine
+        self.heap = heap
+        self.topology = topology
+        self.latency = latency
+        self.metrics = metrics or FabricMetrics(heap.npes)
+        # Per-target serialization points for the NIC atomic and read units.
+        self._amo_busy_until = [0.0] * heap.npes
+        self._get_busy_until = [0.0] * heap.npes
+        # Per-PE link (DMA engine) occupancy, used when link_serialize is on.
+        self._link_busy_until = [0.0] * heap.npes
+        # Outstanding non-blocking ops per initiator, for quiet().
+        self._outstanding = [0] * heap.npes
+        self._quiet_waiters: dict[int, list[Process]] = {}
+        # Deterministic jitter stream: counter hashed with the seed, so a
+        # given (seed, op sequence) always reproduces the same delays.
+        self._jitter_seed = jitter_seed
+        self._jitter_counter = 0
+
+    # ------------------------------------------------------------------
+    # latency helpers
+    # ------------------------------------------------------------------
+    def _one_way(self, a: int, b: int) -> float:
+        lat = self.latency
+        if a == b:
+            base = lat.half_rtt_intra * lat.local_penalty
+        else:
+            base = lat.one_way(self.topology.same_node(a, b))
+        if lat.jitter:
+            # splitmix64-style hash of (seed, counter) -> u in [0, 1).
+            self._jitter_counter += 1
+            z = (self._jitter_seed * 0x9E3779B97F4A7C15 + self._jitter_counter
+                 * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+            z ^= z >> 31
+            z = (z * 0x94D049BB133111EB) & ((1 << 64) - 1)
+            z ^= z >> 29
+            u = z / float(1 << 64)
+            base *= 1.0 + lat.jitter * u
+        return base
+
+    def _serialize(self, busy: list[float], target: int, arrival: float, cost: float) -> float:
+        """Queue behind the target NIC unit; return completion time there."""
+        start = max(arrival, busy[target])
+        done = start + cost
+        busy[target] = done
+        return done
+
+    # ------------------------------------------------------------------
+    # fetching atomics (blocking round trip)
+    # ------------------------------------------------------------------
+    def amo_fetch_add(self, initiator: int, target: int, region: str, offset: int, delta: int) -> Call:
+        """Atomic fetch-and-add on a remote 64-bit word; yields the old value."""
+        return self._fetch_amo(initiator, target, region, offset, "amo_fetch_add",
+                               lambda: self.heap.fetch_add(target, region, offset, delta))
+
+    def amo_swap(self, initiator: int, target: int, region: str, offset: int, value: int) -> Call:
+        """Atomic swap on a remote word; yields the old value."""
+        return self._fetch_amo(initiator, target, region, offset, "amo_swap",
+                               lambda: self.heap.swap(target, region, offset, value))
+
+    def amo_cas(self, initiator: int, target: int, region: str, offset: int,
+                expected: int, desired: int) -> Call:
+        """Atomic compare-and-swap; yields the old value."""
+        return self._fetch_amo(initiator, target, region, offset, "amo_cas",
+                               lambda: self.heap.compare_swap(target, region, offset, expected, desired))
+
+    def amo_fetch(self, initiator: int, target: int, region: str, offset: int) -> Call:
+        """Atomic read of a remote word (steal-damping probe); yields the value."""
+        return self._fetch_amo(initiator, target, region, offset, "amo_fetch",
+                               lambda: self.heap.load(target, region, offset))
+
+    def _fetch_amo(self, initiator: int, target: int, region: str, offset: int,
+                   kind: str, apply: Callable[[], int]) -> Call:
+        def handler(engine: Engine, proc: Process) -> None:
+            self.metrics.record(engine.now, initiator, target, kind, WORD_BYTES)
+            arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+
+            def at_target() -> None:
+                done = self._serialize(
+                    self._amo_busy_until, target, engine.now, self.latency.amo_process
+                )
+                value = apply()
+                back = self._one_way(target, initiator)
+                engine.at(done + back, lambda: engine._step(proc, value))
+
+            engine.at(arrival, at_target)
+
+        return Call(handler)
+
+    # ------------------------------------------------------------------
+    # non-blocking atomic (completion signalling)
+    # ------------------------------------------------------------------
+    def amo_add_nb(self, initiator: int, target: int, region: str, offset: int, delta: int) -> Call:
+        """Non-blocking atomic add; initiator resumes after injection only."""
+        def handler(engine: Engine, proc: Process) -> None:
+            self.metrics.record(engine.now, initiator, target, "amo_add_nb", WORD_BYTES)
+            self._outstanding[initiator] += 1
+            arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+
+            def at_target() -> None:
+                self._serialize(
+                    self._amo_busy_until, target, engine.now, self.latency.amo_process
+                )
+                self.heap.fetch_add(target, region, offset, delta)
+                self._complete_nb(initiator)
+
+            engine.at(arrival, at_target)
+            engine.resume(proc, None, delay=self.latency.alpha_sw)
+
+        return Call(handler)
+
+    # ------------------------------------------------------------------
+    # gets (blocking)
+    # ------------------------------------------------------------------
+    def get_words(self, initiator: int, target: int, region: str, offset: int, count: int) -> Call:
+        """Blocking read of consecutive remote words; yields list[int]."""
+        return self._get(initiator, target, count * WORD_BYTES,
+                         lambda: self.heap.load_words(target, region, offset, count))
+
+    def get_word(self, initiator: int, target: int, region: str, offset: int) -> Call:
+        """Blocking read of one remote word; yields int."""
+        return self._get(initiator, target, WORD_BYTES,
+                         lambda: self.heap.load(target, region, offset))
+
+    def get_bytes(self, initiator: int, target: int, region: str, offset: int, count: int) -> Call:
+        """Blocking read of remote bytes; yields bytes."""
+        return self._get(initiator, target, count,
+                         lambda: self.heap.read_bytes(target, region, offset, count))
+
+    def _get(self, initiator: int, target: int, nbytes: int, read: Callable[[], Any]) -> Call:
+        def handler(engine: Engine, proc: Process) -> None:
+            self.metrics.record(engine.now, initiator, target, "get", nbytes)
+            arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+
+            def at_target() -> None:
+                done = self._serialize(
+                    self._get_busy_until, target, engine.now, self.latency.get_process
+                )
+                value = read()
+                stream = self.latency.payload_time(nbytes)
+                if self.latency.link_serialize:
+                    # The response payload occupies the target's egress
+                    # link; concurrent bulk reads of one victim serialize.
+                    done = self._serialize(
+                        self._link_busy_until, target, done, stream
+                    )
+                    back = self._one_way(target, initiator)
+                else:
+                    back = self._one_way(target, initiator) + stream
+                engine.at(done + back, lambda: engine._step(proc, value))
+
+            engine.at(arrival, at_target)
+
+        return Call(handler)
+
+    # ------------------------------------------------------------------
+    # puts
+    # ------------------------------------------------------------------
+    def put_word(self, initiator: int, target: int, region: str, offset: int, value: int) -> Call:
+        """Blocking write of one remote word (acked round trip)."""
+        return self._put(initiator, target, WORD_BYTES, blocking=True,
+                         write=lambda: self.heap.store(target, region, offset, value))
+
+    def put_words(self, initiator: int, target: int, region: str, offset: int, values: list[int]) -> Call:
+        """Blocking write of consecutive remote words."""
+        return self._put(initiator, target, len(values) * WORD_BYTES, blocking=True,
+                         write=lambda: self.heap.store_words(target, region, offset, values))
+
+    def put_bytes_nb(self, initiator: int, target: int, region: str, offset: int, data: bytes) -> Call:
+        """Non-blocking write of remote bytes (complete after quiet)."""
+        return self._put(initiator, target, len(data), blocking=False,
+                         write=lambda: self.heap.write_bytes(target, region, offset, data))
+
+    def put_word_nb(self, initiator: int, target: int, region: str, offset: int, value: int) -> Call:
+        """Non-blocking write of one remote word."""
+        return self._put(initiator, target, WORD_BYTES, blocking=False,
+                         write=lambda: self.heap.store(target, region, offset, value))
+
+    def _put(self, initiator: int, target: int, nbytes: int, blocking: bool,
+             write: Callable[[], None]) -> Call:
+        kind = "put" if blocking else "put_nb"
+
+        def handler(engine: Engine, proc: Process) -> None:
+            self.metrics.record(engine.now, initiator, target, kind, nbytes)
+            inject = self.latency.alpha_sw + self.latency.payload_time(nbytes)
+            arrival = engine.now + inject + self._one_way(initiator, target)
+
+            stream = self.latency.payload_time(nbytes)
+
+            def apply_write() -> float:
+                """Write at the target, honouring link occupancy."""
+                if self.latency.link_serialize and stream > 0:
+                    done = self._serialize(
+                        self._link_busy_until, target, engine.now, stream
+                    )
+                else:
+                    done = engine.now
+                if done > engine.now:
+                    engine.at(done, write)
+                else:
+                    write()
+                return done
+
+            if blocking:
+                def at_target() -> None:
+                    done = apply_write()
+                    back = self._one_way(target, initiator)
+                    engine.at(done + back, lambda: engine._step(proc, None))
+
+                engine.at(arrival, at_target)
+            else:
+                self._outstanding[initiator] += 1
+
+                def at_target_nb() -> None:
+                    done = apply_write()
+                    if done > engine.now:
+                        engine.at(done, lambda: self._complete_nb(initiator))
+                    else:
+                        self._complete_nb(initiator)
+
+                engine.at(arrival, at_target_nb)
+                engine.resume(proc, None, delay=inject)
+
+        return Call(handler)
+
+    def put_signal_nb(
+        self,
+        initiator: int,
+        target: int,
+        region: str,
+        offset: int,
+        data: bytes,
+        sig_region: str,
+        sig_offset: int,
+        sig_value: int,
+    ) -> Call:
+        """Non-blocking put-with-signal (OpenSHMEM 1.5 ``put_signal``).
+
+        The payload and the signal word travel as one message: at arrival
+        the data is written and then the signal word is atomically set,
+        in that order — so a consumer observing the signal is guaranteed
+        to see the payload.  Replaces a put + quiet + atomic triple with
+        a single communication.
+        """
+
+        def handler(engine: Engine, proc: Process) -> None:
+            nbytes = len(data) + WORD_BYTES
+            self.metrics.record(engine.now, initiator, target, "put_signal", nbytes)
+            self._outstanding[initiator] += 1
+            inject = self.latency.alpha_sw + self.latency.payload_time(nbytes)
+            arrival = engine.now + inject + self._one_way(initiator, target)
+
+            def at_target() -> None:
+                self.heap.write_bytes(target, region, offset, data)
+                self.heap.store(target, sig_region, sig_offset, sig_value)
+                self._complete_nb(initiator)
+
+            engine.at(arrival, at_target)
+            engine.resume(proc, None, delay=inject)
+
+        return Call(handler)
+
+    # ------------------------------------------------------------------
+    # completion / ordering
+    # ------------------------------------------------------------------
+    def quiet(self, pe: int) -> Call:
+        """Block until all outstanding non-blocking ops from ``pe`` applied."""
+        def handler(engine: Engine, proc: Process) -> None:
+            if self._outstanding[pe] == 0:
+                engine.resume(proc, None)
+            else:
+                self._quiet_waiters.setdefault(pe, []).append(proc)
+
+        return Call(handler)
+
+    def _complete_nb(self, initiator: int) -> None:
+        self._outstanding[initiator] -= 1
+        if self._outstanding[initiator] < 0:
+            raise SimulationError("non-blocking completion underflow")
+        if self._outstanding[initiator] == 0:
+            for proc in self._quiet_waiters.pop(initiator, []):
+                self.engine.resume(proc, None)
+
+    def pending_ops(self, pe: int) -> int:
+        """Outstanding non-blocking operations issued by ``pe``."""
+        return self._outstanding[pe]

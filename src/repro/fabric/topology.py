@@ -1,0 +1,64 @@
+"""Cluster topology: placement of PEs onto nodes.
+
+The paper's testbed packs 48 cores per node across 44 nodes.  The topology
+object answers one question the latency model needs — *do two PEs share a
+node?* — and provides helpers for iterating node neighbourhoods (used by
+locality-aware victim selectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import PEIndexError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Blocked placement of ``npes`` processing elements onto nodes.
+
+    PEs ``[k * pes_per_node, (k+1) * pes_per_node)`` live on node ``k``.
+    The last node may be partially filled.
+    """
+
+    npes: int
+    pes_per_node: int = 48
+
+    def __post_init__(self) -> None:
+        if self.npes <= 0:
+            raise ValueError(f"npes must be positive, got {self.npes}")
+        if self.pes_per_node <= 0:
+            raise ValueError(
+                f"pes_per_node must be positive, got {self.pes_per_node}"
+            )
+
+    @property
+    def nnodes(self) -> int:
+        """Number of (possibly partially filled) nodes."""
+        return -(-self.npes // self.pes_per_node)
+
+    def check_pe(self, pe: int) -> None:
+        """Raise :class:`PEIndexError` unless ``pe`` is a valid PE index."""
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
+
+    def node_of(self, pe: int) -> int:
+        """Node index hosting ``pe``."""
+        self.check_pe(pe)
+        return pe // self.pes_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when PEs ``a`` and ``b`` share a node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def pes_on_node(self, node: int) -> range:
+        """PE indices resident on ``node``."""
+        if not 0 <= node < self.nnodes:
+            raise PEIndexError(f"node {node} out of range [0, {self.nnodes})")
+        lo = node * self.pes_per_node
+        hi = min(lo + self.pes_per_node, self.npes)
+        return range(lo, hi)
+
+    def local_peers(self, pe: int) -> list[int]:
+        """Other PEs on the same node as ``pe``."""
+        return [p for p in self.pes_on_node(self.node_of(pe)) if p != pe]

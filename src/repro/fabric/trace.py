@@ -1,0 +1,153 @@
+"""Communication-trace analysis and ASCII timeline rendering.
+
+With ``ShmemCtx(..., trace_comm=True)`` the metrics layer records every
+one-sided operation (:class:`~repro.fabric.metrics.OpRecord`).  This
+module turns that trace into things a human can read:
+
+* per-PE operation lanes rendered as an ASCII timeline;
+* inter-arrival and per-kind latency summaries;
+* a victim-pressure table (who got stolen from, how often).
+
+Used by the examples and handy when debugging protocol interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from .metrics import OpRecord
+
+#: One-character glyph per operation kind for timeline lanes.
+GLYPHS = {
+    "put": "P",
+    "put_nb": "p",
+    "put_signal": "s",
+    "get": "G",
+    "amo_fetch_add": "A",
+    "amo_add_nb": "a",
+    "amo_swap": "S",
+    "amo_cas": "C",
+    "amo_fetch": "f",
+}
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate view of one communication trace."""
+
+    duration: float
+    ops_by_kind: dict[str, int]
+    ops_by_initiator: dict[int, int]
+    ops_by_target: dict[int, int]
+    bytes_total: int
+
+    @property
+    def total_ops(self) -> int:
+        """All operations in the trace."""
+        return sum(self.ops_by_kind.values())
+
+    def busiest_target(self) -> int | None:
+        """The PE that received the most one-sided traffic."""
+        if not self.ops_by_target:
+            return None
+        return max(self.ops_by_target, key=self.ops_by_target.get)
+
+
+def summarize(trace: list[OpRecord]) -> TraceSummary:
+    """Collapse a trace into counts per kind / initiator / target."""
+    by_kind: Counter = Counter()
+    by_init: Counter = Counter()
+    by_target: Counter = Counter()
+    nbytes = 0
+    t_min = t_max = 0.0
+    for i, rec in enumerate(trace):
+        by_kind[rec.kind] += 1
+        by_init[rec.initiator] += 1
+        by_target[rec.target] += 1
+        nbytes += rec.nbytes
+        if i == 0:
+            t_min = t_max = rec.time
+        else:
+            t_min = min(t_min, rec.time)
+            t_max = max(t_max, rec.time)
+    return TraceSummary(
+        duration=t_max - t_min,
+        ops_by_kind=dict(by_kind),
+        ops_by_initiator=dict(by_init),
+        ops_by_target=dict(by_target),
+        bytes_total=nbytes,
+    )
+
+
+def render_timeline(
+    trace: list[OpRecord], npes: int, width: int = 72
+) -> str:
+    """ASCII timeline: one lane per initiating PE, one glyph per op.
+
+    Time is binned linearly across ``width`` columns; when several ops of
+    one PE fall into a bin the *last* one's glyph wins (the lane shows
+    activity shape, not exact counts).
+    """
+    if not trace:
+        return "(empty trace)\n"
+    t0 = min(r.time for r in trace)
+    t1 = max(r.time for r in trace)
+    span = (t1 - t0) or 1.0
+    lanes = [[" "] * width for _ in range(npes)]
+    for rec in trace:
+        col = min(width - 1, int((rec.time - t0) / span * width))
+        lanes[rec.initiator][col] = GLYPHS.get(rec.kind, "?")
+    lines = [
+        f"pe{pe:<3}|{''.join(lane)}|" for pe, lane in enumerate(lanes)
+    ]
+    legend = " ".join(f"{g}={k}" for k, g in GLYPHS.items())
+    header = f"t0={t0:.3e}s  span={span:.3e}s"
+    return "\n".join([header] + lines + [legend]) + "\n"
+
+
+def steal_pressure(trace: list[OpRecord]) -> dict[int, int]:
+    """Claiming-operation count per target PE (who got hammered).
+
+    Counts the operations that open a steal attempt: SWS claiming
+    fetch-adds and SDC lock swaps.
+    """
+    pressure: Counter = Counter()
+    for rec in trace:
+        if rec.kind in ("amo_fetch_add", "amo_swap"):
+            pressure[rec.target] += 1
+    return dict(pressure)
+
+
+def to_chrome_trace(trace: list[OpRecord], time_unit: float = 1e-6) -> list[dict]:
+    """Convert a trace to Chrome trace-event JSON objects.
+
+    Load the result of ``json.dump`` into ``chrome://tracing`` or
+    Perfetto: one instant event per op, initiator PEs as "processes",
+    the target PE recorded in args.  ``time_unit`` scales virtual
+    seconds into the format's microsecond timestamps (default: 1 sim
+    second = 1e6 trace us, i.e. timestamps in real microseconds).
+    """
+    events = []
+    for r in trace:
+        events.append(
+            {
+                "name": r.kind,
+                "ph": "i",                      # instant event
+                "s": "t",                       # thread scope
+                "ts": r.time / time_unit,
+                "pid": r.initiator,
+                "tid": r.initiator,
+                "args": {"target": r.target, "bytes": r.nbytes},
+            }
+        )
+    return events
+
+
+def interarrival_stats(trace: list[OpRecord], target: int) -> tuple[float, float]:
+    """(mean, max) inter-arrival time of ops hitting ``target``."""
+    times = sorted(r.time for r in trace if r.target == target)
+    if len(times) < 2:
+        return (0.0, 0.0)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    return (sum(gaps) / len(gaps), max(gaps))

@@ -1,0 +1,178 @@
+"""Task-pool driver: build a simulated job, run it, collect statistics.
+
+:class:`TaskPool` is the library's main entry point.  It wires together
+the fabric, a queue implementation (``"sws"`` or ``"sdc"``), termination
+detection, and one worker per PE, then runs the discrete-event engine to
+global termination and returns :class:`~repro.runtime.stats.RunStats`.
+
+Example::
+
+    from repro import TaskPool, Task, TaskOutcome, TaskRegistry
+
+    reg = TaskRegistry()
+    reg.register("leaf", lambda payload, tc: TaskOutcome(duration=5e-3))
+    pool = TaskPool(npes=8, registry=reg, impl="sws")
+    pool.seed(0, [Task(reg.id_of("leaf")) for _ in range(1000)])
+    stats = pool.run()
+    print(stats.throughput, stats.parallel_efficiency)
+"""
+
+from __future__ import annotations
+
+
+from ..core.config import QueueConfig
+from ..core.damping import DampingTracker
+from ..core.sdc_queue import SdcQueueSystem
+from ..core.sws_queue import SwsQueueSystem
+from ..core.sws_v1_queue import SwsV1QueueSystem
+from ..fabric.latency import EDR_INFINIBAND, LatencyModel
+from ..shmem.api import ShmemCtx
+from .inbox import InboxSystem
+from .lifeline import LifelineConfig, LifelineSystem
+from .registry import TaskRegistry
+from .stats import RunStats
+from .task import Task
+from .termination import TerminationSystem, TreeTerminationSystem
+from .victim import make_selector
+from .worker import QueueDriver, Worker, WorkerConfig
+
+#: ``sws`` is the Figure-4 epoch design; ``sws-v1`` the Figure-3 valid-bit
+#: variant (§4.1); ``sdc`` the Scioto baseline.
+IMPLEMENTATIONS = ("sws", "sws-v1", "sdc")
+
+
+class TaskPool:
+    """A complete simulated work-stealing job."""
+
+    def __init__(
+        self,
+        npes: int,
+        registry: TaskRegistry,
+        impl: str = "sws",
+        queue_config: QueueConfig | None = None,
+        worker_config: WorkerConfig | None = None,
+        latency: LatencyModel = EDR_INFINIBAND,
+        pes_per_node: int = 48,
+        victim: str = "uniform",
+        seed: int = 0,
+        remote_spawn: bool = False,
+        inbox_capacity: int = 1024,
+        lifelines: bool = False,
+        lifeline_config: LifelineConfig | None = None,
+        termination: str = "ring",
+    ) -> None:
+        if impl not in IMPLEMENTATIONS:
+            raise ValueError(f"impl must be one of {IMPLEMENTATIONS}, got {impl!r}")
+        self.npes = npes
+        self.impl = impl
+        self.registry = registry
+        self.queue_config = queue_config or QueueConfig()
+        self.worker_config = worker_config or WorkerConfig()
+        self.seed_value = seed
+
+        self.ctx = ShmemCtx(npes, latency=latency, pes_per_node=pes_per_node)
+        if impl == "sws":
+            self.queue_system = SwsQueueSystem(self.ctx, self.queue_config)
+        elif impl == "sws-v1":
+            self.queue_system = SwsV1QueueSystem(self.ctx, self.queue_config)
+        else:
+            self.queue_system = SdcQueueSystem(self.ctx, self.queue_config)
+        if termination == "ring":
+            self.term_system = TerminationSystem(self.ctx)
+        elif termination == "tree":
+            self.term_system = TreeTerminationSystem(self.ctx)
+        else:
+            raise ValueError(
+                f"termination must be 'ring' or 'tree', got {termination!r}"
+            )
+        # Lifelines deliver work through the inbox, so they imply it.
+        self.inbox_system = (
+            InboxSystem(self.ctx, inbox_capacity, self.queue_config.task_size)
+            if (remote_spawn or lifelines)
+            else None
+        )
+        self.lifeline_system = LifelineSystem(self.ctx) if lifelines else None
+        self.lifeline_config = lifeline_config or LifelineConfig()
+
+        self.workers: list[Worker] = []
+        for rank in range(npes):
+            queue = self.queue_system.handle(rank)
+            damping = (
+                DampingTracker(
+                    npes,
+                    threshold=self.queue_config.damping_threshold,
+                    enabled=self.worker_config.damping,
+                )
+                if impl.startswith("sws")
+                else None
+            )
+            driver = QueueDriver(queue, damping)
+            selector = (
+                make_selector(victim, npes, rank, seed, self.ctx.topology)
+                if npes > 1
+                else None
+            )
+            self.workers.append(
+                Worker(
+                    rank=rank,
+                    npes=npes,
+                    driver=driver,
+                    registry=registry,
+                    selector=selector,
+                    termination=self.term_system.handle(rank),
+                    config=self.worker_config,
+                    task_size=self.queue_config.task_size,
+                    inbox=(
+                        self.inbox_system.handle(rank)
+                        if self.inbox_system
+                        else None
+                    ),
+                    lifeline=(
+                        self.lifeline_system.handle(rank, self.lifeline_config)
+                        if self.lifeline_system
+                        else None
+                    ),
+                )
+            )
+        self._ran = False
+
+    def seed(self, rank: int, tasks: list[Task]) -> None:
+        """Seed initial tasks onto PE ``rank`` before running."""
+        if self._ran:
+            raise RuntimeError("pool already ran")
+        self.workers[rank].seed(tasks)
+
+    def seed_round_robin(self, tasks: list[Task]) -> None:
+        """Distribute seed tasks cyclically across all PEs."""
+        for i, t in enumerate(tasks):
+            self.workers[i % self.npes].seed([t])
+
+    def run(self) -> RunStats:
+        """Execute to global termination; returns aggregated statistics."""
+        if self._ran:
+            raise RuntimeError("pool already ran")
+        self._ran = True
+        for w in self.workers:
+            self.ctx.engine.spawn(w.run(), name=f"pe{w.rank}")
+        end = self.ctx.run()
+        for w in self.workers:
+            w.driver.queue.invariants()
+        return RunStats(
+            npes=self.npes,
+            runtime=end,
+            workers=[w.stats for w in self.workers],
+            comm=self.ctx.metrics.snapshot(),
+        )
+
+
+def run_pool(
+    npes: int,
+    registry: TaskRegistry,
+    seeds: list[Task],
+    impl: str = "sws",
+    **kwargs,
+) -> RunStats:
+    """One-shot convenience: build a pool, seed PE 0, run it."""
+    pool = TaskPool(npes, registry, impl=impl, **kwargs)
+    pool.seed(0, seeds)
+    return pool.run()

@@ -1,0 +1,207 @@
+"""Per-worker and per-run statistics.
+
+The paper's evaluation (Figs. 7e/7f/8e/8f) splits load-balancer overhead
+into *steal time* — time spent in successful steal operations — and
+*search time* — time spent looking for work, including failed steal
+attempts.  Workers accumulate both, along with task counts and queue-
+management overheads, and :class:`RunStats` aggregates them into the
+series the figures plot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class WorkerStats:
+    """Counters accumulated by one worker PE."""
+
+    rank: int = 0
+    tasks_executed: int = 0
+    tasks_spawned: int = 0
+    task_time: float = 0.0          # virtual seconds inside task bodies
+    steal_time: float = 0.0         # successful steal operations (Figs. 7e/8e)
+    search_time: float = 0.0        # failed attempts + victim hunting (7f/8f)
+    acquire_time: float = 0.0
+    release_time: float = 0.0
+    steals_ok: int = 0
+    steals_failed: int = 0
+    releases: int = 0               # split-point exposures performed
+    acquires: int = 0               # split-point reclaims performed
+    tasks_stolen: int = 0           # tasks this PE stole from others
+    probes: int = 0                 # damping probe count
+    termination_time: float = 0.0   # token handling + final drain
+    #: Histogram of successful steal volumes: {block size: count}.  The
+    #: steal-half schedule makes this roughly geometric.
+    steal_volumes: dict[int, int] = field(default_factory=dict)
+    #: Virtual time this PE executed its first task (-1.0 if it never did)
+    #: — the per-PE work-dispersal latency.
+    first_task_time: float = -1.0
+
+    def note_steal_volume(self, ntasks: int) -> None:
+        """Record one successful steal's block size."""
+        self.steal_volumes[ntasks] = self.steal_volumes.get(ntasks, 0) + 1
+
+    @property
+    def steal_attempts(self) -> int:
+        """All claiming steal attempts, successful or not."""
+        return self.steals_ok + self.steals_failed
+
+    @property
+    def overhead_time(self) -> float:
+        """Total load-balancer overhead this worker accumulated."""
+        return (
+            self.steal_time
+            + self.search_time
+            + self.acquire_time
+            + self.release_time
+        )
+
+
+@dataclass
+class RunStats:
+    """Aggregated results of one pool execution."""
+
+    npes: int
+    runtime: float                      # virtual wall-clock of the run
+    workers: list[WorkerStats] = field(default_factory=list)
+    comm: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_tasks(self) -> int:
+        """Tasks executed across all PEs."""
+        return sum(w.tasks_executed for w in self.workers)
+
+    @property
+    def total_spawned(self) -> int:
+        """Tasks ever enqueued (seeds + dynamic spawns)."""
+        return sum(w.tasks_spawned for w in self.workers)
+
+    @property
+    def throughput(self) -> float:
+        """Tasks completed per second of virtual time (Figs. 7a/8a)."""
+        return self.total_tasks / self.runtime if self.runtime > 0 else 0.0
+
+    @property
+    def total_task_time(self) -> float:
+        """Sum of task compute time across PEs."""
+        return sum(w.task_time for w in self.workers)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Measured vs ideal runtime (Figs. 7c/8c).
+
+        Ideal execution spreads total task compute time perfectly over
+        all PEs with zero balancing overhead.
+        """
+        if self.runtime <= 0:
+            return 0.0
+        ideal = self.total_task_time / self.npes
+        return ideal / self.runtime
+
+    @property
+    def total_steal_time(self) -> float:
+        """Aggregate successful-steal time (Figs. 7e/8e)."""
+        return sum(w.steal_time for w in self.workers)
+
+    @property
+    def total_search_time(self) -> float:
+        """Aggregate work-search time (Figs. 7f/8f)."""
+        return sum(w.search_time for w in self.workers)
+
+    @property
+    def total_steals(self) -> int:
+        """Successful steal operations across the run."""
+        return sum(w.steals_ok for w in self.workers)
+
+    @property
+    def total_failed_steals(self) -> int:
+        """Failed steal attempts across the run."""
+        return sum(w.steals_failed for w in self.workers)
+
+    def steal_volume_histogram(self) -> dict[int, int]:
+        """Merged histogram of successful steal block sizes."""
+        out: dict[int, int] = {}
+        for w in self.workers:
+            for size, count in w.steal_volumes.items():
+                out[size] = out.get(size, 0) + count
+        return out
+
+    @property
+    def dispersal_time(self) -> float:
+        """Time until the *last* participating PE got its first task.
+
+        The work-dispersal latency the BPC benchmark stresses — how long
+        the load balancer takes to put everyone to work.  0.0 when no PE
+        executed anything.
+        """
+        times = [w.first_task_time for w in self.workers if w.first_task_time >= 0]
+        return max(times) if times else 0.0
+
+    def balance_ratio(self) -> float:
+        """max/mean of per-PE executed task counts (1.0 = perfect)."""
+        counts = [w.tasks_executed for w in self.workers]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        return max(counts) / mean if mean > 0 else 0.0
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of total PE-time not spent computing or balancing.
+
+        ``1 - (task time + balancing overhead) / (P * runtime)`` — the
+        share of machine time lost to waiting (work droughts, backoff,
+        termination detection).
+        """
+        if self.runtime <= 0 or self.npes == 0:
+            return 0.0
+        busy = sum(w.task_time + w.overhead_time for w in self.workers)
+        frac = 1.0 - busy / (self.npes * self.runtime)
+        return max(0.0, min(1.0, frac))
+
+    def to_json(self) -> str:
+        """Serialize the full run record (for archiving raw results)."""
+        return json.dumps(
+            {
+                "npes": self.npes,
+                "runtime": self.runtime,
+                "workers": [asdict(w) for w in self.workers],
+                "comm": self.comm,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunStats":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        workers = []
+        for w in payload["workers"]:
+            # JSON stringifies histogram keys; restore them.
+            w["steal_volumes"] = {
+                int(k): v for k, v in w.get("steal_volumes", {}).items()
+            }
+            workers.append(WorkerStats(**w))
+        return cls(
+            npes=payload["npes"],
+            runtime=payload["runtime"],
+            workers=workers,
+            comm=payload.get("comm", {}),
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of the headline numbers (for reports and CSV)."""
+        return {
+            "npes": self.npes,
+            "runtime": self.runtime,
+            "tasks": self.total_tasks,
+            "throughput": self.throughput,
+            "efficiency": self.parallel_efficiency,
+            "steal_time": self.total_steal_time,
+            "search_time": self.total_search_time,
+            "steals_ok": self.total_steals,
+            "steals_failed": self.total_failed_steals,
+            "comm_total": self.comm.get("total", 0),
+            "comm_blocking": self.comm.get("blocking", 0),
+            "comm_bytes": self.comm.get("bytes", 0),
+        }

@@ -1,0 +1,65 @@
+"""Portable task descriptors (paper §2.1).
+
+A task is "the fundamental unit of work": a descriptor naming the function
+to execute plus the portable state that function needs.  Descriptors
+serialize to fixed-size records — the byte currency of the task queues —
+with a tiny header::
+
+    fn_id : u16   registered task-function identifier
+    plen  : u16   payload length in bytes
+    payload, zero-padded to the queue's task_size
+
+Payloads must be position-independent (global addresses or plain values),
+matching the Scioto execution model's portability requirement.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..fabric.errors import ProtocolError
+
+_HEADER = struct.Struct("<HH")
+HEADER_BYTES = _HEADER.size
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: a function id and its serialized arguments."""
+
+    fn_id: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fn_id < (1 << 16):
+            raise ProtocolError(f"fn_id {self.fn_id} does not fit in 16 bits")
+        if len(self.payload) >= (1 << 16):
+            raise ProtocolError(f"payload of {len(self.payload)} bytes too large")
+
+    def serialize(self, task_size: int) -> bytes:
+        """Encode to a fixed-size record of ``task_size`` bytes."""
+        if HEADER_BYTES + len(self.payload) > task_size:
+            raise ProtocolError(
+                f"task needs {HEADER_BYTES + len(self.payload)} bytes; "
+                f"record size is {task_size}"
+            )
+        body = _HEADER.pack(self.fn_id, len(self.payload)) + self.payload
+        return body.ljust(task_size, b"\0")
+
+    @classmethod
+    def deserialize(cls, record: bytes) -> "Task":
+        """Decode a fixed-size record back into a task."""
+        if len(record) < HEADER_BYTES:
+            raise ProtocolError(f"record of {len(record)} bytes has no header")
+        fn_id, plen = _HEADER.unpack_from(record)
+        if HEADER_BYTES + plen > len(record):
+            raise ProtocolError(
+                f"record declares {plen} payload bytes but holds "
+                f"{len(record) - HEADER_BYTES}"
+            )
+        return cls(fn_id, bytes(record[HEADER_BYTES : HEADER_BYTES + plen]))
+
+    def size_on_wire(self, task_size: int) -> int:
+        """Bytes this task occupies in a queue of the given record size."""
+        return task_size

@@ -1,0 +1,287 @@
+"""Distributed termination detection (paper §2.1).
+
+The pool "is processed until there are no more tasks remaining"; detecting
+that moment without a coordinator is the classic termination-detection
+problem.  Two four-counter (Mattern) detectors are provided:
+
+* **ring** (default) — a token circulates the ring accumulating every
+  PE's monotone ``(tasks_created, tasks_executed)`` counters; PE 0
+  declares termination after two consecutive complete rounds with
+  identical, balanced totals.  An in-flight steal always leaves a
+  created task unexecuted, so the sums cannot balance early.  O(P)
+  messages and hops per round.
+* **tree** — the same four-counter test evaluated over a binary
+  reduction tree (Scioto's approach): children push their subtree sums
+  up; the root broadcasts round-advance or terminate back down.  O(P)
+  messages but O(log P) latency per round — noticeably faster detection
+  at scale.
+
+Both ride the same fabric as everything else (counted puts applied
+atomically at arrival), so detection cost is part of measured runtime,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..shmem.api import ShmemCtx
+
+REGION = "term"
+TOKEN_FLAG = 0
+TOKEN_ROUND = 1
+TOKEN_CREATED = 2
+TOKEN_EXECUTED = 3
+TERM_FLAG = 4
+WORDS = 5
+
+
+class TerminationSystem:
+    """Allocates the symmetric token/flag words for the job."""
+
+    def __init__(self, ctx: ShmemCtx) -> None:
+        self.ctx = ctx
+        ctx.heap.alloc_words(REGION, WORDS)
+
+    def handle(self, rank: int) -> "TerminationDetector":
+        """Detector bound to PE ``rank``."""
+        return TerminationDetector(self, rank)
+
+
+class TerminationDetector:
+    """Per-PE participant in the token ring."""
+
+    def __init__(self, system: TerminationSystem, rank: int) -> None:
+        self.system = system
+        self.pe = system.ctx.pe(rank)
+        self.rank = rank
+        self.npes = system.ctx.npes
+        # PE 0 starts holding the (conceptual) token.
+        self._holding = rank == 0
+        self._round = 0
+        self._prev: tuple[int, int] | None = None
+
+    @property
+    def terminated(self) -> bool:
+        """Has global termination been declared?"""
+        return self.pe.local_load(REGION, TERM_FLAG) == 1
+
+    def wake_conditions(self) -> list[tuple[int, str, int]]:
+        """Local words whose mutation requires servicing this detector.
+
+        Returned as ``(region, offset, predicate)`` triples for
+        ``wait_until_any``: a blocked-idle PE must wake when the token
+        arrives or termination is declared.
+        """
+        nonzero = lambda v: v != 0  # noqa: E731 - tiny local predicate
+        return [
+            (REGION, TERM_FLAG, nonzero),
+            (REGION, TOKEN_FLAG, nonzero),
+        ]
+
+    def service(self, created: int, executed: int, idle: bool) -> Generator:
+        """Advance the protocol; call on every worker-loop iteration.
+
+        ``created``/``executed`` are this PE's cumulative counters;
+        ``idle`` signals the caller found no local work (PE 0 only starts
+        rounds while idle, so detection traffic appears exactly when work
+        is scarce).  Returns True once termination has been declared.
+        """
+        if self.terminated:
+            return True
+        if self.npes == 1:
+            if idle and created == executed:
+                self.pe.local_store(REGION, TERM_FLAG, 1)
+                return True
+            return False
+
+        if self.rank == 0:
+            if self._holding and idle:
+                self._round += 1
+                self._holding = False
+                yield from self._forward(self._round, created, executed)
+            elif self.pe.local_load(REGION, TOKEN_FLAG) == 1:
+                # A round completed: totals exclude PE 0's share only if
+                # counters moved since launch; PE 0's counts were folded
+                # in at round start, so re-reading here is unnecessary.
+                c = self.pe.local_load(REGION, TOKEN_CREATED)
+                e = self.pe.local_load(REGION, TOKEN_EXECUTED)
+                self.pe.local_store(REGION, TOKEN_FLAG, 0)
+                self._holding = True
+                if c == e and self._prev == (c, e):
+                    yield from self._declare()
+                    return True
+                self._prev = (c, e)
+            return False
+
+        # Non-zero ranks forward immediately, busy or not, adding counts.
+        if self.pe.local_load(REGION, TOKEN_FLAG) == 1:
+            rnd = self.pe.local_load(REGION, TOKEN_ROUND)
+            c = self.pe.local_load(REGION, TOKEN_CREATED) + created
+            e = self.pe.local_load(REGION, TOKEN_EXECUTED) + executed
+            self.pe.local_store(REGION, TOKEN_FLAG, 0)
+            yield from self._forward(rnd, c, e)
+        return False
+
+    def _forward(self, rnd: int, created: int, executed: int) -> Generator:
+        """One token hop: a single 4-word put to the ring successor."""
+        nxt = (self.rank + 1) % self.npes
+        yield self.pe.put_words(
+            nxt, REGION, TOKEN_FLAG, [1, rnd, created, executed]
+        )
+
+    def _declare(self) -> Generator:
+        """PE 0 broadcasts the termination flag to every PE."""
+        for p in range(1, self.npes):
+            yield self.pe.put_word_nb(p, REGION, TERM_FLAG, 1)
+        self.pe.local_store(REGION, TERM_FLAG, 1)
+        yield self.pe.quiet()
+
+
+# ----------------------------------------------------------------------
+# tree variant
+# ----------------------------------------------------------------------
+TREE_REGION = "term.tree"
+# Per-PE words: child reports (round, created, executed) x 2 + down word.
+T_CHILD0 = 0   # round of child 0's report
+T_CHILD0_C = 1
+T_CHILD0_E = 2
+T_CHILD1 = 3
+T_CHILD1_C = 4
+T_CHILD1_E = 5
+T_DOWN = 6     # (round << 1) | terminate, broadcast down the tree
+T_WORDS = 7
+
+_CHILD_BASE = {0: T_CHILD0, 1: T_CHILD1}
+
+
+class TreeTerminationSystem:
+    """Allocates the symmetric tree-reduction words for the job."""
+
+    def __init__(self, ctx: ShmemCtx) -> None:
+        self.ctx = ctx
+        ctx.heap.alloc_words(TREE_REGION, T_WORDS)
+        # TERM flag shares the ring detector's region layout.
+        ctx.heap.alloc_words(REGION, WORDS)
+
+    def handle(self, rank: int) -> "TreeTerminationDetector":
+        """Detector bound to PE ``rank``."""
+        return TreeTerminationDetector(self, rank)
+
+
+class TreeTerminationDetector:
+    """Per-PE participant in the binary-tree four-counter protocol."""
+
+    def __init__(self, system: TreeTerminationSystem, rank: int) -> None:
+        self.system = system
+        self.pe = system.ctx.pe(rank)
+        self.rank = rank
+        self.npes = system.ctx.npes
+        self.children = [
+            c for c in (2 * rank + 1, 2 * rank + 2) if c < self.npes
+        ]
+        self.parent = (rank - 1) // 2 if rank > 0 else None
+        self._round = 1       # round currently being collected
+        self._reported = 0    # highest round this PE pushed up
+        self._prev: tuple[int, int] | None = None
+
+    @property
+    def terminated(self) -> bool:
+        """Has global termination been declared?"""
+        return self.pe.local_load(REGION, TERM_FLAG) == 1
+
+    def _down_pending(self, word: int) -> bool:
+        """Is there an unserviced down-wave word?"""
+        return word != 0 and ((word & 1) == 1 or (word >> 1) > self._round)
+
+    def _push_pending(self) -> bool:
+        """Do we owe the parent a report we can now assemble?"""
+        return self._reported < self._round and self._children_ready() is not None
+
+    def wake_conditions(self) -> list[tuple[int, str, int]]:
+        """Local words whose mutation requires servicing this detector:
+        the termination flag, round advances from the parent, and child
+        reports (interior nodes must forward subtree sums).
+
+        Tree words are not cleared after servicing, so the predicates
+        consult the detector's *live* state: they are true exactly while
+        an unserviced event exists — no lost wakeups (an event landing
+        just before blocking fires at registration) and no zero-time spin
+        (after servicing, the predicates go false).
+        """
+        conds = [(REGION, TERM_FLAG, lambda v: v != 0)]
+        conds.append((TREE_REGION, T_DOWN, lambda v: self._down_pending(v)))
+        for idx in range(len(self.children)):
+            conds.append(
+                (TREE_REGION, _CHILD_BASE[idx], lambda v: self._push_pending())
+            )
+        return conds
+
+    def _children_ready(self) -> tuple[int, int] | None:
+        """Sum of children's reports for the current round, if complete."""
+        c_sum = e_sum = 0
+        for idx, _child in enumerate(self.children):
+            base = _CHILD_BASE[idx]
+            if self.pe.local_load(TREE_REGION, base) != self._round:
+                return None
+            c_sum += self.pe.local_load(TREE_REGION, base + 1)
+            e_sum += self.pe.local_load(TREE_REGION, base + 2)
+        return c_sum, e_sum
+
+    def service(self, created: int, executed: int, idle: bool) -> Generator:
+        """Advance the protocol; call on every worker-loop iteration."""
+        if self.terminated:
+            return True
+        if self.npes == 1:
+            if idle and created == executed:
+                self.pe.local_store(REGION, TERM_FLAG, 1)
+                return True
+            return False
+
+        # Down-wave: adopt round advances from the parent.
+        down = self.pe.local_load(TREE_REGION, T_DOWN)
+        if down:
+            rnd, term = down >> 1, down & 1
+            if term:
+                yield from self._broadcast_down(rnd, True)
+                self.pe.local_store(REGION, TERM_FLAG, 1)
+                return True
+            if rnd > self._round:
+                self._round = rnd
+                yield from self._broadcast_down(rnd, False)
+
+        # Up-wave: once all children reported this round, push our sums.
+        if self._reported >= self._round:
+            return False
+        sums = self._children_ready()
+        if sums is None:
+            return False
+        c_sum, e_sum = sums[0] + created, sums[1] + executed
+
+        if self.parent is not None:
+            base = _CHILD_BASE[(self.rank - 1) % 2]
+            yield self.pe.put_words(
+                self.parent, TREE_REGION, base, [self._round, c_sum, e_sum]
+            )
+            self._reported = self._round
+            return False
+
+        # Root: evaluate the four-counter test (only start rounds while
+        # idle so detection traffic appears when work is scarce).
+        if not idle:
+            return False
+        self._reported = self._round
+        if c_sum == e_sum and self._prev == (c_sum, e_sum):
+            yield from self._broadcast_down(self._round, True)
+            self.pe.local_store(REGION, TERM_FLAG, 1)
+            return True
+        self._prev = (c_sum, e_sum)
+        self._round += 1
+        yield from self._broadcast_down(self._round, False)
+        return False
+
+    def _broadcast_down(self, rnd: int, terminate: bool) -> Generator:
+        word = (rnd << 1) | int(terminate)
+        for child in self.children:
+            yield self.pe.put_word_nb(child, TREE_REGION, T_DOWN, word)
+        yield self.pe.quiet()

@@ -1,0 +1,166 @@
+"""Victim selection policies.
+
+The paper follows Cilk-style randomized stealing: "available work is
+discovered by selecting a target at random".  The uniform selector is the
+default; round-robin and locality-biased selectors are provided for
+ablations (hierarchical victim selection is the optimization several
+related works layer on top — the paper notes SWS composes with them).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from ..fabric.topology import Topology
+
+
+class VictimSelector(Protocol):
+    """Strategy interface: yields the next victim to try."""
+
+    def next_victim(self) -> int:
+        """Return a PE index to target (never the selector's own rank)."""
+        ...
+
+
+class UniformVictim:
+    """Uniformly random victim, excluding self (Cilk's strategy)."""
+
+    def __init__(self, npes: int, rank: int, seed: int = 0) -> None:
+        if npes < 2:
+            raise ValueError("uniform victim selection needs at least 2 PEs")
+        self.npes = npes
+        self.rank = rank
+        self._rng = random.Random((seed << 20) ^ (rank * 0x9E3779B1))
+
+    def next_victim(self) -> int:
+        """A uniformly random PE other than self."""
+        v = self._rng.randrange(self.npes - 1)
+        return v if v < self.rank else v + 1
+
+
+class RoundRobinVictim:
+    """Deterministic cyclic sweep starting after own rank."""
+
+    def __init__(self, npes: int, rank: int) -> None:
+        if npes < 2:
+            raise ValueError("round-robin victim selection needs at least 2 PEs")
+        self.npes = npes
+        self.rank = rank
+        self._next = (rank + 1) % npes
+
+    def next_victim(self) -> int:
+        """The next PE in cyclic order, skipping self."""
+        v = self._next
+        self._next = (self._next + 1) % self.npes
+        if v == self.rank:
+            v = self._next
+            self._next = (self._next + 1) % self.npes
+        return v
+
+
+class LocalityVictim:
+    """Prefer same-node victims with probability ``local_bias``.
+
+    Models the hierarchical/locality-aware strategies of SLAW/HotSLAW as
+    an ablation: intra-node steals are cheaper on the fabric's latency
+    model, so biasing toward them trades discovery breadth for latency.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        rank: int,
+        seed: int = 0,
+        local_bias: float = 0.75,
+    ) -> None:
+        if not 0.0 <= local_bias <= 1.0:
+            raise ValueError(f"local_bias must be in [0,1], got {local_bias}")
+        self.topology = topology
+        self.rank = rank
+        self.local_bias = local_bias
+        self._rng = random.Random((seed << 20) ^ (rank * 0x9E3779B1) ^ 0x5F5F)
+        self._peers = topology.local_peers(rank)
+        self._remote = [
+            p for p in range(topology.npes)
+            if p != rank and not topology.same_node(p, rank)
+        ]
+
+    def next_victim(self) -> int:
+        """A biased draw: same-node peer with probability ``local_bias``."""
+        if self._peers and (not self._remote or self._rng.random() < self.local_bias):
+            return self._rng.choice(self._peers)
+        if not self._remote:
+            return self._rng.choice(self._peers)
+        return self._rng.choice(self._remote)
+
+
+class HierarchicalVictim:
+    """Two-level adaptive selection (Habanero/CHARM++-style hierarchy).
+
+    Steals target same-node peers first — intra-node hops are several
+    times cheaper on the fabric — and escalate to remote nodes only after
+    ``escalate_after`` consecutive local failures.  Any success resets to
+    the local level.  The caller reports outcomes via :meth:`note`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        rank: int,
+        seed: int = 0,
+        escalate_after: int = 2,
+    ) -> None:
+        if escalate_after < 1:
+            raise ValueError("escalate_after must be >= 1")
+        self.topology = topology
+        self.rank = rank
+        self.escalate_after = escalate_after
+        self._rng = random.Random((seed << 20) ^ (rank * 0x9E3779B1) ^ 0xA5A5)
+        self._peers = topology.local_peers(rank)
+        self._remote = [
+            p for p in range(topology.npes)
+            if p != rank and not topology.same_node(p, rank)
+        ]
+        self._local_failures = 0
+
+    @property
+    def remote_mode(self) -> bool:
+        """Currently escalated to inter-node stealing?"""
+        return (
+            not self._peers
+            or (self._remote and self._local_failures >= self.escalate_after)
+        )
+
+    def next_victim(self) -> int:
+        """A same-node peer, or a remote PE once escalated."""
+        if self.remote_mode and self._remote:
+            return self._rng.choice(self._remote)
+        return self._rng.choice(self._peers)
+
+    def note(self, success: bool) -> None:
+        """Report the last attempt's outcome (drives escalation)."""
+        if success:
+            self._local_failures = 0
+        else:
+            self._local_failures += 1
+
+
+def make_selector(
+    kind: str, npes: int, rank: int, seed: int = 0, topology: Topology | None = None
+) -> VictimSelector:
+    """Factory: ``uniform`` (default), ``roundrobin``, ``locality``, or
+    ``hierarchical``."""
+    if kind == "uniform":
+        return UniformVictim(npes, rank, seed)
+    if kind == "roundrobin":
+        return RoundRobinVictim(npes, rank)
+    if kind == "locality":
+        if topology is None:
+            raise ValueError("locality selector needs a topology")
+        return LocalityVictim(topology, rank, seed)
+    if kind == "hierarchical":
+        if topology is None:
+            raise ValueError("hierarchical selector needs a topology")
+        return HierarchicalVictim(topology, rank, seed)
+    raise ValueError(f"unknown victim selector {kind!r}")

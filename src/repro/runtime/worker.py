@@ -1,0 +1,424 @@
+"""Worker processing-element main loop (paper §2.1, §3, §4).
+
+Each PE runs the Scioto-style work-first loop:
+
+1. execute tasks LIFO from the local queue portion (batched between
+   management checkpoints, the way a real owner only inspects shared
+   state periodically);
+2. when the shared portion is empty but local work remains, *release*
+   half to thieves; when local is empty but the shared portion still has
+   unclaimed tasks, *acquire* half back;
+3. when the whole queue is empty, *search*: pick a random victim and
+   attempt a steal — successful attempts count toward steal time,
+   failed ones toward search time (Figs. 7e/f, 8e/f);
+4. service termination detection every iteration.
+
+The loop is queue-implementation agnostic: both :class:`SdcQueue` and
+:class:`SwsQueue` are driven through the small adapter below, which also
+hosts SWS steal damping (probe-first empty-mode, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..core.damping import DampingTracker
+from ..core.results import StealResult, StealStatus
+from ..core.sdc_queue import SdcQueue
+from ..core.sws_queue import SwsQueue
+from ..fabric.engine import Delay
+from ..fabric.errors import ProtocolError
+from .inbox import Inbox
+from .lifeline import LifelineManager
+from .registry import TaskContext, TaskRegistry
+from .stats import WorkerStats
+from .task import Task
+from .termination import TerminationDetector
+from .victim import VictimSelector
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Tunables of the worker loop.
+
+    Attributes
+    ----------
+    batch_max:
+        Upper bound on tasks executed between management checkpoints.
+    task_overhead:
+        Per-task local queue manipulation cost (seconds) added to each
+        task's compute time — dequeue, spawn enqueues, bookkeeping.
+    steal_backoff:
+        Initial pause after a failed steal attempt before trying the next
+        victim.  Consecutive failures back off exponentially up to
+        ``steal_backoff_max``; any success (or local work) resets it.
+    release_min_local:
+        Minimum local tasks required before releasing half to thieves
+        (releasing the last task would immediately starve the owner).
+    damping:
+        Enable SWS steal damping (ignored for SDC).
+    progress_every:
+        Run the space-reclaim progress scan every N batches.
+    spawn_policy:
+        ``"work_first"`` (default, Cilk-style: keep executing, share at
+        management checkpoints) or ``"help_first"`` (SLAW-style: break
+        the batch after any spawn so fresh work is released to thieves
+        as early as possible — faster dispersal, more release churn).
+    sample_queue:
+        Record a (virtual time, local count, stealable count) sample at
+        every management checkpoint into ``Worker.samples`` — occupancy
+        traces for analysis/visualization.  Off by default (memory).
+    idle_wait:
+        With lifelines active, a quiescent non-zero PE blocks on
+        ``wait_until_any`` (inbox delivery / token / termination flag)
+        instead of backoff polling — zero idle events, hardware-style
+        wait/wake.  PE 0 keeps polling (it initiates detection rounds).
+    """
+
+    batch_max: int = 64
+    task_overhead: float = 0.15e-6
+    steal_backoff: float = 1.0e-6
+    steal_backoff_max: float = 64.0e-6
+    release_min_local: int = 2
+    damping: bool = True
+    progress_every: int = 4
+    spawn_policy: str = "work_first"
+    sample_queue: bool = False
+    idle_wait: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.task_overhead < 0 or self.steal_backoff < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.steal_backoff_max < self.steal_backoff:
+            raise ValueError("steal_backoff_max must be >= steal_backoff")
+        if self.release_min_local < 1:
+            raise ValueError("release_min_local must be >= 1")
+        if self.progress_every < 1:
+            raise ValueError("progress_every must be >= 1")
+        if self.spawn_policy not in ("work_first", "help_first"):
+            raise ValueError(
+                f"spawn_policy must be work_first|help_first, "
+                f"got {self.spawn_policy!r}"
+            )
+
+
+class QueueDriver:
+    """Uniform owner/thief interface over the queue implementations.
+
+    Drives :class:`SdcQueue`, :class:`SwsQueue`, or the Figure-3
+    :class:`~repro.core.sws_v1_queue.SwsV1Queue`; the SWS family shares
+    the stealval/probe vocabulary (and thus steal damping), while SDC's
+    release is a plain local operation.
+    """
+
+    def __init__(self, queue, damping: DampingTracker | None) -> None:
+        self.queue = queue
+        self.is_sdc = isinstance(queue, SdcQueue)
+        self.is_sws = not self.is_sdc
+        self.damping = damping if self.is_sws else None
+
+    @property
+    def local_count(self) -> int:
+        """Tasks in the owner-only portion."""
+        return self.queue.local_count
+
+    @property
+    def stealable_remaining(self) -> int:
+        """Unclaimed tasks advertised to thieves."""
+        if self.is_sws:
+            return self.queue.shared_remaining
+        return self.queue.shared_count
+
+    def enqueue(self, record: bytes) -> None:
+        """Append a serialized task locally."""
+        self.queue.enqueue(record)
+
+    def dequeue(self) -> bytes | None:
+        """Pop the newest local task, or None."""
+        return self.queue.dequeue()
+
+    def progress(self) -> int:
+        """Reclaim completed-steal space; returns slots freed."""
+        return self.queue.progress()
+
+    def release_op(self) -> Generator:
+        """Expose half the local portion; generator, returns task count."""
+        if self.is_sws:
+            n = yield from self.queue.release()
+            return n
+        return self.queue.release()
+
+    def acquire_op(self) -> Generator:
+        """Reclaim half the shared portion; generator, returns task count."""
+        n = yield from self.queue.acquire()
+        return n
+
+    def steal_op(self, victim: int, stats: WorkerStats) -> Generator:
+        """One steal attempt against ``victim``, damping-aware for SWS."""
+        if self.damping is not None:
+            from ..core.damping import TargetMode
+
+            if self.damping.mode(victim) is TargetMode.EMPTY:
+                view = yield from self.queue.probe(victim)
+                stats.probes += 1
+                has_work = self.damping.view_has_work(view)
+                self.damping.note_probe(victim, has_work)
+                if not has_work:
+                    return StealResult(StealStatus.EMPTY, victim)
+            result = yield from self.queue.steal(victim)
+            if result.success:
+                self.damping.note_success(victim)
+            elif result.status is StealStatus.EMPTY:
+                # Re-decode the failure for the damping heuristic.
+                view = yield from self.queue.probe(victim)
+                stats.probes += 1
+                self.damping.note_failed_claim(victim, view)
+            return result
+        result = yield from self.queue.steal(victim)
+        return result
+
+
+class Worker:
+    """One simulated PE executing the task-pool loop."""
+
+    def __init__(
+        self,
+        rank: int,
+        npes: int,
+        driver: QueueDriver,
+        registry: TaskRegistry,
+        selector: VictimSelector | None,
+        termination: TerminationDetector,
+        config: WorkerConfig,
+        task_size: int,
+        inbox: Inbox | None = None,
+        lifeline: LifelineManager | None = None,
+    ) -> None:
+        self.rank = rank
+        self.npes = npes
+        self.driver = driver
+        self.registry = registry
+        self.selector = selector
+        self.term = termination
+        self.cfg = config
+        self.task_size = task_size
+        self.stats = WorkerStats(rank=rank)
+        self.tc = TaskContext(rank=rank, npes=npes)
+        self.inbox = inbox
+        self.lifeline = lifeline
+        if lifeline is not None and inbox is None:
+            raise ProtocolError("lifelines require the remote-spawn inbox")
+        self._engine = driver.queue.system.ctx.engine
+        self._batches = 0
+        self._backoff = config.steal_backoff
+        self._remote_spawns: list[tuple[int, Task]] = []
+        #: (virtual time, local count, stealable count) samples, when
+        #: ``sample_queue`` is enabled.
+        self.samples: list[tuple[float, int, int]] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._engine.now
+
+    def seed(self, tasks: list[Task]) -> None:
+        """Place initial tasks on this PE's queue (pre-run, untimed)."""
+        for t in tasks:
+            self.driver.enqueue(t.serialize(self.task_size))
+        self.stats.tasks_spawned += len(tasks)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        """The PE's process body; finishes at global termination."""
+        pe = self.driver.queue.pe
+        yield pe.barrier_all()
+        while True:
+            idle = self.driver.local_count == 0
+            done = yield from self.term.service(
+                self.stats.tasks_spawned, self.stats.tasks_executed, idle
+            )
+            if done or self.term.terminated:
+                break
+
+            if self.inbox is not None:
+                self._drain_inbox()
+            if (
+                self.lifeline is not None
+                and self.lifeline.active
+                and self.driver.local_count > 0
+            ):
+                # A lifeline delivery arrived: withdraw the others.
+                yield from self.lifeline.retract()
+
+            if self.driver.local_count > 0:
+                self._backoff = self.cfg.steal_backoff
+                yield from self._execute_batch()
+                yield from self._manage()
+                continue
+
+            if self.driver.stealable_remaining > 0:
+                t0 = self.now
+                got = yield from self.driver.acquire_op()
+                self.stats.acquire_time += self.now - t0
+                self.stats.acquires += 1
+                if got:
+                    continue
+
+            # Fully idle: reclaim space, then hunt for work.
+            self.driver.progress()
+            if self.npes == 1 or self.selector is None:
+                yield Delay(self.cfg.steal_backoff)
+                continue
+            if self.lifeline is not None:
+                if self.lifeline.active:
+                    # Quiescent: no steal traffic; wait for a delivery.
+                    if self.cfg.idle_wait and self.rank != 0:
+                        conds = list(self.term.wake_conditions())
+                        conds.append(self.inbox.wake_condition())
+                        yield self.driver.queue.pe.wait_until_any(conds)
+                    else:
+                        yield Delay(self._backoff)
+                        self._backoff = min(
+                            self.cfg.steal_backoff_max, self._backoff * 2
+                        )
+                    continue
+                if self.lifeline.should_activate:
+                    yield from self.lifeline.activate()
+                    continue
+            victim = self.selector.next_victim()
+            t0 = self.now
+            result = yield from self.driver.steal_op(victim, self.stats)
+            dt = self.now - t0
+            if self.lifeline is not None:
+                self.lifeline.note_steal(result.success)
+            noter = getattr(self.selector, "note", None)
+            if noter is not None:
+                noter(result.success)
+            if result.success:
+                self.stats.steal_time += dt
+                self.stats.steals_ok += 1
+                self.stats.tasks_stolen += result.ntasks
+                self.stats.note_steal_volume(result.ntasks)
+                self._backoff = self.cfg.steal_backoff
+                for rec in result.records:
+                    self.driver.enqueue(rec)
+            else:
+                self.stats.search_time += dt
+                self.stats.steals_failed += 1
+                yield Delay(self._backoff)
+                self._backoff = min(self.cfg.steal_backoff_max, self._backoff * 2)
+        # Drain any passive completion notifications before exiting.
+        yield pe.quiet()
+
+    # ------------------------------------------------------------------
+    def _execute_batch(self) -> Generator:
+        """Run up to ``batch_max`` local tasks as one compute segment."""
+        drv = self.driver
+        budget = min(self.cfg.batch_max, drv.local_count)
+        if self.stats.tasks_executed == 0 and budget > 0:
+            self.stats.first_task_time = self.now
+        executed = 0
+        duration = 0.0
+        while executed < budget:
+            rec = drv.dequeue()
+            if rec is None:
+                break
+            task = Task.deserialize(rec)
+            outcome = self.registry.execute(task, self.tc)
+            for child in outcome.children:
+                drv.enqueue(child.serialize(self.task_size))
+            if outcome.remote_children:
+                if self.inbox is None:
+                    raise ProtocolError(
+                        "remote_children require TaskPool(remote_spawn=True)"
+                    )
+                # Counted as spawned now (before any receiver can run
+                # them), sent after the batch's compute segment.
+                self._remote_spawns.extend(outcome.remote_children)
+                self.stats.tasks_spawned += len(outcome.remote_children)
+            self.stats.tasks_spawned += len(outcome.children)
+            self.stats.task_time += outcome.duration
+            duration += outcome.duration + self.cfg.task_overhead
+            executed += 1
+            help_first_break = (
+                self.cfg.spawn_policy == "help_first" and outcome.children
+            )
+            if (
+                self.npes > 1
+                and (help_first_break or drv.stealable_remaining == 0)
+                and drv.local_count >= self.cfg.release_min_local
+            ):
+                # Break the batch so _manage can release promptly.
+                break
+        self.stats.tasks_executed += executed
+        if duration > 0:
+            yield Delay(duration)
+        if self._remote_spawns:
+            spawns, self._remote_spawns = self._remote_spawns, []
+            for target, task in spawns:
+                yield from self.inbox.send(target, task.serialize(self.task_size))
+
+    def _drain_inbox(self) -> None:
+        """Move committed remote spawns onto the local queue (local ops)."""
+        for record in self.inbox.drain():
+            self.driver.enqueue(record)
+
+    def _manage(self) -> Generator:
+        """Post-batch queue management: release + periodic progress."""
+        drv = self.driver
+        self._batches += 1
+        if self.cfg.sample_queue:
+            self.samples.append(
+                (self.now, drv.local_count, drv.stealable_remaining)
+            )
+        if self._batches % self.cfg.progress_every == 0:
+            drv.progress()
+        shared = drv.stealable_remaining
+        want_release = shared == 0
+        if (
+            self.cfg.spawn_policy == "help_first"
+            and drv.is_sws
+            and shared < drv.local_count // 2
+        ):
+            # Help-first: keep the shared portion topped up; SWS release
+            # merges the unclaimed remainder so this is safe mid-allotment
+            # (SDC release requires an empty shared portion, so the SDC
+            # help-first policy degenerates to eager batch breaking only).
+            want_release = True
+        if (
+            self.npes > 1
+            and want_release
+            and drv.local_count >= self.cfg.release_min_local
+        ):
+            t0 = self.now
+            yield from drv.release_op()
+            self.stats.release_time += self.now - t0
+            self.stats.releases += 1
+        if self.lifeline is not None:
+            yield from self._fulfill_lifelines()
+
+    def _fulfill_lifelines(self) -> Generator:
+        """Donor side: push surplus local tasks to quiescent buddies."""
+        ll = self.lifeline
+        drv = self.driver
+        if drv.local_count <= ll.cfg.donor_min_local:
+            return
+        for requester in ll.pending_requests():
+            donated: list[bytes] = []
+            while (
+                len(donated) < ll.cfg.donate_max
+                and drv.local_count > ll.cfg.donor_min_local
+            ):
+                rec = drv.dequeue()
+                if rec is None:
+                    break
+                donated.append(rec)
+            if not donated:
+                break
+            ll.clear_request(requester)
+            for rec in donated:
+                yield from self.inbox.send(requester, rec)
+            ll.note_donation(len(donated))

@@ -1,0 +1,17 @@
+"""OpenSHMEM-like PGAS layer over the simulated fabric."""
+
+from .api import Pe, ShmemCtx
+from .collectives import Collectives, CollectiveSystem, REDUCERS
+from .heap import SymArray, SymBytes, SymWord, SymmetricAllocator
+
+__all__ = [
+    "Pe",
+    "ShmemCtx",
+    "SymWord",
+    "SymArray",
+    "SymBytes",
+    "SymmetricAllocator",
+    "Collectives",
+    "CollectiveSystem",
+    "REDUCERS",
+]

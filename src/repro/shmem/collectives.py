@@ -1,0 +1,184 @@
+"""Tree-based collectives over the fabric (OpenSHMEM team operations).
+
+The runtime itself is deliberately collective-free (work stealing is
+point-to-point), but real OpenSHMEM programs — and our examples that
+gather per-PE statistics — use broadcasts and reductions.  These are
+implemented as binomial trees of one-sided puts with flag words, costing
+``O(log P)`` levels of real fabric traffic, so including them in a timed
+region charges honest communication.
+
+All collectives are *synchronizing*: every PE must call them in the same
+order, like their OpenSHMEM counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from ..fabric.errors import ProtocolError
+from .api import Pe, ShmemCtx
+
+DATA_REGION = "coll.data"
+FLAG_REGION = "coll.flag"
+
+#: Supported reduction operators.
+REDUCERS: dict[str, Callable[[int, int], int]] = {
+    "sum": lambda a, b: (a + b) & ((1 << 64) - 1),
+    "max": max,
+    "min": min,
+}
+
+
+#: Maximum binomial-tree depth supported (2^20 PEs is plenty).
+MAX_LEVELS = 20
+
+
+class CollectiveSystem:
+    """Allocates the symmetric scratch space for collectives.
+
+    ``width`` is the maximum element count per collective call.  Reduce
+    needs one (slot, flag) pair per tree level — children at different
+    levels deliver concurrently — while broadcast needs one per row.
+    """
+
+    def __init__(self, ctx: ShmemCtx, width: int = 16) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.ctx = ctx
+        self.width = width
+        # Rows rotate across back-to-back collectives so a fast PE's next
+        # call cannot collide with a laggard's previous one.
+        self.rows = 4
+        ctx.heap.alloc_words(DATA_REGION, self.rows * MAX_LEVELS * width)
+        ctx.heap.alloc_words(FLAG_REGION, self.rows * MAX_LEVELS)
+
+    def handle(self, rank: int) -> "Collectives":
+        """Collective operations bound to PE ``rank``."""
+        return Collectives(self, rank)
+
+
+class Collectives:
+    """Per-PE collective operations."""
+
+    def __init__(self, system: CollectiveSystem, rank: int) -> None:
+        self.system = system
+        self.pe: Pe = system.ctx.pe(rank)
+        self.rank = rank
+        self.npes = system.ctx.npes
+        self._generation = 0
+
+    def _row(self) -> int:
+        return self._generation % self.system.rows
+
+    def _slot(self, row: int, level: int) -> tuple[int, int]:
+        """(data offset, flag offset) for one (row, tree-level) cell."""
+        data = (row * MAX_LEVELS + level) * self.system.width
+        flag = row * MAX_LEVELS + level
+        return data, flag
+
+    def _check(self, values: list[int]) -> None:
+        if len(values) > self.system.width:
+            raise ProtocolError(
+                f"collective of {len(values)} elements exceeds width "
+                f"{self.system.width}"
+            )
+
+    # ------------------------------------------------------------------
+    def broadcast(self, values: list[int] | None, root: int = 0) -> Generator:
+        """Binomial-tree broadcast from ``root``; returns the values.
+
+        Non-root PEs pass ``None`` (their argument is ignored anyway).
+        Each PE has exactly one parent, so level 0's slot suffices for
+        receipt; the flag word carries ``1 + count``.
+        """
+        row = self._row()
+        self._generation += 1
+        base, flag_off = self._slot(row, 0)
+        me = (self.rank - root) % self.npes
+
+        if me == 0:
+            self._check(values or [])
+            vals = list(values or [])
+            count = len(vals)
+        else:
+            flag = yield self.pe.wait_until(
+                FLAG_REGION, flag_off, lambda v: v != 0
+            )
+            count = flag - 1
+            vals = [
+                self.pe.local_load(DATA_REGION, base + i) for i in range(count)
+            ]
+            self.pe.local_store(FLAG_REGION, flag_off, 0)
+
+        # Forward to children: PE ``me`` owns children me|mask for masks
+        # above me's own set bits.
+        mask = 1
+        while mask < self.npes:
+            if me & mask:
+                break
+            child = me | mask
+            if child < self.npes:
+                dest = (child + root) % self.npes
+                if vals:
+                    yield self.pe.put_words(dest, DATA_REGION, base, vals)
+                yield self.pe.put_word_nb(dest, FLAG_REGION, flag_off, 1 + count)
+            mask <<= 1
+        yield self.pe.quiet()
+        return vals
+
+    def reduce(
+        self, values: list[int], op: str = "sum", root: int = 0
+    ) -> Generator:
+        """Binomial-tree reduction to ``root``; root returns the result,
+        other PEs return ``None``.
+
+        A child at tree level ``k`` delivers into its parent's level-``k``
+        slot, so concurrent deliveries from different levels never
+        collide.
+        """
+        try:
+            reducer = REDUCERS[op]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown reduction {op!r}; choose from {sorted(REDUCERS)}"
+            ) from None
+        self._check(values)
+        row = self._row()
+        self._generation += 1
+        me = (self.rank - root) % self.npes
+        acc = list(values)
+        count = len(acc)
+
+        level = 0
+        mask = 1
+        while mask < self.npes:
+            base, flag_off = self._slot(row, level)
+            if me & mask:
+                # Deliver my partial into the parent's level slot.
+                parent = me & ~mask
+                dest = (parent + root) % self.npes
+                if acc:
+                    yield self.pe.put_words(dest, DATA_REGION, base, acc)
+                yield self.pe.put_word_nb(dest, FLAG_REGION, flag_off, 1)
+                yield self.pe.quiet()
+                return None
+            partner = me | mask
+            if partner < self.npes:
+                yield self.pe.wait_until(FLAG_REGION, flag_off, lambda v: v != 0)
+                self.pe.local_store(FLAG_REGION, flag_off, 0)
+                for i in range(count):
+                    other = self.pe.local_load(DATA_REGION, base + i)
+                    acc[i] = reducer(acc[i], other)
+            mask <<= 1
+            level += 1
+        return acc
+
+    def allreduce(self, values: list[int], op: str = "sum") -> Generator:
+        """Reduce to PE 0 then broadcast the result to everyone."""
+        partial = yield from self.reduce(values, op=op, root=0)
+        result = yield from self.broadcast(partial, root=0)
+        return result
+
+    def barrier(self) -> Generator:
+        """Collective barrier built from an empty allreduce."""
+        yield from self.allreduce([0], op="sum")

@@ -1,0 +1,16 @@
+"""Real-thread substrate: the SWS protocol under genuine preemption."""
+
+from .atomics import AtomicArray64, AtomicWord64
+from .queue_shim import ThreadStealResult, ThreadSwsQueue, hammer
+from .sdc_shim import SdcThreadResult, ThreadSdcQueue, hammer_sdc
+
+__all__ = [
+    "AtomicWord64",
+    "AtomicArray64",
+    "ThreadSwsQueue",
+    "ThreadStealResult",
+    "hammer",
+    "ThreadSdcQueue",
+    "SdcThreadResult",
+    "hammer_sdc",
+]

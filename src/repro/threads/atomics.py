@@ -1,0 +1,76 @@
+"""64-bit atomic words over real Python threads.
+
+The discrete-event fabric serializes atomics by event order; this module
+provides the same primitive operations under *true preemption* so the
+stealval protocol can be cross-checked against genuine races
+(``tests/threads``).  CPython has no public CAS on shared integers, so
+each word carries a mutex — the semantics, not the performance, are the
+point.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_U64_MASK = (1 << 64) - 1
+
+
+class AtomicWord64:
+    """One 64-bit word with atomic RMW operations."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value & _U64_MASK
+        self._lock = threading.Lock()
+
+    def load(self) -> int:
+        """Atomic read."""
+        with self._lock:
+            return self._value
+
+    def store(self, value: int) -> None:
+        """Atomic write."""
+        with self._lock:
+            self._value = value & _U64_MASK
+
+    def fetch_add(self, delta: int) -> int:
+        """Atomic fetch-and-add (wraps mod 2^64); returns the old value."""
+        with self._lock:
+            old = self._value
+            self._value = (old + delta) & _U64_MASK
+            return old
+
+    def swap(self, value: int) -> int:
+        """Atomic swap; returns the old value."""
+        with self._lock:
+            old = self._value
+            self._value = value & _U64_MASK
+            return old
+
+    def compare_swap(self, expected: int, desired: int) -> int:
+        """Atomic compare-and-swap; returns the old value."""
+        with self._lock:
+            old = self._value
+            if old == (expected & _U64_MASK):
+                self._value = desired & _U64_MASK
+            return old
+
+
+class AtomicArray64:
+    """Fixed-length array of independent atomic 64-bit words."""
+
+    def __init__(self, length: int, fill: int = 0) -> None:
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        self._words = [AtomicWord64(fill) for _ in range(length)]
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __getitem__(self, index: int) -> AtomicWord64:
+        return self._words[index]
+
+    def snapshot(self) -> list[int]:
+        """Non-atomic-across-words read of all values."""
+        return [w.load() for w in self._words]

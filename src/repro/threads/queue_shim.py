@@ -1,0 +1,198 @@
+"""SWS stealval protocol over real threads — the race-test harness.
+
+This is a deliberately compact re-implementation of the SWS claim
+protocol using :class:`~repro.threads.atomics.AtomicWord64` instead of
+simulated NIC atomics, so genuine thread preemption exercises the same
+invariants the simulator's event ordering guarantees:
+
+* a claiming ``fetch_add`` partitions the allotment — no task is claimed
+  twice, none is skipped;
+* claims racing an owner lock (``swap`` to the locked sentinel) either
+  land before the swap (the owner accounts for them) or observe the
+  locked word (the thief aborts and its stray increment is obliterated
+  by the owner's re-publish);
+* completion signalling via per-epoch slots reconstructs exactly the
+  claimed volumes.
+
+Tasks are plain integers; the "queue" is a Python list indexed like the
+circular buffer.  Thieves record which tasks they stole; tests assert the
+union of all thieves' loot plus the owner's leftovers equals the original
+task set exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.steal_half import max_steals, schedule, steal_displacement, steal_volume
+from ..core.stealval import StealValEpoch
+
+from .atomics import AtomicArray64, AtomicWord64
+
+
+@dataclass
+class ThreadStealResult:
+    """One thief attempt's outcome."""
+
+    claimed: list[int] = field(default_factory=list)
+    aborted_locked: bool = False
+    empty: bool = False
+
+
+class ThreadSwsQueue:
+    """Owner-side SWS queue state over real atomics."""
+
+    def __init__(self, tasks: list[int], max_epochs: int = 2, comp_slots: int = 24) -> None:
+        self.buffer = list(tasks)            # immutable backing store
+        self.max_epochs = max_epochs
+        self.comp_slots = comp_slots
+        self.stealval = AtomicWord64(StealValEpoch.pack(0, 0, 0, 0))
+        self.comp = AtomicArray64(max_epochs * comp_slots)
+        self.epoch = 0
+        # Owner bookkeeping: [start, start+itasks) is the live allotment.
+        self._records: list[dict] = [
+            {"epoch": 0, "start": 0, "itasks": 0, "claims": 0}
+        ]
+        self.cursor = 0                      # next unshared buffer index
+        self.owner_kept: list[int] = []      # tasks re-acquired by the owner
+
+    # -- owner ---------------------------------------------------------
+    def release(self, count: int) -> None:
+        """Publish the next ``count`` buffer tasks as a new allotment.
+
+        Unlike the simulator's split queue — where the unclaimed
+        remainder stays physically contiguous with newly exposed tasks —
+        this flat-buffer shim cannot re-share a remainder across the hole
+        an ``acquire`` leaves, so any unclaimed remainder is absorbed by
+        the owner first (acquire-all-then-release).  The claim/lock/
+        completion races being validated are unaffected.
+        """
+        rem_start, rem = self._close()
+        if rem:
+            self.owner_kept.extend(self.buffer[rem_start : rem_start + rem])
+        count = min(count, len(self.buffer) - self.cursor)
+        start = self.cursor
+        self.cursor += count
+        self._reopen(start, count)
+
+    def acquire(self) -> list[int]:
+        """Lock, pull back half the unclaimed remainder, re-publish."""
+        rem_start, rem = self._close()
+        ntake = (rem + 1) // 2
+        taken = self.buffer[rem_start + (rem - ntake) : rem_start + rem]
+        self.owner_kept.extend(taken)
+        self._reopen(rem_start, rem - ntake)
+        return taken
+
+    def _close(self) -> tuple[int, int]:
+        old = self.stealval.swap(StealValEpoch.locked_word())
+        view = StealValEpoch.unpack(old)
+        rec = self._records[-1]
+        assert view.epoch == rec["epoch"] and view.itasks == rec["itasks"]
+        claims = min(view.asteals, max_steals(view.itasks))
+        rec["claims"] = claims
+        disp = steal_displacement(rec["itasks"], claims)
+        return rec["start"] + disp, rec["itasks"] - disp
+
+    def _reopen(self, start: int, itasks: int) -> None:
+        next_epoch = (self.epoch + 1) % self.max_epochs
+        # Wait until the epoch's previous record fully completed, then
+        # prune settled records and zero the epoch's completion row.
+        while any(
+            r["epoch"] == next_epoch and not self._settled(r)
+            for r in self._records
+        ):
+            time.sleep(1e-5)
+        self._records = [r for r in self._records if not self._settled(r)]
+        base = next_epoch * self.comp_slots
+        for i in range(self.comp_slots):
+            self.comp[base + i].store(0)
+        self.epoch = next_epoch
+        self._records.append({"epoch": next_epoch, "start": start, "itasks": itasks})
+        self.stealval.store(StealValEpoch.pack(0, next_epoch, itasks, start % (1 << 19)))
+
+    def _settled(self, rec: dict) -> bool:
+        claims = rec.get("claims")
+        if claims is None:
+            return False
+        vols = schedule(rec["itasks"])
+        base = rec["epoch"] * self.comp_slots
+        return all(self.comp[base + i].load() == vols[i] for i in range(claims))
+
+    def drain(self) -> None:
+        """Wait for every claimed steal to signal completion."""
+        rem_start, rem = self._close()
+        self.owner_kept.extend(self.buffer[rem_start : rem_start + rem])
+        while not all(self._settled(r) for r in self._records):
+            time.sleep(1e-5)
+        unshared = self.buffer[self.cursor :]
+        self.owner_kept.extend(unshared)
+        self.cursor = len(self.buffer)
+
+    # -- thief ---------------------------------------------------------
+    def steal(self) -> ThreadStealResult:
+        """One claiming attempt, exactly the simulator's 3-step protocol."""
+        old = self.stealval.fetch_add(StealValEpoch.ASTEAL_UNIT)
+        view = StealValEpoch.unpack(old)
+        if view.locked:
+            return ThreadStealResult(aborted_locked=True)
+        vol = steal_volume(view.itasks, view.asteals)
+        if vol == 0:
+            return ThreadStealResult(empty=True)
+        disp = steal_displacement(view.itasks, view.asteals)
+        # The tail field stores start % 2^19; tests keep buffers smaller
+        # than that, so the raw value is the buffer index.
+        start = view.tail + disp
+        claimed = self.buffer[start : start + vol]
+        # Simulate copy latency so completion really lags the claim.
+        time.sleep(0)
+        self.comp[view.epoch * self.comp_slots + view.asteals].fetch_add(vol)
+        return ThreadStealResult(claimed=claimed)
+
+
+def hammer(
+    tasks: list[int],
+    nthieves: int = 4,
+    releases: int = 8,
+    acquires: int = 3,
+    seed: int = 0,
+) -> tuple[list[list[int]], list[int]]:
+    """Race harness: one owner thread releasing/acquiring, N thief threads.
+
+    Returns ``(per-thief loot, owner-kept tasks)``; their disjoint union
+    must equal ``tasks``.
+    """
+    queue = ThreadSwsQueue(tasks)
+    loot: list[list[int]] = [[] for _ in range(nthieves)]
+    stop = threading.Event()
+
+    def thief(idx: int) -> None:
+        while not stop.is_set():
+            res = queue.steal()
+            if res.claimed:
+                loot[idx].extend(res.claimed)
+            else:
+                time.sleep(1e-6)
+
+    threads = [
+        threading.Thread(target=thief, args=(i,), daemon=True)
+        for i in range(nthieves)
+    ]
+    for t in threads:
+        t.start()
+
+    chunk = max(1, len(tasks) // releases)
+    done_acquires = 0
+    while queue.cursor < len(tasks):
+        queue.release(chunk)
+        time.sleep(2e-5)
+        if done_acquires < acquires:
+            queue.acquire()
+            done_acquires += 1
+    queue.drain()
+    stop.set()
+    for t in threads:
+        t.join(timeout=5.0)
+    return loot, queue.owner_kept

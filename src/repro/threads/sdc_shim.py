@@ -1,0 +1,154 @@
+"""SDC steal protocol over real threads — the baseline race harness.
+
+Counterpart of :class:`~repro.threads.queue_shim.ThreadSwsQueue`: the
+lock-based SDC protocol re-run under genuine preemption.  Thieves acquire
+a spinlock word, read the (tail, split) metadata, advance the tail, and
+unlock — exactly the simulator's six-step structure minus the wire.
+
+Comparing the two shims under the same hammer shows the behavioural
+difference the paper measures: SDC thieves serialize on the lock while
+SWS claims proceed concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .atomics import AtomicWord64
+
+
+@dataclass
+class SdcThreadResult:
+    """One thief attempt's outcome."""
+
+    claimed: list[int] = field(default_factory=list)
+    lock_spins: int = 0
+    empty: bool = False
+
+
+class ThreadSdcQueue:
+    """Owner-side SDC queue state over real atomics."""
+
+    def __init__(self, tasks: list[int]) -> None:
+        self.buffer = list(tasks)
+        self.lock = AtomicWord64(0)
+        self.tail = AtomicWord64(0)
+        self.split = AtomicWord64(0)
+        self.cursor = 0
+        self.owner_kept: list[int] = []
+
+    # -- owner ---------------------------------------------------------
+    def release(self, count: int) -> None:
+        """Expose the next ``count`` buffer tasks (requires empty shared,
+        like the real protocol; surplus shared is absorbed first)."""
+        self._lock()
+        try:
+            tail, split = self.tail.load(), self.split.load()
+            if split > tail:
+                # Absorb the remainder (acquire-all) before re-exposing.
+                self.owner_kept.extend(self.buffer[tail:split])
+                self.tail.store(split)
+            count = min(count, len(self.buffer) - self.cursor)
+            self.cursor += count
+            self.split.store(self.cursor)
+            self.tail.store(self.cursor - count)
+        finally:
+            self._unlock()
+
+    def acquire(self) -> list[int]:
+        """Pull back half of the shared portion under the lock."""
+        self._lock()
+        try:
+            tail, split = self.tail.load(), self.split.load()
+            avail = split - tail
+            ntake = (avail + 1) // 2
+            taken = self.buffer[split - ntake : split]
+            self.owner_kept.extend(taken)
+            self.split.store(split - ntake)
+            return taken
+        finally:
+            self._unlock()
+
+    def drain(self) -> None:
+        """Absorb everything left (shared remainder + unshared)."""
+        self._lock()
+        try:
+            tail, split = self.tail.load(), self.split.load()
+            self.owner_kept.extend(self.buffer[tail:split])
+            self.tail.store(split)
+            self.owner_kept.extend(self.buffer[self.cursor :])
+            self.cursor = len(self.buffer)
+        finally:
+            self._unlock()
+
+    def _lock(self) -> None:
+        while self.lock.compare_swap(0, 1) != 0:
+            time.sleep(0)
+
+    def _unlock(self) -> None:
+        self.lock.store(0)
+
+    # -- thief ---------------------------------------------------------
+    def steal(self, max_spins: int = 10_000) -> SdcThreadResult:
+        """One lock-protected steal-half attempt."""
+        res = SdcThreadResult()
+        while self.lock.compare_swap(0, 1) != 0:
+            res.lock_spins += 1
+            if res.lock_spins >= max_spins:
+                return res
+            time.sleep(0)
+        try:
+            tail, split = self.tail.load(), self.split.load()
+            avail = split - tail
+            if avail <= 0:
+                res.empty = True
+                return res
+            n = max(1, avail // 2)
+            res.claimed = self.buffer[tail : tail + n]
+            self.tail.store(tail + n)
+            return res
+        finally:
+            self._unlock()
+
+
+def hammer_sdc(
+    tasks: list[int],
+    nthieves: int = 4,
+    releases: int = 8,
+    acquires: int = 3,
+) -> tuple[list[list[int]], list[int]]:
+    """Race harness mirroring :func:`repro.threads.queue_shim.hammer`."""
+    queue = ThreadSdcQueue(tasks)
+    loot: list[list[int]] = [[] for _ in range(nthieves)]
+    stop = threading.Event()
+
+    def thief(idx: int) -> None:
+        while not stop.is_set():
+            res = queue.steal()
+            if res.claimed:
+                loot[idx].extend(res.claimed)
+            else:
+                time.sleep(1e-6)
+
+    threads = [
+        threading.Thread(target=thief, args=(i,), daemon=True)
+        for i in range(nthieves)
+    ]
+    for t in threads:
+        t.start()
+
+    chunk = max(1, len(tasks) // releases)
+    done_acquires = 0
+    while queue.cursor < len(tasks):
+        queue.release(chunk)
+        time.sleep(2e-5)
+        if done_acquires < acquires:
+            queue.acquire()
+            done_acquires += 1
+    queue.drain()
+    stop.set()
+    for t in threads:
+        t.join(timeout=5.0)
+    return loot, queue.owner_kept

@@ -1,0 +1,26 @@
+"""Benchmark workloads: BPC, UTS, and the Figure-6 steal-latency probe."""
+
+from .bpc import PAPER_PARAMS as BPC_PAPER_PARAMS
+from .bpc import PAPER_TASK_SIZE as BPC_PAPER_TASK_SIZE
+from .bpc import BpcParams, BpcWorkload, paper_scale
+from .fib import FibParams, FibWorkload, fib, task_count
+from .nqueens import SOLUTIONS, NQueensParams, NQueensWorkload
+from .synthetic import StealProbeResult, measure_single_steal, steal_volume_sweep
+
+__all__ = [
+    "BpcParams",
+    "BpcWorkload",
+    "BPC_PAPER_PARAMS",
+    "BPC_PAPER_TASK_SIZE",
+    "paper_scale",
+    "StealProbeResult",
+    "measure_single_steal",
+    "steal_volume_sweep",
+    "FibParams",
+    "FibWorkload",
+    "fib",
+    "task_count",
+    "NQueensParams",
+    "NQueensWorkload",
+    "SOLUTIONS",
+]

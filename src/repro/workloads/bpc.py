@@ -1,0 +1,131 @@
+"""Bouncing Producer-Consumer benchmark (paper §5.2.1).
+
+BPC stresses a load balancer's ability to *locate and disperse* work.
+One producer task spawns ``n`` consumer tasks plus the next producer,
+down to a set depth.  Because the producer is enqueued first, it sits at
+the **tail** of the owner's queue — the first task a thief copies — so
+the producer "bounces" between processes, dragging the work front with
+it.  Consumers are pure compute.
+
+Paper parameters: n=8192 consumers per producer, depth 500, consumer
+5 ms, producer 1 ms, 32-byte tasks → 2,457,901 total tasks (Table 2:
+``depth * (n + 1) + 1`` with the final producer spawning nothing).
+Scaled defaults keep simulation tractable; ``paper_scale`` restores the
+published configuration.
+
+Payload layout (little-endian): ``depth_remaining:u32``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..runtime.registry import TaskContext, TaskOutcome, TaskRegistry
+from ..runtime.task import Task
+
+_PRODUCER = struct.Struct("<I")
+
+#: Task record size used by the paper for BPC (Table 2).
+PAPER_TASK_SIZE = 32
+
+
+@dataclass(frozen=True)
+class BpcParams:
+    """BPC workload configuration.
+
+    ``n_consumers`` consumers per producer, producers chained to
+    ``depth``; durations in seconds.
+    """
+
+    n_consumers: int = 64
+    depth: int = 32
+    consumer_time: float = 5.0e-3
+    producer_time: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.n_consumers < 0:
+            raise ValueError(f"n_consumers must be >= 0, got {self.n_consumers}")
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if self.consumer_time < 0 or self.producer_time < 0:
+            raise ValueError("task durations must be non-negative")
+
+    @property
+    def total_tasks(self) -> int:
+        """Exact task count: each of ``depth`` producers spawns
+        ``n_consumers``; the deepest producer spawns nothing further."""
+        return self.depth * (self.n_consumers + 1)
+
+    @property
+    def total_task_time(self) -> float:
+        """Sum of all task compute durations (for efficiency baselines)."""
+        return self.depth * (
+            self.n_consumers * self.consumer_time + self.producer_time
+        )
+
+    @property
+    def avg_task_time(self) -> float:
+        """Mean task duration (Table 2 reports 5 ms at paper scale)."""
+        return self.total_task_time / self.total_tasks
+
+
+#: The configuration used in the paper's evaluation.
+PAPER_PARAMS = BpcParams(
+    n_consumers=8192, depth=500, consumer_time=5.0e-3, producer_time=1.0e-3
+)
+
+
+def paper_scale() -> BpcParams:
+    """The published configuration (≈2.46 M tasks — heavy to simulate)."""
+    return PAPER_PARAMS
+
+
+class BpcWorkload:
+    """Registers BPC task functions and produces the seed task.
+
+    The producer enqueues itself *first* so it lands nearest the queue
+    tail and is stolen first — the bounce that gives BPC its name.
+    """
+
+    def __init__(self, registry: TaskRegistry, params: BpcParams | None = None) -> None:
+        self.params = params or BpcParams()
+        self.registry = registry
+        self.producer_id = registry.register("bpc.producer", self._producer)
+        self.consumer_id = registry.register("bpc.consumer", self._consumer)
+        #: (depth, executing rank) per producer, in execution order — the
+        #: raw data behind the "bouncing" in the benchmark's name.
+        self.producer_hosts: list[tuple[int, int]] = []
+
+    def seed_task(self) -> Task:
+        """The root producer task."""
+        return Task(self.producer_id, _PRODUCER.pack(self.params.depth))
+
+    @property
+    def bounces(self) -> int:
+        """How many times the producer chain changed hosts.
+
+        The producers form one serial chain (depth N spawns depth N-1),
+        so consecutive entries of ``producer_hosts`` sorted by falling
+        depth are consecutive chain links; a rank change between links is
+        one bounce.
+        """
+        chain = sorted(self.producer_hosts, key=lambda dr: -dr[0])
+        return sum(
+            1 for (_, a), (_, b) in zip(chain, chain[1:]) if a != b
+        )
+
+    def _producer(self, payload: bytes, tc: TaskContext) -> TaskOutcome:
+        (depth,) = _PRODUCER.unpack(payload)
+        self.producer_hosts.append((depth, tc.rank))
+        children: list[Task] = []
+        if depth > 1:
+            # Next producer first: closest to the tail, first to be stolen.
+            children.append(Task(self.producer_id, _PRODUCER.pack(depth - 1)))
+        children.extend(
+            Task(self.consumer_id) for _ in range(self.params.n_consumers)
+        )
+        return TaskOutcome(duration=self.params.producer_time, children=children)
+
+    def _consumer(self, payload: bytes, tc: TaskContext) -> TaskOutcome:
+        return TaskOutcome(duration=self.params.consumer_time)

@@ -1,0 +1,78 @@
+"""Naive Fibonacci — the canonical Cilk spawn benchmark.
+
+``fib(n)`` spawns ``fib(n-1)`` and ``fib(n-2)`` down to the base cases;
+the task count equals ``2*fib(n+1) - 1``, giving a predictable, heavily
+skewed spawn tree (the n-1 subtree is ~1.6x the n-2 subtree at every
+level, so steal-half repeatedly bisects unequal halves).
+
+No value is actually "returned" up the tree — tasks in the Scioto model
+are independent — so, like real distributed Fibonacci microbenchmarks,
+this measures pure spawn/steal machinery.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..runtime.registry import TaskContext, TaskOutcome, TaskRegistry
+from ..runtime.task import Task
+
+_PAYLOAD = struct.Struct("<I")
+
+
+@lru_cache(maxsize=128)
+def fib(n: int) -> int:
+    """The Fibonacci number (for validation math)."""
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+
+def task_count(n: int) -> int:
+    """Tasks a run of ``fib(n)`` executes: the call-tree size.
+
+    ``calls(n) = calls(n-1) + calls(n-2) + 1`` with ``calls(0) =
+    calls(1) = 1``, which closes to ``2*fib(n+1) - 1``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return 2 * fib(n + 1) - 1
+
+
+@dataclass(frozen=True)
+class FibParams:
+    """Problem size and per-call virtual compute time."""
+
+    n: int = 16
+    call_time: float = 0.5e-6
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n <= 30:
+            raise ValueError(f"n must be in [0, 30], got {self.n}")
+        if self.call_time < 0:
+            raise ValueError("call_time must be non-negative")
+
+
+class FibWorkload:
+    """Registers the fib task function."""
+
+    def __init__(self, registry: TaskRegistry, params: FibParams | None = None) -> None:
+        self.params = params or FibParams()
+        self.registry = registry
+        self.fn_id = registry.register("fib.call", self._call)
+
+    def seed_task(self) -> Task:
+        """The root ``fib(n)`` task."""
+        return Task(self.fn_id, _PAYLOAD.pack(self.params.n))
+
+    def _call(self, payload: bytes, tc: TaskContext) -> TaskOutcome:
+        (n,) = _PAYLOAD.unpack(payload)
+        if n < 2:
+            return TaskOutcome(self.params.call_time)
+        children = [
+            Task(self.fn_id, _PAYLOAD.pack(n - 1)),
+            Task(self.fn_id, _PAYLOAD.pack(n - 2)),
+        ]
+        return TaskOutcome(self.params.call_time, children)

@@ -1,0 +1,73 @@
+"""N-Queens enumeration as a task-pool workload.
+
+The classic irregular-parallelism benchmark (used by the X10/lifeline
+line of work the paper cites): each task places one more queen on a
+partial board and spawns a child per legal placement.  Subtree sizes
+vary wildly with the prefix, making it a natural work-stealing stress.
+
+Payload layout (little-endian): ``n:u8 | row:u8 | cols[row]:u8...`` —
+the column of the queen in each filled row.  Solution counting uses a
+workload-level counter (the registry is shared by every simulated PE,
+so the count is global; a real implementation would allreduce it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.registry import TaskContext, TaskOutcome, TaskRegistry
+from ..runtime.task import Task
+
+#: Known solution counts for validation.
+SOLUTIONS = {1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724}
+
+
+@dataclass(frozen=True)
+class NQueensParams:
+    """Board size and per-node virtual compute time."""
+
+    n: int = 8
+    node_time: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n <= 16:
+            raise ValueError(f"n must be in [1, 16], got {self.n}")
+        if self.node_time < 0:
+            raise ValueError("node_time must be non-negative")
+
+
+def _legal(cols: bytes, col: int) -> bool:
+    row = len(cols)
+    for r, c in enumerate(cols):
+        if c == col or abs(c - col) == row - r:
+            return False
+    return True
+
+
+class NQueensWorkload:
+    """Registers the placement task and tracks the solution count."""
+
+    def __init__(self, registry: TaskRegistry, params: NQueensParams | None = None) -> None:
+        self.params = params or NQueensParams()
+        self.registry = registry
+        self.node_id = registry.register("nqueens.place", self._place)
+        self.solutions = 0
+        self.nodes_visited = 0
+
+    def seed_task(self) -> Task:
+        """The empty-board root task."""
+        return Task(self.node_id, bytes([self.params.n, 0]))
+
+    def _place(self, payload: bytes, tc: TaskContext) -> TaskOutcome:
+        n, row = payload[0], payload[1]
+        cols = payload[2 : 2 + row]
+        self.nodes_visited += 1
+        if row == n:
+            self.solutions += 1
+            return TaskOutcome(self.params.node_time)
+        children = [
+            Task(self.node_id, bytes([n, row + 1]) + cols + bytes([col]))
+            for col in range(n)
+            if _legal(cols, col)
+        ]
+        return TaskOutcome(self.params.node_time, children)

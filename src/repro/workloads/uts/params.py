@@ -1,0 +1,73 @@
+"""Named UTS tree configurations.
+
+``T1WL`` is the paper's evaluation tree: 270,751,679,750 nodes at depth
+18 — far beyond what any simulation (or indeed most clusters) enumerates
+in reasonable time, so scaled GEO trees with the same shape law are
+provided for the reproduction, from test-sized to bench-sized.  The
+SHA-1 expansion rule is identical at every scale; only ``b0``/``gen_mx``
+shrink, preserving the statistical character (geometric branching,
+heavy subtree-size variance).
+
+Node counts below were measured with
+:func:`repro.workloads.uts.sequential.enumerate_tree` at ``root_seed=19``
+(counts are exact — the trees are deterministic).
+"""
+
+from __future__ import annotations
+
+from .tree import GeoShape, TreeType, UtsParams
+
+#: The paper's tree (§5.2.2): GEO, 270.75 B nodes, depth 18.  Listed for
+#: provenance; do NOT enumerate it.
+T1WL = UtsParams(
+    tree_type=TreeType.GEO,
+    b0=2000.0,
+    gen_mx=18,
+    shape=GeoShape.LINEAR,
+    root_seed=19,
+)
+
+#: 85-node tree for unit tests (exact count asserted in tests).
+TEST_TINY = UtsParams(
+    tree_type=TreeType.GEO, b0=4.0, gen_mx=6, shape=GeoShape.LINEAR, root_seed=19
+)
+
+#: Small integration-test tree (3,542 nodes).
+TEST_SMALL = UtsParams(
+    tree_type=TreeType.GEO, b0=5.0, gen_mx=9, shape=GeoShape.LINEAR, root_seed=19
+)
+
+#: Bench-scale GEO tree (68,221 nodes).
+BENCH_GEO = UtsParams(
+    tree_type=TreeType.GEO, b0=6.0, gen_mx=10, shape=GeoShape.LINEAR, root_seed=19
+)
+
+#: Larger GEO tree for scaling sweeps (185,317 nodes).
+SWEEP_GEO = UtsParams(
+    tree_type=TreeType.GEO, b0=6.0, gen_mx=11, shape=GeoShape.LINEAR, root_seed=19
+)
+
+#: Near-critical binomial tree (147,321 nodes, depth 462) — the classic
+#: highly-unbalanced stress; subtree sizes vary over five decades.
+BENCH_BIN = UtsParams(
+    tree_type=TreeType.BIN, b0=64.0, q=0.124875, m=8, root_seed=19
+)
+
+NAMED_TREES = {
+    "t1wl": T1WL,
+    "test_tiny": TEST_TINY,
+    "test_small": TEST_SMALL,
+    "bench_geo": BENCH_GEO,
+    "sweep_geo": SWEEP_GEO,
+    "bench_bin": BENCH_BIN,
+}
+
+
+def get_tree(name: str) -> UtsParams:
+    """Look up a named tree configuration."""
+    try:
+        return NAMED_TREES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown tree {name!r}; choose from {sorted(NAMED_TREES)}"
+        ) from None

@@ -1,0 +1,53 @@
+"""SHA-1 splittable random stream, as used by the UTS benchmark.
+
+UTS builds a *deterministic but unpredictable* tree by giving every node
+a 20-byte SHA-1 digest as its state; a child's state is the digest of its
+parent's state concatenated with the child's index (paper §5.2.2:
+"children are located by composing the digest of the parent node and the
+identifier of the child").  Any process holding a node's descriptor can
+therefore expand it with no communication — which is what makes UTS a
+pure work-stealing stress test.
+
+This mirrors the reference implementation's ``rng/brg_sha1`` usage: the
+random value drawn from a state is its leading 31 bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+#: Size of a node state (one SHA-1 digest).
+STATE_BYTES = 20
+
+_CHILD = struct.Struct(">I")
+_TWO31 = float(1 << 31)
+
+
+def root_state(seed: int) -> bytes:
+    """State of the tree root for an integer seed.
+
+    The reference implementation hashes the seed's decimal string; the
+    exact convention only fixes *which* deterministic tree is searched.
+    """
+    return hashlib.sha1(str(seed).encode("ascii")).digest()
+
+
+def spawn(state: bytes, child_index: int) -> bytes:
+    """Child state: SHA-1 of parent state + big-endian child index."""
+    if len(state) != STATE_BYTES:
+        raise ValueError(f"state must be {STATE_BYTES} bytes, got {len(state)}")
+    if child_index < 0:
+        raise ValueError(f"child index must be non-negative, got {child_index}")
+    return hashlib.sha1(state + _CHILD.pack(child_index)).digest()
+
+
+def rand31(state: bytes) -> int:
+    """The node's random draw: leading 31 bits of its state."""
+    if len(state) != STATE_BYTES:
+        raise ValueError(f"state must be {STATE_BYTES} bytes, got {len(state)}")
+    return int.from_bytes(state[:4], "big") & 0x7FFFFFFF
+
+def to_prob(state: bytes) -> float:
+    """The node's random draw as a float in [0, 1)."""
+    return rand31(state) / _TWO31

@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for protocol tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QueueConfig
+from repro.core.sdc_queue import SdcQueueSystem
+from repro.core.sws_queue import SwsQueueSystem
+from repro.fabric.latency import ZERO_LATENCY, LatencyModel
+from repro.shmem.api import ShmemCtx
+
+#: Simple latencies for hand-verifiable protocol timing.
+TEST_LAT = LatencyModel(
+    alpha_sw=0.1e-6,
+    half_rtt_inter=1.0e-6,
+    half_rtt_intra=0.3e-6,
+    beta=1e-9,
+    amo_process=0.05e-6,
+    get_process=0.02e-6,
+)
+
+
+def run_procs(ctx: ShmemCtx, *gens, names=None):
+    """Spawn generator processes, run to completion, return their results."""
+    procs = []
+    for i, g in enumerate(gens):
+        name = names[i] if names else f"p{i}"
+        procs.append(ctx.engine.spawn(g, name))
+    ctx.run()
+    return [p.result for p in procs]
+
+
+def collect(gen):
+    """Run a generator that never yields comm (pure-local op sequence)."""
+    try:
+        while True:
+            next(gen)
+            raise AssertionError("generator unexpectedly yielded")
+    except StopIteration as stop:
+        return stop.value
+
+
+def make_system(impl: str, npes: int = 2, latency=TEST_LAT, **cfg_kwargs):
+    """Build a ctx + queue system of either implementation."""
+    defaults = dict(qsize=256, task_size=16)
+    defaults.update(cfg_kwargs)
+    cfg = QueueConfig(**defaults)
+    ctx = ShmemCtx(npes, latency=latency)
+    cls = SwsQueueSystem if impl == "sws" else SdcQueueSystem
+    return ctx, cls(ctx, cfg)
+
+
+def rec(i: int, size: int = 16) -> bytes:
+    """A distinguishable task record of ``size`` bytes."""
+    return i.to_bytes(4, "little") + bytes(size - 4)
+
+
+def rec_id(record: bytes) -> int:
+    """Inverse of :func:`rec`."""
+    return int.from_bytes(record[:4], "little")
+
+
+@pytest.fixture(params=["sws", "sdc"])
+def impl(request):
+    """Parametrize a test over both queue implementations."""
+    return request.param

@@ -1,0 +1,163 @@
+"""Tests for tree-based shmem collectives."""
+
+import pytest
+
+from repro.fabric.engine import Delay
+from repro.fabric.errors import ProtocolError
+from repro.shmem.api import ShmemCtx
+from repro.shmem.collectives import CollectiveSystem
+
+from .conftest import TEST_LAT, run_procs
+
+
+def make(npes, width=16):
+    ctx = ShmemCtx(npes, latency=TEST_LAT)
+    system = CollectiveSystem(ctx, width=width)
+    return ctx, [system.handle(r) for r in range(npes)]
+
+
+@pytest.mark.parametrize("npes", [1, 2, 3, 4, 7, 8, 16])
+def test_broadcast_from_zero(npes):
+    ctx, colls = make(npes)
+
+    def p(rank):
+        vals = yield from colls[rank].broadcast(
+            [10, 20, 30] if rank == 0 else None
+        )
+        return vals
+
+    results = run_procs(ctx, *(p(r) for r in range(npes)))
+    assert all(r == [10, 20, 30] for r in results)
+
+
+@pytest.mark.parametrize("root", [0, 1, 3])
+def test_broadcast_nonzero_root(root):
+    npes = 5
+    ctx, colls = make(npes)
+
+    def p(rank):
+        vals = yield from colls[rank].broadcast(
+            [99] if rank == root else None, root=root
+        )
+        return vals
+
+    results = run_procs(ctx, *(p(r) for r in range(npes)))
+    assert all(r == [99] for r in results)
+
+
+@pytest.mark.parametrize("npes", [1, 2, 3, 5, 8, 13])
+def test_reduce_sum(npes):
+    ctx, colls = make(npes)
+
+    def p(rank):
+        out = yield from colls[rank].reduce([rank + 1, rank * 10], op="sum")
+        return out
+
+    results = run_procs(ctx, *(p(r) for r in range(npes)))
+    expected = [
+        sum(r + 1 for r in range(npes)),
+        sum(r * 10 for r in range(npes)),
+    ]
+    assert results[0] == expected
+    assert all(r is None for r in results[1:])
+
+
+def test_reduce_max_min():
+    npes = 6
+    ctx, colls = make(npes)
+
+    def p(rank):
+        mx = yield from colls[rank].reduce([rank], op="max")
+        mn = yield from colls[rank].reduce([rank], op="min")
+        return mx, mn
+
+    results = run_procs(ctx, *(p(r) for r in range(npes)))
+    assert results[0] == ([5], [0])
+
+
+@pytest.mark.parametrize("npes", [2, 4, 9])
+def test_allreduce_everyone_gets_result(npes):
+    ctx, colls = make(npes)
+
+    def p(rank):
+        out = yield from colls[rank].allreduce([rank])
+        return out
+
+    results = run_procs(ctx, *(p(r) for r in range(npes)))
+    total = sum(range(npes))
+    assert all(r == [total] for r in results)
+
+
+def test_back_to_back_collectives():
+    """Row rotation keeps consecutive collectives from colliding."""
+    npes = 4
+    ctx, colls = make(npes)
+
+    def p(rank):
+        out = []
+        for round_ in range(6):
+            v = yield from colls[rank].allreduce([rank + round_])
+            out.append(v[0])
+        return out
+
+    results = run_procs(ctx, *(p(r) for r in range(npes)))
+    expected = [sum(range(npes)) + npes * round_ for round_ in range(6)]
+    assert all(r == expected for r in results)
+
+
+def test_collective_with_skewed_arrival():
+    """PEs entering at very different times still agree."""
+    npes = 4
+    ctx, colls = make(npes)
+
+    def p(rank):
+        yield Delay(rank * 5e-6)
+        out = yield from colls[rank].allreduce([1])
+        return out
+
+    results = run_procs(ctx, *(p(r) for r in range(npes)))
+    assert all(r == [npes] for r in results)
+
+
+def test_barrier_synchronizes():
+    npes = 4
+    ctx, colls = make(npes)
+    exit_times = {}
+
+    def p(rank):
+        yield Delay(rank * 2e-6)
+        yield from colls[rank].barrier()
+        exit_times[rank] = ctx.now
+
+    run_procs(ctx, *(p(r) for r in range(npes)))
+    # Nobody leaves before the last arrival (6us).
+    assert min(exit_times.values()) >= 6e-6
+
+
+def test_width_enforced():
+    ctx, colls = make(2, width=2)
+
+    def p0():
+        yield from colls[0].broadcast([1, 2, 3])
+
+    def p1():
+        yield from colls[1].broadcast(None)
+
+    with pytest.raises(ProtocolError, match="width"):
+        run_procs(ctx, p0(), p1())
+
+
+def test_unknown_reducer():
+    ctx, colls = make(2)
+
+    def p(rank):
+        yield from colls[rank].reduce([1], op="xor")
+
+    with pytest.raises(ProtocolError, match="unknown reduction"):
+        run_procs(ctx, p(0), p(1))
+
+
+def test_bad_width():
+    ctx = ShmemCtx(2, latency=TEST_LAT)
+    with pytest.raises(ValueError):
+        CollectiveSystem(ctx, width=0)

@@ -1,0 +1,68 @@
+"""Tests for the tools/compare_runs.py regression CLI."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.store import ResultStore
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "compare_runs.py"
+
+
+@pytest.fixture
+def compare_main():
+    spec = importlib.util.spec_from_file_location("compare_runs", TOOL)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod.main
+
+
+def seed_store(root, scale_after=1.0):
+    store = ResultStore(root)
+    for label, scale in (("before", 1.0), ("after", scale_after)):
+        store.save(
+            label,
+            ExperimentResult(
+                "fig6", "t", ["impl", "v", "us"],
+                [["sws", 2, 1.0 * scale], ["sdc", 2, 2.0 * scale]],
+            ),
+        )
+    return store
+
+
+def test_no_change_exit_zero(tmp_path, compare_main, capsys):
+    seed_store(tmp_path)
+    rc = compare_main(
+        ["before", "after", "--results-dir", str(tmp_path), "--key-cols", "2"]
+    )
+    assert rc == 0
+    assert "no significant changes" in capsys.readouterr().out
+
+
+def test_change_reported(tmp_path, compare_main, capsys):
+    seed_store(tmp_path, scale_after=1.5)
+    rc = compare_main(
+        ["before", "after", "--results-dir", str(tmp_path), "--key-cols", "2"]
+    )
+    assert rc == 0  # reported but not failing without the flag
+    assert "+50.0%" in capsys.readouterr().out
+
+
+def test_fail_on_change(tmp_path, compare_main):
+    seed_store(tmp_path, scale_after=2.0)
+    rc = compare_main(
+        ["before", "after", "--results-dir", str(tmp_path),
+         "--key-cols", "2", "--fail-on-change"]
+    )
+    assert rc == 1
+
+
+def test_no_shared_experiments(tmp_path, compare_main):
+    ResultStore(tmp_path).save(
+        "before", ExperimentResult("fig6", "t", ["a"], [[1]])
+    )
+    rc = compare_main(["before", "after", "--results-dir", str(tmp_path)])
+    assert rc == 2

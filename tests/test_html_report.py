@@ -1,0 +1,82 @@
+"""Tests for the HTML report generator."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.html_report import (
+    build_report,
+    main,
+    result_to_html,
+    svg_line_chart,
+)
+
+
+class TestSvgChart:
+    def test_basic_structure(self):
+        svg = svg_line_chart([1, 2, 3], {"a": [1, 4, 9]}, "title")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "title" in svg
+        assert svg.count("<circle") == 3
+        assert '<path d="M' in svg
+
+    def test_multi_series_distinct_colors(self):
+        svg = svg_line_chart([1, 2], {"a": [1, 2], "b": [2, 1]}, "t")
+        assert "#0072b2" in svg and "#d55e00" in svg
+        assert ">a</text>" in svg and ">b</text>" in svg
+
+    def test_flat_series_no_division_error(self):
+        svg = svg_line_chart([1, 1], {"a": [5, 5]}, "t")
+        assert "<svg" in svg
+
+    def test_escapes_title(self):
+        svg = svg_line_chart([1], {"<x>": [1]}, "<script>")
+        assert "<script>" not in svg.replace("&lt;script&gt;", "")
+
+
+class TestSectionRendering:
+    def test_generic_table(self):
+        r = ExperimentResult(
+            "tabX", "A & B", ["col<1>", "v"], [["row&", 1.5]], notes=["n<b>"]
+        )
+        html_out = result_to_html(r)
+        assert "A &amp; B" in html_out
+        assert "col&lt;1&gt;" in html_out
+        assert "row&amp;" in html_out
+        assert "n&lt;b&gt;" in html_out
+
+    def test_fig6_gets_charts(self):
+        rows = [[24, 2, 3.0, 1.3, 2.3], [24, 8, 3.1, 1.4, 2.2],
+                [192, 2, 3.2, 1.5, 2.1], [192, 8, 3.4, 1.7, 2.0]]
+        r = ExperimentResult("fig6", "t", ["ts", "v", "sdc", "sws", "r"], rows)
+        out = result_to_html(r)
+        assert out.count("<svg") == 2  # one chart per task size
+
+    def test_sweep_gets_three_charts(self):
+        rows = [
+            ["SDC", 2, 1.0, 100.0, 100.0, 90.0, 0.1, 0.2, 0.5, 1.0],
+            ["SWS", 2, 0.9, 110.0, 110.0, 95.0, 0.1, 0.2, 0.2, 0.4],
+            ["SDC", 4, 0.6, 180.0, 100.0, 80.0, 0.1, 0.2, 0.8, 2.0],
+            ["SWS", 4, 0.5, 200.0, 115.0, 85.0, 0.1, 0.2, 0.3, 0.8],
+        ]
+        r = ExperimentResult("fig8", "t", ["i"] * 10, rows)
+        out = result_to_html(r)
+        assert out.count("<svg") == 3
+
+
+class TestBuildReport:
+    def test_full_document(self):
+        doc = build_report(["fig2"])
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "fig2" in doc
+        assert "</html>" in doc
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "r.html"
+        rc = main(["--out", str(out), "--exp", "fig2"])
+        assert rc == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_main_rejects_unknown(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--out", str(tmp_path / "x.html"), "--exp", "nope"])

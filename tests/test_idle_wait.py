@@ -1,0 +1,132 @@
+"""Tests for wait_until_any and event-driven idle quiescence."""
+
+import pytest
+
+from repro.fabric.engine import Delay
+from repro.runtime.pool import run_pool
+from repro.runtime.registry import TaskOutcome, TaskRegistry
+from repro.runtime.task import Task
+from repro.runtime.worker import WorkerConfig
+from repro.shmem.api import ShmemCtx
+
+from .conftest import TEST_LAT, run_procs
+
+
+class TestWaitUntilAny:
+    def make(self):
+        ctx = ShmemCtx(2, latency=TEST_LAT)
+        ctx.heap.alloc_words("w", 4)
+        return ctx
+
+    def test_returns_first_satisfied_index(self):
+        ctx = self.make()
+        ctx.heap.store(0, "w", 2, 9)
+        pe = ctx.pe(0)
+
+        def p():
+            idx = yield pe.wait_until_any(
+                [
+                    ("w", 0, lambda v: v != 0),
+                    ("w", 2, lambda v: v == 9),
+                ]
+            )
+            return idx
+
+        (idx,) = run_procs(ctx, p())
+        assert idx == 1
+
+    def test_wakes_on_whichever_fires(self):
+        ctx = self.make()
+        waiter_pe, writer = ctx.pe(0), ctx.pe(1)
+
+        def p():
+            idx = yield waiter_pe.wait_until_any(
+                [("w", 0, lambda v: v == 1), ("w", 1, lambda v: v == 1)]
+            )
+            return idx, ctx.now
+
+        def w():
+            yield Delay(3e-6)
+            yield writer.put_word(0, "w", 1, 1)
+
+        results = run_procs(ctx, p(), w())
+        idx, t = results[0]
+        assert idx == 1
+        assert 3e-6 < t < 6e-6
+
+    def test_single_wake_despite_both_firing(self):
+        ctx = self.make()
+        waiter_pe, writer = ctx.pe(0), ctx.pe(1)
+        wakes = []
+
+        def p():
+            idx = yield waiter_pe.wait_until_any(
+                [("w", 0, lambda v: v == 1), ("w", 1, lambda v: v == 1)]
+            )
+            wakes.append(idx)
+
+        def w():
+            yield Delay(1e-6)
+            yield writer.put_words(0, "w", 0, [1, 1])  # both at once
+
+        run_procs(ctx, p(), w())
+        assert len(wakes) == 1
+
+    def test_empty_conditions_rejected(self):
+        ctx = self.make()
+        with pytest.raises(ValueError):
+            ctx.pe(0).wait_until_any([])
+
+
+def fanout_registry(width, leaf_time=2e-3):
+    reg = TaskRegistry()
+    reg.register(
+        "root", lambda p, tc: TaskOutcome(1e-5, [Task(1) for _ in range(width)])
+    )
+    reg.register("leaf", lambda p, tc: TaskOutcome(leaf_time))
+    return reg
+
+
+class TestIdleWait:
+    @pytest.mark.parametrize("termination", ["ring", "tree"])
+    def test_correct_with_idle_wait(self, termination):
+        stats = run_pool(
+            8,
+            fanout_registry(200),
+            [Task(0)],
+            impl="sws",
+            lifelines=True,
+            termination=termination,
+            worker_config=WorkerConfig(idle_wait=True),
+            seed=3,
+        )
+        assert stats.total_tasks == 201
+
+    def test_idle_wait_cuts_events(self):
+        def events(idle_wait):
+            from repro.runtime.pool import TaskPool
+
+            pool = TaskPool(
+                8,
+                fanout_registry(100, leaf_time=5e-3),
+                impl="sws",
+                lifelines=True,
+                worker_config=WorkerConfig(idle_wait=idle_wait),
+                seed=3,
+            )
+            pool.seed(0, [Task(0)])
+            stats = pool.run()
+            assert stats.total_tasks == 101
+            return pool.ctx.engine.events_processed
+
+        assert events(True) < events(False)
+
+    def test_idle_wait_without_lifelines_is_inert(self):
+        stats = run_pool(
+            4,
+            fanout_registry(80),
+            [Task(0)],
+            impl="sws",
+            worker_config=WorkerConfig(idle_wait=True),
+        )
+        assert stats.total_tasks == 81

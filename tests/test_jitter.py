@@ -1,0 +1,84 @@
+"""Tests for deterministic latency jitter."""
+
+import pytest
+
+from repro.fabric.latency import LatencyModel
+from repro.runtime.pool import run_pool
+from repro.runtime.registry import TaskOutcome, TaskRegistry
+from repro.runtime.task import Task
+from repro.shmem.api import ShmemCtx
+
+
+def test_jitter_bounds_validated():
+    with pytest.raises(ValueError):
+        LatencyModel(jitter=1.0)
+    with pytest.raises(ValueError):
+        LatencyModel(jitter=-0.1)
+    LatencyModel(jitter=0.99)
+
+
+def _ping_time(jitter, seed):
+    lat = LatencyModel(
+        alpha_sw=0, half_rtt_inter=10e-6, half_rtt_intra=10e-6,
+        beta=0, amo_process=0, get_process=0, jitter=jitter,
+    )
+    ctx = ShmemCtx(2, latency=lat, pes_per_node=1, jitter_seed=seed)
+    ctx.heap.alloc_words("w", 1)
+    done = {}
+
+    def p():
+        pe = ctx.pe(0)
+        yield pe.atomic_fetch_add(1, "w", 0, 1)
+        done["t"] = ctx.now
+
+    ctx.engine.spawn(p(), "p")
+    ctx.run()
+    return done["t"]
+
+
+def test_zero_jitter_exact():
+    assert _ping_time(0.0, 1) == pytest.approx(20e-6)
+
+
+def test_jitter_adds_bounded_delay():
+    t = _ping_time(0.5, 1)
+    assert 20e-6 < t <= 30e-6  # each hop inflated by at most 50%
+
+
+def test_jitter_deterministic_per_seed():
+    assert _ping_time(0.5, 7) == _ping_time(0.5, 7)
+    assert _ping_time(0.5, 7) != _ping_time(0.5, 8)
+
+
+def test_pool_under_jitter_still_correct():
+    reg = TaskRegistry()
+    reg.register(
+        "root", lambda p, tc: TaskOutcome(1e-5, [Task(1) for _ in range(100)])
+    )
+    reg.register("leaf", lambda p, tc: TaskOutcome(1e-4))
+    lat = LatencyModel(jitter=0.3)
+    stats = run_pool(4, reg, [Task(0)], impl="sws", latency=lat)
+    assert stats.total_tasks == 101
+
+
+def test_jitter_perturbs_schedule_not_results():
+    """Different jitter seeds change timing but never task counts."""
+    def go(seed):
+        reg = TaskRegistry()
+        reg.register(
+            "root",
+            lambda p, tc: TaskOutcome(1e-5, [Task(1) for _ in range(150)]),
+        )
+        reg.register("leaf", lambda p, tc: TaskOutcome(5e-5))
+        from repro.runtime.pool import TaskPool
+
+        pool = TaskPool(
+            4, reg, impl="sws", latency=LatencyModel(jitter=0.4)
+        )
+        pool.ctx.nic._jitter_seed = seed
+        pool.seed(0, [Task(0)])
+        return pool.run()
+
+    a, b = go(1), go(2)
+    assert a.total_tasks == b.total_tasks == 151
+    assert a.runtime != b.runtime

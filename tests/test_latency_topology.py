@@ -1,0 +1,114 @@
+"""Tests for the latency model and cluster topology."""
+
+import pytest
+
+from repro.fabric.errors import PEIndexError
+from repro.fabric.latency import (
+    EDR_INFINIBAND,
+    SLOW_ETHERNET,
+    ZERO_LATENCY,
+    LatencyModel,
+    get_preset,
+)
+from repro.fabric.topology import Topology
+
+
+class TestLatencyModel:
+    def test_default_is_edr(self):
+        assert LatencyModel() == EDR_INFINIBAND
+
+    def test_one_way_intra_vs_inter(self):
+        lat = EDR_INFINIBAND
+        assert lat.one_way(same_node=True) < lat.one_way(same_node=False)
+        assert lat.one_way(True) == lat.half_rtt_intra
+        assert lat.one_way(False) == lat.half_rtt_inter
+
+    def test_payload_time_linear(self):
+        lat = EDR_INFINIBAND
+        assert lat.payload_time(0) == 0.0
+        assert lat.payload_time(2000) == pytest.approx(2 * lat.payload_time(1000))
+
+    def test_payload_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EDR_INFINIBAND.payload_time(-1)
+
+    def test_scaled_multiplies_all_terms(self):
+        lat = EDR_INFINIBAND.scaled(4.0)
+        assert lat.alpha_sw == pytest.approx(4 * EDR_INFINIBAND.alpha_sw)
+        assert lat.half_rtt_inter == pytest.approx(4 * EDR_INFINIBAND.half_rtt_inter)
+        assert lat.beta == pytest.approx(4 * EDR_INFINIBAND.beta)
+        assert lat.amo_process == pytest.approx(4 * EDR_INFINIBAND.amo_process)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EDR_INFINIBAND.scaled(0.0)
+        with pytest.raises(ValueError):
+            EDR_INFINIBAND.scaled(-1.0)
+
+    def test_zero_latency_is_all_zero(self):
+        z = ZERO_LATENCY
+        assert z.alpha_sw == 0 and z.beta == 0
+        assert z.one_way(True) == 0 and z.one_way(False) == 0
+
+    def test_ethernet_slower_than_edr(self):
+        assert SLOW_ETHERNET.half_rtt_inter > EDR_INFINIBAND.half_rtt_inter
+        assert SLOW_ETHERNET.beta > EDR_INFINIBAND.beta
+
+    def test_presets_lookup(self):
+        assert get_preset("edr") is EDR_INFINIBAND
+        assert get_preset("ethernet") is SLOW_ETHERNET
+        assert get_preset("zero") is ZERO_LATENCY
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown latency preset"):
+            get_preset("carrier-pigeon")
+
+
+class TestTopology:
+    def test_nnodes_rounds_up(self):
+        assert Topology(96, pes_per_node=48).nnodes == 2
+        assert Topology(97, pes_per_node=48).nnodes == 3
+        assert Topology(1, pes_per_node=48).nnodes == 1
+
+    def test_node_of_blocked_placement(self):
+        topo = Topology(100, pes_per_node=10)
+        assert topo.node_of(0) == 0
+        assert topo.node_of(9) == 0
+        assert topo.node_of(10) == 1
+        assert topo.node_of(99) == 9
+
+    def test_same_node(self):
+        topo = Topology(20, pes_per_node=10)
+        assert topo.same_node(0, 9)
+        assert not topo.same_node(9, 10)
+
+    def test_pes_on_node_partial_last(self):
+        topo = Topology(25, pes_per_node=10)
+        assert list(topo.pes_on_node(2)) == [20, 21, 22, 23, 24]
+
+    def test_local_peers_excludes_self(self):
+        topo = Topology(10, pes_per_node=5)
+        peers = topo.local_peers(2)
+        assert 2 not in peers
+        assert peers == [0, 1, 3, 4]
+
+    def test_pe_bounds_checked(self):
+        topo = Topology(4)
+        with pytest.raises(PEIndexError):
+            topo.node_of(4)
+        with pytest.raises(PEIndexError):
+            topo.node_of(-1)
+        with pytest.raises(PEIndexError):
+            topo.pes_on_node(99)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Topology(0)
+        with pytest.raises(ValueError):
+            Topology(4, pes_per_node=0)
+
+    def test_paper_cluster_shape(self):
+        # 44 nodes x 48 cores = 2112 cores (paper §5).
+        topo = Topology(2112, pes_per_node=48)
+        assert topo.nnodes == 44
+        assert topo.node_of(2111) == 43

@@ -1,0 +1,155 @@
+"""Tests for optional per-PE link (bandwidth) serialization."""
+
+import pytest
+
+from repro.fabric.latency import LatencyModel
+from repro.shmem.api import ShmemCtx
+
+LAT = LatencyModel(
+    alpha_sw=0.0,
+    half_rtt_inter=1e-6,
+    half_rtt_intra=1e-6,
+    beta=1e-8,           # 10 us per KB: payload time dominates
+    amo_process=0.0,
+    get_process=0.0,
+    local_penalty=1.0,
+    link_serialize=True,
+)
+LAT_OFF = LAT.scaled(1.0)  # copy...
+
+
+def make_ctx(link_serialize):
+    from dataclasses import replace
+
+    lat = replace(LAT, link_serialize=link_serialize)
+    ctx = ShmemCtx(3, latency=lat, pes_per_node=1)
+    ctx.heap.alloc_bytes("d", 1 << 16)
+    ctx.heap.alloc_words("w", 4)
+    return ctx
+
+
+def concurrent_get_times(link_serialize, nbytes=10_000):
+    ctx = make_ctx(link_serialize)
+    times = {}
+
+    def reader(rank):
+        pe = ctx.pe(rank)
+        yield pe.get_bytes(0, "d", 0, nbytes)
+        times[rank] = ctx.now
+
+    ctx.engine.spawn(reader(1), "r1")
+    ctx.engine.spawn(reader(2), "r2")
+    ctx.run()
+    return sorted(times.values())
+
+
+class TestGets:
+    def test_single_get_time_unchanged(self):
+        """One transfer costs the same with or without serialization."""
+        for flag in (False, True):
+            ctx = make_ctx(flag)
+            done = {}
+
+            def p():
+                pe = ctx.pe(1)
+                yield pe.get_bytes(0, "d", 0, 10_000)
+                done["t"] = ctx.now
+
+            ctx.engine.spawn(p(), "p")
+            ctx.run()
+            # 1us there + 100us stream + 1us back
+            assert done["t"] == pytest.approx(2e-6 + 1e-4), flag
+
+    def test_concurrent_gets_serialize_when_enabled(self):
+        t_off = concurrent_get_times(False)
+        t_on = concurrent_get_times(True)
+        # Without serialization both readers finish together.
+        assert t_off[1] - t_off[0] < 1e-9
+        # With it, the second finishes one full streaming time later.
+        assert t_on[1] - t_on[0] == pytest.approx(1e-4)
+
+    def test_different_targets_do_not_interfere(self):
+        ctx = make_ctx(True)
+        times = {}
+
+        def reader(rank, victim):
+            pe = ctx.pe(rank)
+            yield pe.get_bytes(victim, "d", 0, 10_000)
+            times[rank] = ctx.now
+
+        ctx.engine.spawn(reader(1, 0), "r1")
+        ctx.engine.spawn(reader(2, 1), "r2")  # reads PE 1, not PE 0
+        ctx.run()
+        assert abs(times[1] - times[2]) < 1e-9
+
+
+class TestPuts:
+    def test_concurrent_puts_serialize_at_target(self):
+        def run(flag):
+            ctx = make_ctx(flag)
+            times = {}
+
+            def writer(rank):
+                pe = ctx.pe(rank)
+                yield pe.put_words(0, "w", 0, [1])  # negligible payload
+                yield pe.put_bytes_nb(0, "d", rank * 16_000, bytes(10_000))
+                yield pe.quiet()
+                times[rank] = ctx.now
+
+            ctx.engine.spawn(writer(1), "w1")
+            ctx.engine.spawn(writer(2), "w2")
+            ctx.run()
+            return sorted(times.values())
+
+        t_off = run(False)
+        t_on = run(True)
+        assert t_on[1] > t_off[1]  # the second writer queued behind
+
+    def test_data_still_arrives(self):
+        ctx = make_ctx(True)
+
+        def writer():
+            pe = ctx.pe(1)
+            yield pe.put_bytes_nb(0, "d", 0, b"hello")
+            yield pe.quiet()
+
+        ctx.engine.spawn(writer(), "w")
+        ctx.run()
+        assert ctx.heap.read_bytes(0, "d", 0, 5) == b"hello"
+
+
+class TestProtocolsUnderContention:
+    def test_fig6_style_concurrent_steals_spread(self):
+        """Two thieves bulk-stealing from one victim serialize copies."""
+        from repro.core.config import QueueConfig
+        from repro.core.sws_queue import SwsQueueSystem
+        from dataclasses import replace
+
+        lat = replace(LAT, link_serialize=True)
+        ctx = ShmemCtx(3, latency=lat, pes_per_node=1)
+        system = SwsQueueSystem(ctx, QueueConfig(qsize=4096, task_size=192))
+        victim = system.handle(0)
+        for _ in range(2048):
+            victim.enqueue(bytes(192))
+        done = {}
+
+        def owner():
+            yield from victim.release()
+
+        def thief(rank):
+            q = system.handle(rank)
+            from repro.fabric.engine import Delay
+
+            yield Delay(1e-6)
+            t0 = ctx.now
+            r = yield from q.steal(0)
+            assert r.success
+            done[rank] = ctx.now - t0
+
+        ctx.engine.spawn(owner(), "o")
+        ctx.engine.spawn(thief(1), "t1")
+        ctx.engine.spawn(thief(2), "t2")
+        ctx.run()
+        lats = sorted(done.values())
+        # The second thief's copy waited for the first's streaming time.
+        assert lats[1] > lats[0] * 1.3

@@ -1,0 +1,101 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import io
+
+import pytest
+
+from repro.analysis import markdown
+from repro.analysis.experiments import ExperimentResult
+
+
+class TestShapeVerdict:
+    def test_fig2_pass(self):
+        r = ExperimentResult(
+            "fig2", "t", ["impl", "total", "blk", "nb"],
+            [["SDC", 6, 5, 1], ["SWS", 3, 2, 1]],
+        )
+        assert markdown.shape_verdict("fig2", r) == "PASS"
+
+    def test_fig2_fail(self):
+        r = ExperimentResult(
+            "fig2", "t", ["impl", "total", "blk", "nb"],
+            [["SDC", 6, 5, 1], ["SWS", 4, 3, 1]],
+        )
+        assert markdown.shape_verdict("fig2", r) == "FAIL"
+
+    def test_fig5_requires_stall_contrast(self):
+        ok = ExperimentResult("fig5", "t", ["e", "w"], [[1, 9.0], [2, 0.0]])
+        bad = ExperimentResult("fig5", "t", ["e", "w"], [[1, 0.0], [2, 0.0]])
+        assert markdown.shape_verdict("fig5", ok) == "PASS"
+        assert markdown.shape_verdict("fig5", bad) == "FAIL"
+
+    def test_unknown_experiment_unjudged(self):
+        r = ExperimentResult("fig99", "t", ["a"], [[1]])
+        assert markdown.shape_verdict("fig99", r) == "UNJUDGED"
+
+    def test_malformed_rows_unjudged(self):
+        r = ExperimentResult("fig2", "t", ["impl"], [])
+        assert markdown.shape_verdict("fig2", r) == "UNJUDGED"
+
+
+class TestMarkdownTable:
+    def test_renders_github_table(self):
+        r = ExperimentResult("x", "t", ["a", "b"], [[1, 2.5]])
+        out = markdown.markdown_table(r)
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"
+
+
+class TestGenerate:
+    def test_generate_subset(self, monkeypatch):
+        """Run the generator over a stubbed registry to keep it fast."""
+        def fake_exp(scale):
+            return ExperimentResult(
+                "fig2", "stub", ["impl", "total", "blk", "nb"],
+                [["SDC", 6, 5, 1], ["SWS", 3, 2, 1]],
+                notes=["stub note"],
+            )
+
+        monkeypatch.setattr(markdown, "EXPERIMENTS", {"fig2": fake_exp})
+        monkeypatch.setattr(
+            markdown, "run_experiment", lambda eid, scale: fake_exp(scale)
+        )
+        buf = io.StringIO()
+        verdicts = markdown.generate("quick", stream=buf)
+        text = buf.getvalue()
+        assert verdicts == {"fig2": "PASS"}
+        assert "## fig2" in text
+        assert "stub note" in text
+        assert "**Shape verdict:** PASS" in text
+
+    def test_main_writes_file(self, monkeypatch, tmp_path):
+        def fake_exp(scale):
+            return ExperimentResult(
+                "fig2", "stub", ["impl", "total", "blk", "nb"],
+                [["SDC", 6, 5, 1], ["SWS", 3, 2, 1]],
+            )
+
+        monkeypatch.setattr(markdown, "EXPERIMENTS", {"fig2": fake_exp})
+        monkeypatch.setattr(
+            markdown, "run_experiment", lambda eid, scale: fake_exp(scale)
+        )
+        out = tmp_path / "EXP.md"
+        rc = markdown.main(["--out", str(out)])
+        assert rc == 0
+        assert "## fig2" in out.read_text()
+
+    def test_main_fails_on_shape_fail(self, monkeypatch, tmp_path):
+        def fake_exp(scale):
+            return ExperimentResult(
+                "fig2", "stub", ["impl", "total", "blk", "nb"],
+                [["SDC", 6, 5, 1], ["SWS", 9, 9, 0]],
+            )
+
+        monkeypatch.setattr(markdown, "EXPERIMENTS", {"fig2": fake_exp})
+        monkeypatch.setattr(
+            markdown, "run_experiment", lambda eid, scale: fake_exp(scale)
+        )
+        rc = markdown.main(["--out", str(tmp_path / "f.md")])
+        assert rc == 1

@@ -1,0 +1,77 @@
+"""Tests for communication accounting."""
+
+import pytest
+
+from repro.fabric.metrics import BLOCKING_KINDS, OP_KINDS, FabricMetrics
+
+
+def test_record_and_totals():
+    m = FabricMetrics(2)
+    m.record(0.0, 0, 1, "get", 100)
+    m.record(1.0, 0, 1, "put", 50)
+    m.record(2.0, 1, 0, "amo_fetch_add", 8)
+    assert m.total_ops() == 3
+    assert m.total_ops("get") == 1
+    assert m.total_bytes() == 158
+    assert m.total_blocking_ops() == 3
+
+
+def test_nonblocking_kinds_not_counted_blocking():
+    m = FabricMetrics(1)
+    m.record(0.0, 0, 0, "put_nb", 8)
+    m.record(0.0, 0, 0, "amo_add_nb", 8)
+    assert m.total_blocking_ops() == 0
+    assert m.total_ops() == 2
+
+
+def test_unknown_kind_rejected():
+    m = FabricMetrics(1)
+    with pytest.raises(ValueError):
+        m.record(0.0, 0, 0, "telepathy", 8)
+
+
+def test_per_pe_attribution():
+    m = FabricMetrics(3)
+    m.record(0.0, 2, 0, "get", 8)
+    assert m.ops_of_pe(2)["get"] == 1
+    assert m.ops_of_pe(0)["get"] == 0
+
+
+def test_snapshot_has_all_kinds():
+    m = FabricMetrics(1)
+    snap = m.snapshot()
+    for k in OP_KINDS:
+        assert k in snap
+    assert snap["total"] == 0
+
+
+def test_delta():
+    m = FabricMetrics(1)
+    m.record(0.0, 0, 0, "get", 8)
+    before = m.snapshot()
+    m.record(1.0, 0, 0, "get", 8)
+    m.record(1.0, 0, 0, "amo_swap", 8)
+    d = m.delta(before)
+    assert d["get"] == 1
+    assert d["amo_swap"] == 1
+    assert d["total"] == 2
+
+
+def test_trace_disabled_by_default():
+    m = FabricMetrics(1)
+    m.record(0.0, 0, 0, "get", 8)
+    assert m.trace == []
+
+
+def test_trace_records_ops():
+    m = FabricMetrics(2, trace=True)
+    m.record(1.5, 0, 1, "get", 24)
+    assert len(m.trace) == 1
+    rec = m.trace[0]
+    assert (rec.time, rec.initiator, rec.target, rec.kind, rec.nbytes) == (
+        1.5, 0, 1, "get", 24,
+    )
+
+
+def test_blocking_kinds_subset_of_op_kinds():
+    assert BLOCKING_KINDS <= frozenset(OP_KINDS)

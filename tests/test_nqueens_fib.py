@@ -1,0 +1,107 @@
+"""Tests for the NQueens and Fibonacci workloads."""
+
+import pytest
+
+from repro.runtime.pool import run_pool
+from repro.runtime.registry import TaskRegistry
+from repro.workloads.fib import FibParams, FibWorkload, fib, task_count
+from repro.workloads.nqueens import (
+    SOLUTIONS,
+    NQueensParams,
+    NQueensWorkload,
+    _legal,
+)
+
+
+class TestNQueensRules:
+    def test_column_conflict(self):
+        assert not _legal(bytes([3]), 3)
+
+    def test_diagonal_conflict(self):
+        assert not _legal(bytes([0]), 1)      # adjacent diagonal
+        assert not _legal(bytes([0, 2]), 3)   # diagonal with row 1's queen
+        assert not _legal(bytes([0, 2]), 1)   # other diagonal of row 1
+
+    def test_legal_placement(self):
+        assert _legal(bytes([0]), 2)
+        assert _legal(bytes([0, 2]), 4)
+        assert _legal(b"", 0)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            NQueensParams(n=0)
+        with pytest.raises(ValueError):
+            NQueensParams(n=17)
+
+
+class TestNQueensCounts:
+    @pytest.mark.parametrize("n,expected", [(4, 2), (5, 10), (6, 4)])
+    def test_serial_solution_counts(self, n, expected):
+        reg = TaskRegistry()
+        wl = NQueensWorkload(reg, NQueensParams(n=n))
+        stats = run_pool(1, reg, [wl.seed_task()], impl="sws")
+        assert wl.solutions == expected
+        assert stats.total_tasks == wl.nodes_visited
+
+    @pytest.mark.parametrize("impl", ["sws", "sdc"])
+    def test_parallel_8queens(self, impl):
+        reg = TaskRegistry()
+        wl = NQueensWorkload(reg, NQueensParams(n=8))
+        stats = run_pool(8, reg, [wl.seed_task()], impl=impl)
+        assert wl.solutions == SOLUTIONS[8] == 92
+        assert stats.total_tasks == wl.nodes_visited
+
+    def test_parallel_matches_serial_node_count(self):
+        def visit(npes):
+            reg = TaskRegistry()
+            wl = NQueensWorkload(reg, NQueensParams(n=7))
+            run_pool(npes, reg, [wl.seed_task()], impl="sws")
+            return wl.nodes_visited, wl.solutions
+
+        serial = visit(1)
+        parallel = visit(4)
+        assert serial == parallel
+        assert serial[1] == SOLUTIONS[7]
+
+
+class TestFibMath:
+    def test_fib_values(self):
+        assert [fib(i) for i in range(10)] == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_task_count_closed_form(self):
+        # calls(n) recurrence cross-check.
+        def calls(n):
+            if n < 2:
+                return 1
+            return calls(n - 1) + calls(n - 2) + 1
+
+        for n in range(12):
+            assert task_count(n) == calls(n)
+
+    def test_task_count_negative(self):
+        with pytest.raises(ValueError):
+            task_count(-1)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            FibParams(n=31)
+        with pytest.raises(ValueError):
+            FibParams(call_time=-1.0)
+
+
+class TestFibRuns:
+    @pytest.mark.parametrize("n", [0, 1, 5, 10])
+    def test_serial_task_counts(self, n):
+        reg = TaskRegistry()
+        wl = FibWorkload(reg, FibParams(n=n))
+        stats = run_pool(1, reg, [wl.seed_task()], impl="sws")
+        assert stats.total_tasks == task_count(n)
+
+    @pytest.mark.parametrize("impl", ["sws", "sdc"])
+    def test_parallel_fib14(self, impl):
+        reg = TaskRegistry()
+        wl = FibWorkload(reg, FibParams(n=14))
+        stats = run_pool(8, reg, [wl.seed_task()], impl=impl)
+        assert stats.total_tasks == task_count(14)
+        # fib's skewed tree must actually migrate work.
+        assert stats.total_steals > 0

@@ -1,0 +1,70 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.plots import SERIES_GLYPHS, AsciiChart
+
+
+def test_single_series_renders():
+    chart = AsciiChart(xs=[1, 2, 3, 4], title="t").add("a", [1, 2, 3, 4])
+    out = chart.render()
+    assert "t" in out
+    assert "o=a" in out
+    assert out.count("o") >= 4  # at least the 4 points (+legend)
+
+
+def test_multi_series_distinct_glyphs():
+    chart = AsciiChart(xs=[1, 2]).add("a", [1, 2]).add("b", [2, 1])
+    out = chart.render()
+    assert "o=a" in out and "x=b" in out
+    assert "x" in out.splitlines()[0] or any(
+        "x" in line for line in out.splitlines()
+    )
+
+
+def test_empty_chart():
+    assert "(no series)" in AsciiChart(xs=[1, 2]).render()
+
+
+def test_misaligned_series_rejected():
+    with pytest.raises(ValueError):
+        AsciiChart(xs=[1, 2, 3]).add("a", [1, 2])
+
+
+def test_log_scale_skips_nonpositive():
+    chart = AsciiChart(xs=[1, 2], log_y=True).add("a", [0.0, 10.0])
+    out = chart.render()
+    assert "o" in out  # the positive point still draws
+
+
+def test_all_nonpositive_log():
+    chart = AsciiChart(xs=[1], log_y=True).add("a", [0.0])
+    assert "(no drawable points)" in chart.render()
+
+
+def test_flat_series_no_crash():
+    out = AsciiChart(xs=[1, 2, 3]).add("a", [5, 5, 5]).render()
+    assert "o" in out
+
+
+def test_axis_labels_present():
+    out = AsciiChart(xs=[1, 100], log_x=True).add("a", [3, 7]).render()
+    assert "1" in out and "100" in out
+    assert "7" in out and "3" in out
+
+
+def test_ylabel_in_legend():
+    out = AsciiChart(xs=[1], ylabel="ms").add("a", [1]).render()
+    assert "[ms]" in out
+
+
+def test_chart_cells_helper():
+    from repro.analysis.plots import chart_cells
+    from repro.analysis.series import CellSummary
+
+    cells = [
+        CellSummary("sws", 2, 1, 0.5, 0, 0.5, 0.5, 10, 0.9, 1e-3, 2e-3, 3, 1, 10, 8),
+        CellSummary("sdc", 2, 1, 0.7, 0, 0.7, 0.7, 8, 0.8, 2e-3, 4e-3, 3, 1, 20, 16),
+    ]
+    out = chart_cells(cells, "runtime_mean", "runtimes")
+    assert "sws" in out and "sdc" in out and "runtimes" in out

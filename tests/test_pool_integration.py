@@ -1,0 +1,200 @@
+"""Integration tests: full pool runs on both queue implementations."""
+
+import pytest
+
+from repro.core.config import QueueConfig
+from repro.runtime.pool import TaskPool, run_pool
+from repro.runtime.registry import TaskOutcome, TaskRegistry
+from repro.runtime.task import Task
+from repro.runtime.worker import WorkerConfig
+
+
+def leaf_registry():
+    reg = TaskRegistry()
+    reg.register("leaf", lambda payload, tc: TaskOutcome(duration=1e-4))
+    return reg
+
+
+def fanout_registry(width, leaf_time=1e-4):
+    reg = TaskRegistry()
+
+    def root(payload, tc):
+        return TaskOutcome(1e-5, [Task(1) for _ in range(width)])
+
+    reg.register("root", root)
+    reg.register("leaf", lambda payload, tc: TaskOutcome(leaf_time))
+    return reg
+
+
+def tree_registry(depth, fanout=2, leaf_time=5e-5):
+    """Recursive binary-ish spawn tree with payload-encoded depth."""
+    reg = TaskRegistry()
+
+    def node(payload, tc):
+        d = int.from_bytes(payload, "little")
+        if d == 0:
+            return TaskOutcome(leaf_time)
+        children = [
+            Task(0, (d - 1).to_bytes(2, "little")) for _ in range(fanout)
+        ]
+        return TaskOutcome(1e-5, children)
+
+    reg.register("node", node)
+    return reg
+
+
+class TestSinglePe:
+    def test_executes_all_seeds(self, impl):
+        stats = run_pool(1, leaf_registry(), [Task(0)] * 50, impl=impl)
+        assert stats.total_tasks == 50
+        assert stats.total_spawned == 50
+        assert stats.parallel_efficiency > 0.9
+
+    def test_dynamic_spawning(self, impl):
+        stats = run_pool(1, fanout_registry(100), [Task(0)], impl=impl)
+        assert stats.total_tasks == 101
+
+    def test_runtime_positive(self, impl):
+        stats = run_pool(1, leaf_registry(), [Task(0)] * 10, impl=impl)
+        assert stats.runtime >= 10 * 1e-4
+
+
+class TestMultiPe:
+    @pytest.mark.parametrize("npes", [2, 4, 8])
+    def test_every_task_executes_exactly_once(self, impl, npes):
+        stats = run_pool(npes, fanout_registry(300), [Task(0)], impl=impl)
+        assert stats.total_tasks == 301
+        assert stats.total_spawned == 301
+
+    def test_recursive_tree_counts(self, impl):
+        depth = 7
+        stats = run_pool(
+            4,
+            tree_registry(depth),
+            [Task(0, depth.to_bytes(2, "little"))],
+            impl=impl,
+        )
+        assert stats.total_tasks == 2 ** (depth + 1) - 1
+
+    def test_work_actually_spreads(self, impl):
+        stats = run_pool(4, fanout_registry(400, leaf_time=1e-3), [Task(0)], impl=impl)
+        busy = [w for w in stats.workers if w.tasks_executed > 0]
+        assert len(busy) == 4
+        assert stats.total_steals > 0
+
+    def test_parallel_faster_than_serial(self, impl):
+        serial = run_pool(1, fanout_registry(200, 1e-3), [Task(0)], impl=impl)
+        parallel = run_pool(8, fanout_registry(200, 1e-3), [Task(0)], impl=impl)
+        assert parallel.runtime < serial.runtime / 2
+
+    def test_seeding_round_robin(self, impl):
+        pool = TaskPool(4, leaf_registry(), impl=impl)
+        pool.seed_round_robin([Task(0)] * 40)
+        stats = pool.run()
+        assert stats.total_tasks == 40
+        # Seeds landed everywhere, so little stealing is needed.
+        for w in stats.workers:
+            assert w.tasks_executed > 0
+
+    def test_determinism_same_seed(self, impl):
+        def go(seed):
+            return run_pool(
+                4, fanout_registry(150), [Task(0)], impl=impl, seed=seed
+            )
+
+        a, b, c = go(7), go(7), go(8)
+        assert a.runtime == b.runtime
+        assert a.total_steals == b.total_steals
+        assert (a.runtime, a.total_steals) != (c.runtime, c.total_steals)
+
+    def test_stats_accounting_consistent(self, impl):
+        stats = run_pool(4, fanout_registry(200), [Task(0)], impl=impl)
+        for w in stats.workers:
+            assert w.steal_attempts == w.steals_ok + w.steals_failed
+            assert w.task_time >= 0
+        stolen_total = sum(w.tasks_stolen for w in stats.workers)
+        assert 0 < stolen_total <= stats.total_tasks
+
+    def test_comm_snapshot_present(self, impl):
+        stats = run_pool(2, leaf_registry(), [Task(0)] * 20, impl=impl)
+        assert stats.comm["total"] > 0
+        assert stats.comm["blocking"] <= stats.comm["total"]
+
+
+class TestConfigurations:
+    def test_damping_off_still_correct(self):
+        stats = run_pool(
+            4,
+            fanout_registry(200),
+            [Task(0)],
+            impl="sws",
+            worker_config=WorkerConfig(damping=False),
+        )
+        assert stats.total_tasks == 201
+
+    def test_single_epoch_still_correct(self):
+        stats = run_pool(
+            4,
+            fanout_registry(200),
+            [Task(0)],
+            impl="sws",
+            queue_config=QueueConfig(max_epochs=1),
+        )
+        assert stats.total_tasks == 201
+
+    def test_roundrobin_victims(self, impl):
+        stats = run_pool(
+            4, fanout_registry(200), [Task(0)], impl=impl, victim="roundrobin"
+        )
+        assert stats.total_tasks == 201
+
+    def test_locality_victims(self, impl):
+        stats = run_pool(
+            8,
+            fanout_registry(200),
+            [Task(0)],
+            impl=impl,
+            victim="locality",
+            pes_per_node=4,
+        )
+        assert stats.total_tasks == 201
+
+    def test_small_batches(self, impl):
+        stats = run_pool(
+            4,
+            fanout_registry(100),
+            [Task(0)],
+            impl=impl,
+            worker_config=WorkerConfig(batch_max=1),
+        )
+        assert stats.total_tasks == 101
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError, match="impl"):
+            TaskPool(2, leaf_registry(), impl="magic")
+
+    def test_pool_cannot_run_twice(self):
+        pool = TaskPool(1, leaf_registry())
+        pool.seed(0, [Task(0)])
+        pool.run()
+        with pytest.raises(RuntimeError):
+            pool.run()
+        with pytest.raises(RuntimeError):
+            pool.seed(0, [Task(0)])
+
+
+class TestRunStats:
+    def test_throughput_and_efficiency(self):
+        stats = run_pool(2, leaf_registry(), [Task(0)] * 100, impl="sws")
+        assert stats.throughput == pytest.approx(100 / stats.runtime)
+        assert 0 < stats.parallel_efficiency <= 1.0
+
+    def test_balance_ratio(self):
+        stats = run_pool(2, leaf_registry(), [Task(0)] * 100, impl="sws")
+        assert stats.balance_ratio() >= 1.0
+
+    def test_summary_keys(self):
+        stats = run_pool(1, leaf_registry(), [Task(0)], impl="sws")
+        s = stats.summary()
+        for key in ("npes", "runtime", "tasks", "throughput", "efficiency"):
+            assert key in s

@@ -1,0 +1,100 @@
+"""Tests for per-PE time-breakdown profiles."""
+
+import pytest
+
+from repro.analysis.profiles import (
+    imbalance_report,
+    profile_run,
+    profile_worker,
+    render_profiles,
+)
+from repro.runtime.pool import run_pool
+from repro.runtime.registry import TaskOutcome, TaskRegistry
+from repro.runtime.stats import RunStats, WorkerStats
+from repro.runtime.task import Task
+
+
+class TestProfileMath:
+    def test_shares_sum_to_one(self):
+        w = WorkerStats(
+            rank=0, task_time=4.0, steal_time=1.0, search_time=2.0,
+            acquire_time=0.5, release_time=0.5,
+        )
+        p = profile_worker(w, runtime=10.0)
+        total = p.task + p.steal + p.search + p.manage + p.idle
+        assert total == pytest.approx(1.0)
+        assert p.task == pytest.approx(0.4)
+        assert p.manage == pytest.approx(0.1)
+        assert p.idle == pytest.approx(0.2)
+
+    def test_zero_runtime(self):
+        p = profile_worker(WorkerStats(rank=3), runtime=0.0)
+        assert p.idle == 1.0
+        assert p.rank == 3
+
+    def test_oversubscribed_clamps_idle(self):
+        w = WorkerStats(task_time=20.0)
+        p = profile_worker(w, runtime=10.0)
+        assert p.idle == 0.0
+
+
+class TestRendering:
+    def _stats(self):
+        return RunStats(
+            npes=2,
+            runtime=10.0,
+            workers=[
+                WorkerStats(rank=0, task_time=8.0, tasks_executed=80),
+                WorkerStats(rank=1, task_time=4.0, tasks_executed=20),
+            ],
+        )
+
+    def test_render_has_one_row_per_pe(self):
+        out = render_profiles(self._stats())
+        assert "pe0" in out and "pe1" in out
+        assert "efficiency" in out
+
+    def test_bars_reflect_shares(self):
+        out = render_profiles(self._stats(), width=10)
+        pe0_line = [l for l in out.splitlines() if l.startswith("pe0")][0]
+        assert pe0_line.count("#") == 8  # 80% of width 10
+
+    def test_live_run(self):
+        reg = TaskRegistry()
+        reg.register("leaf", lambda p, tc: TaskOutcome(1e-3))
+        stats = run_pool(4, reg, [Task(0)] * 100, impl="sws")
+        profiles = profile_run(stats)
+        assert len(profiles) == 4
+        assert all(0 <= p.idle <= 1 for p in profiles)
+        out = render_profiles(stats)
+        assert "mean task share" in out
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        stats = RunStats(
+            npes=2, runtime=1.0,
+            workers=[
+                WorkerStats(tasks_executed=50),
+                WorkerStats(tasks_executed=50),
+            ],
+        )
+        rep = imbalance_report(stats)
+        assert rep["max_over_mean"] == pytest.approx(1.0)
+        assert rep["gini"] == pytest.approx(0.0)
+
+    def test_total_imbalance(self):
+        stats = RunStats(
+            npes=2, runtime=1.0,
+            workers=[
+                WorkerStats(tasks_executed=100),
+                WorkerStats(tasks_executed=0),
+            ],
+        )
+        rep = imbalance_report(stats)
+        assert rep["max_over_mean"] == pytest.approx(2.0)
+        assert rep["gini"] == pytest.approx(0.5)
+
+    def test_empty(self):
+        stats = RunStats(npes=0, runtime=1.0, workers=[])
+        assert imbalance_report(stats)["gini"] == 0.0

@@ -1,0 +1,160 @@
+"""Tests for put-with-signal and the inbox fast path."""
+
+import pytest
+
+from repro.fabric.engine import Delay
+from repro.runtime.inbox import InboxSystem
+from repro.shmem.api import ShmemCtx
+
+from .conftest import TEST_LAT, rec, rec_id, run_procs
+
+
+def make_ctx(npes=2):
+    ctx = ShmemCtx(npes, latency=TEST_LAT)
+    ctx.heap.alloc_bytes("d", 1024)
+    ctx.heap.alloc_words("sig", 4)
+    return ctx
+
+
+class TestPutSignal:
+    def test_data_and_signal_delivered_atomically(self):
+        ctx = make_ctx()
+        sender, receiver = ctx.pe(0), ctx.pe(1)
+        seen = {}
+
+        def s():
+            yield sender.put_signal_nb(1, "d", 0, b"payload", "sig", 0, 7)
+
+        def r():
+            v = yield receiver.wait_until("sig", 0, lambda x: x == 7)
+            # Signal observed => payload must be fully visible.
+            seen["data"] = receiver.local_read_bytes("d", 0, 7)
+            seen["sig"] = v
+
+        run_procs(ctx, s(), r())
+        assert seen["data"] == b"payload"
+        assert seen["sig"] == 7
+
+    def test_counts_as_one_nonblocking_op(self):
+        ctx = make_ctx()
+        sender = ctx.pe(0)
+
+        def s():
+            before = ctx.metrics.snapshot()
+            yield sender.put_signal_nb(1, "d", 0, b"xy", "sig", 1, 1)
+            mid = ctx.metrics.delta(before)
+            yield sender.quiet()
+            return mid
+
+        (delta,) = run_procs(ctx, s())
+        assert delta["put_signal"] == 1
+        assert delta["total"] == 1
+        assert delta["blocking"] == 0
+
+    def test_initiator_returns_after_injection(self):
+        ctx = make_ctx()
+        sender = ctx.pe(0)
+        times = {}
+
+        def s():
+            yield sender.put_signal_nb(1, "d", 0, bytes(100), "sig", 0, 1)
+            times["return"] = ctx.now
+            yield sender.quiet()
+            times["quiet"] = ctx.now
+
+        run_procs(ctx, s())
+        assert times["return"] < 1e-6  # just injection + payload
+        assert times["quiet"] > times["return"]
+
+
+class TestInboxFastPath:
+    def _roundtrip(self, use_put_signal, nmsgs=6):
+        ctx = ShmemCtx(2, latency=TEST_LAT)
+        system = InboxSystem(ctx, 16, 16, use_put_signal=use_put_signal)
+        sender, owner = system.handle(1), system.handle(0)
+        got = {}
+
+        def s():
+            before = ctx.metrics.snapshot()
+            for i in range(nmsgs):
+                yield from sender.send(0, rec(i))
+            got["comms"] = ctx.metrics.delta(before)
+            yield sender.pe.quiet()
+
+        def o():
+            yield Delay(1.0)
+            got["records"] = [rec_id(r) for r in owner.drain()]
+
+        run_procs(ctx, s(), o())
+        return got
+
+    def test_fast_path_delivers(self):
+        got = self._roundtrip(True)
+        assert got["records"] == list(range(6))
+
+    def test_classic_path_delivers(self):
+        got = self._roundtrip(False)
+        assert got["records"] == list(range(6))
+
+    def test_fast_path_halves_comms(self):
+        fast = self._roundtrip(True)["comms"]["total"]
+        classic = self._roundtrip(False)["comms"]["total"]
+        assert fast == 2 * 6      # reserve + put_signal per message
+        assert classic == 3 * 6   # reserve + put + flag (quiet is free)
+
+    def test_fast_path_ring_reuse(self):
+        """Lap-encoded flags survive multiple passes over the ring."""
+        ctx = ShmemCtx(2, latency=TEST_LAT)
+        system = InboxSystem(ctx, 4, 16, use_put_signal=True)
+        sender, owner = system.handle(1), system.handle(0)
+        got = []
+
+        def s():
+            for wave in range(3):
+                for i in range(4):
+                    yield from sender.send(0, rec(wave * 10 + i))
+                yield Delay(1.0)
+
+        def o():
+            for _ in range(3):
+                yield Delay(0.9)
+                got.extend(rec_id(r) for r in owner.drain())
+                yield Delay(0.1)
+
+        run_procs(ctx, s(), o())
+        assert len(got) == 12
+
+    def test_fast_path_overrun_detected(self):
+        from repro.fabric.errors import ProtocolError
+
+        ctx = ShmemCtx(2, latency=TEST_LAT)
+        system = InboxSystem(ctx, 2, 16, use_put_signal=True)
+        sender, owner = system.handle(1), system.handle(0)
+
+        def s():
+            for i in range(4):  # laps the 2-slot ring undrained
+                yield from sender.send(0, rec(i))
+
+        def o():
+            yield Delay(1.0)
+            owner.drain()
+
+        with pytest.raises(ProtocolError, match="overrun"):
+            run_procs(ctx, s(), o())
+
+    def test_pool_remote_spawn_uses_fast_path(self):
+        from repro.runtime.pool import run_pool
+        from repro.runtime.registry import TaskOutcome, TaskRegistry
+        from repro.runtime.task import Task
+
+        reg = TaskRegistry()
+
+        def root(payload, tc):
+            remote = [(1, Task(1)) for _ in range(5)]
+            return TaskOutcome(1e-5, remote_children=remote)
+
+        reg.register("root", root)
+        reg.register("leaf", lambda p, tc: TaskOutcome(1e-4))
+        stats = run_pool(2, reg, [Task(0)], impl="sws", remote_spawn=True)
+        assert stats.total_tasks == 6
+        assert stats.comm.get("put_signal", 0) >= 5

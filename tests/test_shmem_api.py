@@ -1,0 +1,81 @@
+"""Direct tests of the Pe facade: local ops, compute, bounds."""
+
+import pytest
+
+from repro.fabric.engine import Delay
+from repro.fabric.errors import PEIndexError
+from repro.shmem.api import Pe, ShmemCtx
+
+from .conftest import TEST_LAT, run_procs
+
+
+@pytest.fixture
+def ctx():
+    c = ShmemCtx(3, latency=TEST_LAT)
+    c.heap.alloc_words("w", 8)
+    c.heap.alloc_bytes("b", 64)
+    return c
+
+
+class TestLocalOps:
+    def test_local_word_ops_are_immediate(self, ctx):
+        pe = ctx.pe(1)
+        pe.local_store("w", 0, 10)
+        assert pe.local_load("w", 0) == 10
+        assert pe.local_fetch_add("w", 0, 5) == 10
+        assert pe.local_swap("w", 0, 99) == 15
+        assert pe.local_cas("w", 0, 99, 1) == 99
+        assert pe.local_cas("w", 0, 99, 2) == 1  # no match
+        assert pe.local_load("w", 0) == 1
+        # No virtual time passed, no comm recorded.
+        assert ctx.now == 0.0
+        assert ctx.metrics.total_ops() == 0
+
+    def test_local_bytes(self, ctx):
+        pe = ctx.pe(2)
+        pe.local_write_bytes("b", 4, b"abc")
+        assert pe.local_read_bytes("b", 4, 3) == b"abc"
+
+    def test_local_ops_scoped_to_own_pe(self, ctx):
+        ctx.pe(0).local_store("w", 0, 7)
+        assert ctx.pe(1).local_load("w", 0) == 0
+
+    def test_invalid_rank_rejected(self, ctx):
+        with pytest.raises(PEIndexError):
+            ctx.pe(3)
+        with pytest.raises(PEIndexError):
+            ctx.pe(-1)
+
+
+class TestCompute:
+    def test_compute_is_a_delay(self, ctx):
+        req = Pe.compute(2.5)
+        assert isinstance(req, Delay)
+        assert req.duration == 2.5
+
+    def test_compute_advances_clock(self, ctx):
+        pe = ctx.pe(0)
+
+        def p():
+            yield pe.compute(1e-3)
+            return ctx.now
+
+        (t,) = run_procs(ctx, p())
+        assert t == pytest.approx(1e-3)
+
+
+class TestEngineCounters:
+    def test_events_processed_counts(self, ctx):
+        pe = ctx.pe(0)
+
+        def p():
+            yield pe.compute(1e-6)
+            yield pe.atomic_fetch_add(1, "w", 0, 1)
+
+        run_procs(ctx, p())
+        # spawn resume + delay resume + AMO (arrival, response) >= 4
+        assert ctx.engine.events_processed >= 4
+
+    def test_ctx_run_returns_final_time(self, ctx):
+        ctx.engine.schedule(5e-6, lambda: None)
+        assert ctx.run() == pytest.approx(5e-6)

@@ -1,0 +1,85 @@
+"""Tests for the symmetric allocator and address handles."""
+
+import pytest
+
+from repro.fabric.memory import SymmetricHeap
+from repro.shmem.heap import SymArray, SymBytes, SymWord, SymmetricAllocator
+
+
+@pytest.fixture
+def heap():
+    return SymmetricHeap(2)
+
+
+def test_sequential_word_layout(heap):
+    alloc = SymmetricAllocator(heap, "t")
+    a = alloc.word("a")
+    b = alloc.array("b", 4)
+    c = alloc.word("c")
+    alloc.commit()
+    assert (a.offset, b.offset, c.offset) == (0, 1, 5)
+    assert a.region == b.region == c.region == "t.words"
+    assert heap.spec("t.words").length == 6
+
+
+def test_byte_layout(heap):
+    alloc = SymmetricAllocator(heap, "t")
+    x = alloc.buffer("x", 100)
+    y = alloc.buffer("y", 28)
+    alloc.commit()
+    assert (x.offset, y.offset) == (0, 100)
+    assert heap.spec("t.bytes").length == 128
+
+
+def test_commit_allocates_usable_memory(heap):
+    alloc = SymmetricAllocator(heap, "rt")
+    w = alloc.word("flag")
+    alloc.commit()
+    heap.store(1, w.region, w.offset, 42)
+    assert heap.load(1, w.region, w.offset) == 42
+    assert heap.load(0, w.region, w.offset) == 0
+
+
+def test_array_word_indexing(heap):
+    alloc = SymmetricAllocator(heap, "t")
+    arr = alloc.array("arr", 3)
+    alloc.commit()
+    assert arr.word(2) == SymWord("t.words", arr.offset + 2)
+    with pytest.raises(IndexError):
+        arr.word(3)
+    with pytest.raises(IndexError):
+        arr.word(-1)
+
+
+def test_reserve_after_commit_rejected(heap):
+    alloc = SymmetricAllocator(heap, "t")
+    alloc.word("a")
+    alloc.commit()
+    with pytest.raises(RuntimeError):
+        alloc.word("b")
+    with pytest.raises(RuntimeError):
+        alloc.commit()
+
+
+def test_empty_commit_allocates_nothing(heap):
+    alloc = SymmetricAllocator(heap, "t")
+    alloc.commit()
+    assert alloc.words_reserved == 0
+    assert alloc.bytes_reserved == 0
+
+
+def test_invalid_reservations(heap):
+    alloc = SymmetricAllocator(heap, "t")
+    with pytest.raises(ValueError):
+        alloc.array("bad", 0)
+    with pytest.raises(ValueError):
+        alloc.buffer("bad", 0)
+
+
+def test_handles_are_frozen():
+    w = SymWord("r", 0)
+    with pytest.raises(AttributeError):
+        w.offset = 5
+    b = SymBytes("r", 0, 4)
+    with pytest.raises(AttributeError):
+        b.length = 9

@@ -1,0 +1,91 @@
+"""Extra coverage: idle fraction and summary round-trips."""
+
+import pytest
+
+from repro.runtime.pool import run_pool
+from repro.runtime.registry import TaskOutcome, TaskRegistry
+from repro.runtime.stats import RunStats, WorkerStats
+from repro.runtime.task import Task
+
+
+class TestIdleFraction:
+    def test_fully_busy(self):
+        s = RunStats(
+            npes=2,
+            runtime=5.0,
+            workers=[
+                WorkerStats(task_time=5.0),
+                WorkerStats(task_time=5.0),
+            ],
+        )
+        assert s.idle_fraction == 0.0
+
+    def test_half_idle(self):
+        s = RunStats(
+            npes=2,
+            runtime=10.0,
+            workers=[WorkerStats(task_time=10.0), WorkerStats(task_time=0.0)],
+        )
+        assert s.idle_fraction == pytest.approx(0.5)
+
+    def test_overhead_counts_as_busy(self):
+        s = RunStats(
+            npes=1,
+            runtime=10.0,
+            workers=[WorkerStats(task_time=6.0, steal_time=4.0)],
+        )
+        assert s.idle_fraction == 0.0
+
+    def test_clamped_to_unit_interval(self):
+        s = RunStats(npes=1, runtime=1.0, workers=[WorkerStats(task_time=5.0)])
+        assert s.idle_fraction == 0.0
+        s2 = RunStats(npes=1, runtime=0.0, workers=[])
+        assert s2.idle_fraction == 0.0
+
+    def test_live_run_reasonable(self):
+        reg = TaskRegistry()
+        reg.register("leaf", lambda p, tc: TaskOutcome(1e-3))
+        stats = run_pool(4, reg, [Task(0)] * 200, impl="sws")
+        assert 0.0 <= stats.idle_fraction < 0.9
+
+
+class TestDispersal:
+    def test_seed_pe_starts_first(self):
+        reg = TaskRegistry()
+        reg.register("leaf", lambda p, tc: TaskOutcome(1e-3))
+        stats = run_pool(4, reg, [Task(0)] * 100, impl="sws")
+        first = [w.first_task_time for w in stats.workers]
+        assert all(t >= 0 for t in first)  # everyone got work
+        assert first[0] == min(first)      # seeds start on PE 0
+        assert stats.dispersal_time == max(first)
+        assert stats.dispersal_time < stats.runtime
+
+    def test_never_worked_pe_marked(self):
+        reg = TaskRegistry()
+        reg.register("leaf", lambda p, tc: TaskOutcome(1e-5))
+        # One task on 4 PEs: three PEs never execute anything.
+        stats = run_pool(4, reg, [Task(0)], impl="sws")
+        never = [w for w in stats.workers if w.first_task_time < 0]
+        assert len(never) == 3
+
+    def test_empty_pool_dispersal_zero(self):
+        from repro.runtime.stats import RunStats, WorkerStats
+
+        s = RunStats(npes=1, runtime=1.0, workers=[WorkerStats()])
+        assert s.dispersal_time == 0.0
+
+
+class TestManagementCounters:
+    def test_release_acquire_counts(self):
+        reg = TaskRegistry()
+        reg.register(
+            "root", lambda p, tc: TaskOutcome(1e-5, [Task(1)] * 200)
+        )
+        reg.register("leaf", lambda p, tc: TaskOutcome(2e-4))
+        stats = run_pool(4, reg, [Task(0)], impl="sws", seed=1)
+        releases = sum(w.releases for w in stats.workers)
+        acquires = sum(w.acquires for w in stats.workers)
+        assert releases > 0
+        assert acquires >= 0
+        # The seed PE must have released at least once for others to work.
+        assert stats.workers[0].releases >= 1

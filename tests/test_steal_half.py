@@ -1,0 +1,116 @@
+"""Tests for the steal-half schedule arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.steal_half import (
+    max_steals,
+    schedule,
+    share_half,
+    steal_displacement,
+    steal_volume,
+)
+
+
+class TestPaperExample:
+    def test_sequence_for_150(self):
+        """§4 worked example: 150 tasks -> {75,37,19,9,5,2,1,1,1}."""
+        assert schedule(150) == [75, 37, 19, 9, 5, 2, 1, 1, 1]
+
+    def test_third_steal_of_150(self):
+        """With asteals=2 the next steal is 19 tasks at tail+112."""
+        assert steal_volume(150, 2) == 19
+        assert steal_displacement(150, 2) == 75 + 37
+
+    def test_nine_steals_exhaust_150(self):
+        assert max_steals(150) == 9
+        assert steal_volume(150, 9) == 0
+        assert steal_displacement(150, 9) == 150
+
+
+class TestEdges:
+    def test_empty_allotment(self):
+        assert schedule(0) == []
+        assert max_steals(0) == 0
+        assert steal_volume(0, 0) == 0
+        assert steal_displacement(0, 5) == 0
+
+    def test_single_task(self):
+        assert schedule(1) == [1]
+        assert steal_volume(1, 0) == 1
+        assert steal_volume(1, 1) == 0
+
+    def test_two_tasks(self):
+        assert schedule(2) == [1, 1]
+
+    def test_overshoot_asteals(self):
+        assert steal_volume(10, 100) == 0
+        assert steal_displacement(10, 100) == 10
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            steal_volume(-1, 0)
+        with pytest.raises(ValueError):
+            steal_volume(1, -1)
+        with pytest.raises(ValueError):
+            steal_displacement(-1, 0)
+        with pytest.raises(ValueError):
+            max_steals(-1)
+
+    def test_share_half(self):
+        assert share_half(0) == 0
+        assert share_half(1) == 1
+        assert share_half(2) == 1
+        assert share_half(9) == 5
+        with pytest.raises(ValueError):
+            share_half(-1)
+
+
+class TestProperties:
+    @given(st.integers(0, 1 << 19))
+    @settings(max_examples=300)
+    def test_schedule_partitions_allotment(self, itasks):
+        """The claim sequence sums exactly to the allotment — no task is
+        claimed twice, none is skipped."""
+        vols = schedule(itasks)
+        assert sum(vols) == itasks
+        assert all(v >= 1 for v in vols)
+
+    @given(st.integers(0, 1 << 19))
+    @settings(max_examples=200)
+    def test_volumes_non_increasing(self, itasks):
+        vols = schedule(itasks)
+        assert all(a >= b for a, b in zip(vols, vols[1:]))
+
+    @given(st.integers(0, 1 << 19), st.integers(0, 64))
+    @settings(max_examples=300)
+    def test_displacement_is_prefix_sum(self, itasks, k):
+        vols = schedule(itasks)
+        assert steal_displacement(itasks, k) == sum(vols[:k])
+        if k < len(vols):
+            assert steal_volume(itasks, k) == vols[k]
+        else:
+            assert steal_volume(itasks, k) == 0
+
+    @given(st.integers(1, 1 << 19))
+    @settings(max_examples=200)
+    def test_schedule_length_near_log2(self, itasks):
+        """The paper approximates the schedule length as log2(itasks);
+        the exact length is within a small additive constant."""
+        n = max_steals(itasks)
+        assert n <= math.floor(math.log2(itasks)) + 3
+        assert n >= math.floor(math.log2(itasks))
+
+    @given(st.integers(0, 1 << 19))
+    @settings(max_examples=100)
+    def test_max_steals_bounded_by_comp_slots(self, itasks):
+        """No 19-bit allotment ever needs more than 21 completion slots."""
+        assert max_steals(itasks) <= 21
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=200)
+    def test_first_steal_is_half(self, itasks):
+        assert steal_volume(itasks, 0) == max(1, itasks // 2)

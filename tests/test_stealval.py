@@ -1,0 +1,151 @@
+"""Tests for the packed stealval codecs (Figures 3 & 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stealval import (
+    StealValEpoch,
+    StealValV1,
+    max_initial_tasks,
+)
+
+U64 = (1 << 64) - 1
+
+
+class TestLayoutV1:
+    def test_field_widths_sum_to_64(self):
+        c = StealValV1
+        assert c.ASTEAL_BITS + c.VALID_BITS + c.ITASK_BITS + c.TAIL_BITS == 64
+
+    def test_paper_example_round_trip(self):
+        """Figure 3: 2 attempted steals, valid, 150 initial tasks, tail 500."""
+        word = StealValV1.pack(2, True, 150, 500)
+        v = StealValV1.unpack(word)
+        assert (v.asteals, v.valid, v.itasks, v.tail) == (2, True, 150, 500)
+
+    def test_asteals_in_high_bits(self):
+        word = StealValV1.pack(1, False, 0, 0)
+        assert word == 1 << 40
+        assert StealValV1.ASTEAL_UNIT == 1 << 40
+
+    def test_fetch_add_unit_preserves_owner_fields(self):
+        word = StealValV1.pack(0, True, 150, 500)
+        for i in range(1, 100):
+            word = (word + StealValV1.ASTEAL_UNIT) & U64
+            v = StealValV1.unpack(word)
+            assert (v.valid, v.itasks, v.tail) == (True, 150, 500)
+            assert v.asteals == i
+
+    def test_asteal_overflow_falls_off_the_top(self):
+        word = StealValV1.pack(StealValV1.MAX_ASTEALS, True, 150, 500)
+        word = (word + StealValV1.ASTEAL_UNIT) & U64
+        v = StealValV1.unpack(word)
+        assert v.asteals == 0
+        assert (v.valid, v.itasks, v.tail) == (True, 150, 500)
+
+    def test_field_limits_enforced(self):
+        with pytest.raises(ValueError):
+            StealValV1.pack(1 << 24, True, 0, 0)
+        with pytest.raises(ValueError):
+            StealValV1.pack(0, True, 1 << 19, 0)
+        with pytest.raises(ValueError):
+            StealValV1.pack(0, True, 0, 1 << 20)
+        with pytest.raises(ValueError):
+            StealValV1.pack(-1, True, 0, 0)
+
+    def test_invalid_word_is_not_valid(self):
+        assert not StealValV1.unpack(StealValV1.invalid_word()).valid
+
+    @given(
+        st.integers(0, StealValV1.MAX_ASTEALS),
+        st.booleans(),
+        st.integers(0, StealValV1.MAX_ITASKS),
+        st.integers(0, StealValV1.MAX_TAIL),
+    )
+    @settings(max_examples=200)
+    def test_round_trip_property(self, asteals, valid, itasks, tail):
+        v = StealValV1.unpack(StealValV1.pack(asteals, valid, itasks, tail))
+        assert (v.asteals, v.valid, v.itasks, v.tail) == (
+            asteals, valid, itasks, tail,
+        )
+
+
+class TestLayoutEpoch:
+    def test_field_widths_sum_to_64(self):
+        c = StealValEpoch
+        assert c.ASTEAL_BITS + c.EPOCH_BITS + c.ITASK_BITS + c.TAIL_BITS == 64
+
+    def test_round_trip(self):
+        word = StealValEpoch.pack(7, 1, 1000, 12345)
+        v = StealValEpoch.unpack(word)
+        assert (v.asteals, v.epoch, v.itasks, v.tail) == (7, 1, 1000, 12345)
+        assert not v.locked
+
+    def test_locked_sentinel(self):
+        v = StealValEpoch.unpack(StealValEpoch.locked_word())
+        assert v.locked
+        assert v.epoch == StealValEpoch.EPOCH_LOCKED
+
+    def test_live_epochs_not_locked(self):
+        for e in range(StealValEpoch.MAX_EPOCHS):
+            assert not StealValEpoch.unpack(StealValEpoch.pack(0, e, 0, 0)).locked
+
+    def test_increment_on_locked_word_stays_locked(self):
+        """A thief racing the owner's lock adds ASTEAL_UNIT to the locked
+        word; the word must still decode as locked (the thief aborts)."""
+        word = StealValEpoch.locked_word()
+        for _ in range(50):
+            word = (word + StealValEpoch.ASTEAL_UNIT) & U64
+            assert StealValEpoch.unpack(word).locked
+
+    def test_asteal_unit_same_shift_as_v1(self):
+        # asteals occupies [63:40] in both layouts.
+        assert StealValEpoch.ASTEAL_UNIT == StealValV1.ASTEAL_UNIT
+
+    def test_field_limits_enforced(self):
+        with pytest.raises(ValueError):
+            StealValEpoch.pack(0, 4, 0, 0)
+        with pytest.raises(ValueError):
+            StealValEpoch.pack(0, 0, 0, 1 << 19)
+
+    @given(
+        st.integers(0, StealValEpoch.MAX_ASTEALS),
+        st.integers(0, StealValEpoch.EPOCH_LOCKED),
+        st.integers(0, StealValEpoch.MAX_ITASKS),
+        st.integers(0, StealValEpoch.MAX_TAIL),
+    )
+    @settings(max_examples=200)
+    def test_round_trip_property(self, asteals, epoch, itasks, tail):
+        v = StealValEpoch.unpack(StealValEpoch.pack(asteals, epoch, itasks, tail))
+        assert (v.asteals, v.epoch, v.itasks, v.tail) == (
+            asteals, epoch, itasks, tail,
+        )
+
+    @given(st.integers(0, U64), st.integers(1, 1000))
+    @settings(max_examples=200)
+    def test_concurrent_increments_commute(self, word, n):
+        """n increments then decode == decode then add n (mod field)."""
+        v_before = StealValEpoch.unpack(word)
+        after = (word + n * StealValEpoch.ASTEAL_UNIT) & U64
+        v_after = StealValEpoch.unpack(after)
+        assert v_after.asteals == (v_before.asteals + n) % (1 << 24)
+        assert v_after.itasks == v_before.itasks
+        assert v_after.tail == v_before.tail
+        assert v_after.epoch == v_before.epoch
+
+
+class TestInitialTaskCap:
+    def test_paper_cap(self):
+        # §4.3: capped at 2^19 - P.
+        assert max_initial_tasks(2112) == (1 << 19) - 2112
+
+    def test_small_npes(self):
+        assert max_initial_tasks(1) == (1 << 19) - 1
+
+    def test_invalid_npes(self):
+        with pytest.raises(ValueError):
+            max_initial_tasks(0)
+
+    def test_never_below_one(self):
+        assert max_initial_tasks(10**9) == 1

@@ -1,0 +1,105 @@
+"""Tests for the result store and run comparison."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.store import ResultStore, render_diff
+
+
+def make_result(exp_id="fig6", scale=1.0):
+    return ExperimentResult(
+        exp_id=exp_id,
+        title="steal time",
+        headers=["impl", "volume", "us"],
+        rows=[["sws", 2, 1.3 * scale], ["sws", 8, 1.4 * scale],
+              ["sdc", 2, 3.1 * scale]],
+        notes=["a note"],
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "results")
+
+
+class TestSaveLoad:
+    def test_round_trip(self, store):
+        store.save("base", make_result())
+        loaded = store.load("base", "fig6")
+        assert loaded.rows == make_result().rows
+        assert loaded.headers == ["impl", "volume", "us"]
+        assert loaded.notes == ["a note"]
+
+    def test_listing(self, store):
+        store.save("base", make_result("fig6"))
+        store.save("base", make_result("fig7"))
+        store.save("tuned", make_result("fig6"))
+        assert store.runs() == ["base", "tuned"]
+        assert store.experiments("base") == ["fig6", "fig7"]
+        assert store.experiments("missing") == []
+
+    def test_missing_result(self, store):
+        with pytest.raises(FileNotFoundError):
+            store.load("nope", "fig6")
+
+    def test_schema_checked(self, store, tmp_path):
+        path = store.save("base", make_result())
+        payload = json.loads(path.read_text())
+        payload["schema"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema"):
+            store.load("base", "fig6")
+
+
+class TestCompare:
+    def test_aligned_diff(self, store):
+        store.save("a", make_result())
+        store.save("b", make_result(scale=2.0))
+        diffs = store.compare("a", "b", "fig6", key_cols=2)
+        assert len(diffs) == 3
+        d = diffs[0]
+        assert d.key == ("sws", 2)
+        assert d.rel_change(0) == pytest.approx(1.0)  # doubled
+
+    def test_missing_rows_skipped(self, store):
+        a = make_result()
+        b = make_result()
+        b.rows = b.rows[:1]
+        store.save("a", a)
+        store.save("b", b)
+        diffs = store.compare("a", "b", "fig6", key_cols=2)
+        assert len(diffs) == 1
+
+    def test_header_mismatch_rejected(self, store):
+        a = make_result()
+        b = make_result()
+        b.headers = ["impl", "volume", "ms"]
+        store.save("a", a)
+        store.save("b", b)
+        with pytest.raises(ValueError, match="header mismatch"):
+            store.compare("a", "b", "fig6")
+
+    def test_rel_change_non_numeric(self, store):
+        store.save("a", make_result())
+        store.save("b", make_result())
+        diffs = store.compare("a", "b", "fig6", key_cols=1)
+        # column 0 after key is "volume" (numeric), fine; force a zero case
+        d = diffs[0]
+        d.before[0] = 0
+        assert d.rel_change(0) is None
+
+
+class TestRenderDiff:
+    def test_changes_above_threshold_listed(self, store):
+        store.save("a", make_result())
+        store.save("b", make_result(scale=1.5))
+        out = render_diff(store.compare("a", "b", "fig6", key_cols=2))
+        assert "+50.0%" in out
+
+    def test_no_change(self, store):
+        store.save("a", make_result())
+        store.save("b", make_result())
+        out = render_diff(store.compare("a", "b", "fig6", key_cols=2))
+        assert "no significant changes" in out

@@ -1,0 +1,151 @@
+"""Property tests across the substrates: collectives, inbox, termination."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.engine import Delay
+from repro.fabric.latency import ZERO_LATENCY
+from repro.runtime.inbox import InboxSystem
+from repro.runtime.termination import TerminationSystem, TreeTerminationSystem
+from repro.shmem.api import ShmemCtx
+from repro.shmem.collectives import CollectiveSystem
+
+from .conftest import TEST_LAT, rec, rec_id, run_procs
+
+
+class TestCollectiveProperties:
+    @given(
+        npes=st.integers(1, 12),
+        values=st.lists(st.integers(0, 2**40), min_size=1, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_sum_matches_arithmetic(self, npes, values):
+        ctx = ShmemCtx(npes, latency=ZERO_LATENCY)
+        system = CollectiveSystem(ctx, width=len(values))
+        results = {}
+
+        def p(rank):
+            contrib = [v + rank for v in values]
+            out = yield from system.handle(rank).allreduce(contrib)
+            results[rank] = out
+
+        run_procs(ctx, *(p(r) for r in range(npes)))
+        expected = [
+            sum(v + r for r in range(npes)) & ((1 << 64) - 1) for v in values
+        ]
+        assert all(res == expected for res in results.values())
+
+    @given(npes=st.integers(2, 10), root=st.integers(0, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_broadcast_reaches_everyone(self, npes, root):
+        root = root % npes
+        ctx = ShmemCtx(npes, latency=ZERO_LATENCY)
+        system = CollectiveSystem(ctx)
+        results = {}
+
+        def p(rank):
+            vals = yield from system.handle(rank).broadcast(
+                [rank * 7 + 1] if rank == root else None, root=root
+            )
+            results[rank] = vals
+
+        run_procs(ctx, *(p(r) for r in range(npes)))
+        assert all(v == [root * 7 + 1] for v in results.values())
+
+
+class TestInboxProperties:
+    @given(
+        sends=st.lists(
+            st.tuples(st.integers(1, 3), st.integers(0, 1000)),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_sends_arrive_exactly_once(self, sends):
+        """Arbitrary per-sender message mixes are delivered exactly."""
+        ctx = ShmemCtx(4, latency=TEST_LAT)
+        system = InboxSystem(ctx, capacity=64, task_size=16)
+        owner = system.handle(0)
+        by_sender: dict[int, list[int]] = {1: [], 2: [], 3: []}
+        for sender, payload in sends:
+            by_sender[sender].append(payload)
+
+        def s(rank):
+            h = system.handle(rank)
+            for p in by_sender[rank]:
+                yield from h.send(0, rec(p))
+
+        def o():
+            yield Delay(1.0)
+            return sorted(rec_id(r) for r in owner.drain())
+
+        results = run_procs(ctx, s(1), s(2), s(3), o())
+        assert results[-1] == sorted(p for _, p in sends)
+
+    @given(waves=st.integers(1, 5), per_wave=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_ring_reuse_any_geometry(self, waves, per_wave):
+        ctx = ShmemCtx(2, latency=TEST_LAT)
+        system = InboxSystem(ctx, capacity=per_wave, task_size=16)
+        sender, owner = system.handle(1), system.handle(0)
+        got = []
+
+        def s():
+            for w in range(waves):
+                for i in range(per_wave):
+                    yield from sender.send(0, rec(w * 100 + i))
+                yield Delay(1.0)
+
+        def o():
+            for _ in range(waves):
+                yield Delay(0.9)
+                got.extend(rec_id(r) for r in owner.drain())
+                yield Delay(0.1)
+
+        run_procs(ctx, s(), o())
+        assert len(got) == waves * per_wave
+        assert len(set(got)) == len(got)
+
+
+class TestTerminationProperties:
+    @given(
+        npes=st.integers(2, 10),
+        created=st.lists(st.integers(0, 50), min_size=10, max_size=10),
+        moved=st.integers(0, 49),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_detectors_agree_on_balanced_state(self, npes, created, moved):
+        """Both detectors terminate iff global created == executed,
+        regardless of how execution credit is distributed."""
+        created = created[:npes]
+        total = sum(created)
+        # Distribute exactly `total` executions across PEs arbitrarily.
+        executed = [0] * npes
+        remaining = total
+        for r in range(npes - 1):
+            take = min(remaining, (moved * (r + 1)) % (total + 1))
+            executed[r] = take
+            remaining -= take
+        executed[-1] += remaining
+
+        for system_cls in (TerminationSystem, TreeTerminationSystem):
+            ctx = ShmemCtx(npes, latency=ZERO_LATENCY)
+            system = system_cls(ctx)
+            dets = [system.handle(r) for r in range(npes)]
+            results = {}
+
+            def pe(rank):
+                det = dets[rank]
+                for _ in range(80):
+                    done = yield from det.service(
+                        created[rank], executed[rank], idle=True
+                    )
+                    if done or det.terminated:
+                        results[rank] = True
+                        return
+                    yield Delay(1e-6)
+                results[rank] = False
+
+            run_procs(ctx, *(pe(r) for r in range(npes)))
+            assert all(results.values()), system_cls.__name__

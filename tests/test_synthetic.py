@@ -1,0 +1,61 @@
+"""Tests for the Figure-6 steal-latency probe."""
+
+import pytest
+
+from repro.fabric.latency import SLOW_ETHERNET
+from repro.workloads.synthetic import measure_single_steal, steal_volume_sweep
+
+
+class TestSingleProbe:
+    @pytest.mark.parametrize("volume", [1, 2, 8, 64, 500])
+    def test_steals_exact_volume(self, impl, volume):
+        r = measure_single_steal(impl, volume, 24)
+        assert r.volume == volume
+        assert r.steal_seconds > 0
+
+    def test_sws_fewer_comms_than_sdc(self):
+        sws = measure_single_steal("sws", 8, 24)
+        sdc = measure_single_steal("sdc", 8, 24)
+        assert sws.comms["total"] == 3
+        assert sdc.comms["total"] == 6
+
+    def test_sws_faster_at_small_volume(self):
+        sws = measure_single_steal("sws", 2, 24)
+        sdc = measure_single_steal("sdc", 2, 24)
+        assert sws.steal_seconds < 0.65 * sdc.steal_seconds
+
+    def test_curves_converge_at_large_volume(self):
+        """The SDC/SWS ratio shrinks as copy time dominates (Fig. 6)."""
+        small = [measure_single_steal(i, 2, 192).steal_seconds for i in ("sdc", "sws")]
+        large = [measure_single_steal(i, 1024, 192).steal_seconds for i in ("sdc", "sws")]
+        assert large[0] / large[1] < small[0] / small[1]
+
+    def test_larger_tasks_slower(self, impl):
+        t24 = measure_single_steal(impl, 128, 24).steal_seconds
+        t192 = measure_single_steal(impl, 128, 192).steal_seconds
+        assert t192 > t24
+
+    def test_latency_model_respected(self, impl):
+        fast = measure_single_steal(impl, 8, 24).steal_seconds
+        slow = measure_single_steal(impl, 8, 24, latency=SLOW_ETHERNET).steal_seconds
+        assert slow > 3 * fast
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            measure_single_steal("magic", 2, 24)
+        with pytest.raises(ValueError):
+            measure_single_steal("sws", 0, 24)
+
+
+class TestSweep:
+    def test_full_grid_shape(self):
+        results = steal_volume_sweep(volumes=[2, 8], task_sizes=(24,))
+        assert len(results) == 4  # 2 impls x 1 size x 2 volumes
+        impls = {r.impl for r in results}
+        assert impls == {"sws", "sdc"}
+
+    def test_monotone_in_volume(self):
+        results = steal_volume_sweep(volumes=[2, 64, 1024], task_sizes=(192,))
+        for impl in ("sws", "sdc"):
+            times = [r.steal_seconds for r in results if r.impl == impl]
+            assert times == sorted(times)

@@ -1,0 +1,108 @@
+"""Tests for task descriptors and the function registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.errors import ProtocolError
+from repro.runtime.registry import TaskContext, TaskOutcome, TaskRegistry
+from repro.runtime.task import HEADER_BYTES, Task
+
+
+class TestTask:
+    def test_round_trip(self):
+        t = Task(7, b"payload")
+        assert Task.deserialize(t.serialize(32)) == t
+
+    def test_record_is_fixed_size(self):
+        assert len(Task(0).serialize(48)) == 48
+        assert len(Task(1, b"x" * 20).serialize(48)) == 48
+
+    def test_empty_payload(self):
+        t = Task(3)
+        assert Task.deserialize(t.serialize(HEADER_BYTES)) == t
+
+    def test_payload_too_large_for_record(self):
+        with pytest.raises(ProtocolError, match="record size"):
+            Task(0, b"x" * 29).serialize(32)
+
+    def test_fn_id_bounds(self):
+        with pytest.raises(ProtocolError):
+            Task(1 << 16)
+        with pytest.raises(ProtocolError):
+            Task(-1)
+
+    def test_truncated_record_rejected(self):
+        with pytest.raises(ProtocolError):
+            Task.deserialize(b"\x01")
+
+    def test_corrupt_length_rejected(self):
+        record = Task(0, b"abc").serialize(16)
+        bad = record[:2] + (200).to_bytes(2, "little") + record[4:]
+        with pytest.raises(ProtocolError, match="declares"):
+            Task.deserialize(bad)
+
+    @given(
+        st.integers(0, (1 << 16) - 1),
+        st.binary(min_size=0, max_size=40),
+    )
+    @settings(max_examples=100)
+    def test_round_trip_property(self, fn_id, payload):
+        t = Task(fn_id, payload)
+        size = HEADER_BYTES + len(payload) + 3
+        assert Task.deserialize(t.serialize(size)) == t
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200)
+    def test_adversarial_bytes_never_crash(self, blob):
+        """Arbitrary record bytes either decode to a Task or raise the
+        library's ProtocolError — never an unguarded exception."""
+        try:
+            t = Task.deserialize(blob)
+        except ProtocolError:
+            return
+        assert 0 <= t.fn_id < (1 << 16)
+        assert len(t.payload) <= len(blob)
+
+
+class TestRegistry:
+    def test_register_and_execute(self):
+        reg = TaskRegistry()
+        calls = []
+
+        def fn(payload, tc):
+            calls.append((payload, tc.rank))
+            return TaskOutcome(duration=1.0)
+
+        fid = reg.register("f", fn)
+        out = reg.execute(Task(fid, b"data"), TaskContext(rank=3, npes=8))
+        assert out.duration == 1.0
+        assert calls == [(b"data", 3)]
+
+    def test_ids_sequential(self):
+        reg = TaskRegistry()
+        assert reg.register("a", lambda p, tc: TaskOutcome(0.0)) == 0
+        assert reg.register("b", lambda p, tc: TaskOutcome(0.0)) == 1
+        assert len(reg) == 2
+
+    def test_id_of(self):
+        reg = TaskRegistry()
+        reg.register("x", lambda p, tc: TaskOutcome(0.0))
+        assert reg.id_of("x") == 0
+        with pytest.raises(ProtocolError):
+            reg.id_of("y")
+
+    def test_duplicate_name_rejected(self):
+        reg = TaskRegistry()
+        reg.register("x", lambda p, tc: TaskOutcome(0.0))
+        with pytest.raises(ProtocolError, match="already registered"):
+            reg.register("x", lambda p, tc: TaskOutcome(0.0))
+
+    def test_unregistered_fn_id_rejected(self):
+        reg = TaskRegistry()
+        with pytest.raises(ProtocolError, match="unregistered"):
+            reg.execute(Task(0), TaskContext(0, 1))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TaskOutcome(duration=-1.0)

@@ -1,0 +1,101 @@
+"""Tests for the Table-1 shared-task state machine."""
+
+import pytest
+
+from repro.core.task_state import (
+    ALLOWED_TRANSITIONS,
+    IllegalTransition,
+    TaskState,
+    TaskStateTracker,
+)
+
+
+def test_four_states_match_table1():
+    assert {s.value for s in TaskState} == {"A", "C", "F", "I"}
+
+
+def test_initial_state_available():
+    t = TaskStateTracker(3)
+    assert t.states == [TaskState.AVAILABLE] * 3
+
+
+def test_normal_lifecycle():
+    t = TaskStateTracker(1)
+    t.claim(0)
+    assert t.states[0] is TaskState.CLAIMED
+    t.finish(0)
+    assert t.states[0] is TaskState.FINISHED
+    t.invalidate(0)
+    assert t.states[0] is TaskState.INVALID
+
+
+def test_unstolen_block_can_be_invalidated():
+    """An owner acquire invalidates AVAILABLE blocks directly."""
+    t = TaskStateTracker(1)
+    t.invalidate(0)
+    assert t.states[0] is TaskState.INVALID
+
+
+@pytest.mark.parametrize(
+    "sequence",
+    [
+        ["finish"],                       # A -> F skips the claim
+        ["claim", "invalidate"],          # C -> I skips completion
+        ["claim", "claim"],               # double claim
+        ["claim", "finish", "finish"],    # double finish
+        ["invalidate", "claim"],          # resurrecting an invalid block
+        ["claim", "finish", "invalidate", "claim"],
+    ],
+)
+def test_illegal_sequences_rejected(sequence):
+    t = TaskStateTracker(1)
+    ops = {"claim": t.claim, "finish": t.finish, "invalidate": t.invalidate}
+    with pytest.raises(IllegalTransition):
+        for op in sequence:
+            ops[op](0)
+
+
+def test_allowed_transitions_are_exactly_four():
+    assert len(ALLOWED_TRANSITIONS) == 4
+
+
+def test_counts():
+    t = TaskStateTracker(4)
+    t.claim(0)
+    t.claim(1)
+    t.finish(1)
+    assert t.count(TaskState.AVAILABLE) == 2
+    assert t.count(TaskState.CLAIMED) == 1
+    assert t.count(TaskState.FINISHED) == 1
+
+
+def test_finished_prefix_blocked_by_claim():
+    """Figure 5: a claimed block pins reclamation behind it."""
+    t = TaskStateTracker(4)
+    for i in range(3):
+        t.claim(i)
+    t.finish(0)
+    t.finish(2)  # out-of-order completion
+    assert t.finished_prefix() == 1  # block 1 still claimed
+    t.finish(1)
+    assert t.finished_prefix() == 3
+
+
+def test_all_settled():
+    t = TaskStateTracker(2)
+    assert t.all_settled()
+    t.claim(0)
+    assert not t.all_settled()
+    t.finish(0)
+    assert t.all_settled()
+
+
+def test_empty_tracker():
+    t = TaskStateTracker(0)
+    assert t.finished_prefix() == 0
+    assert t.all_settled()
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        TaskStateTracker(-1)

@@ -1,0 +1,142 @@
+"""Tests for distributed termination detection."""
+
+import pytest
+
+from repro.fabric.engine import Delay
+from repro.runtime.termination import TerminationSystem
+from repro.shmem.api import ShmemCtx
+
+from .conftest import TEST_LAT
+
+
+def make(npes):
+    ctx = ShmemCtx(npes, latency=TEST_LAT)
+    system = TerminationSystem(ctx)
+    return ctx, system
+
+
+class TestSinglePe:
+    def test_immediate_when_idle_and_balanced(self):
+        ctx, system = make(1)
+        det = system.handle(0)
+
+        def p():
+            done = yield from det.service(created=10, executed=10, idle=True)
+            return done
+
+        proc = ctx.engine.spawn(p(), "p")
+        ctx.run()
+        assert proc.result is True
+        assert det.terminated
+
+    def test_not_while_busy(self):
+        ctx, system = make(1)
+        det = system.handle(0)
+
+        def p():
+            done = yield from det.service(created=10, executed=10, idle=False)
+            return done
+
+        proc = ctx.engine.spawn(p(), "p")
+        ctx.run()
+        assert proc.result is False
+
+    def test_not_with_unexecuted_tasks(self):
+        ctx, system = make(1)
+        det = system.handle(0)
+
+        def p():
+            done = yield from det.service(created=10, executed=9, idle=True)
+            return done
+
+        proc = ctx.engine.spawn(p(), "p")
+        ctx.run()
+        assert proc.result is False
+
+
+class TestRing:
+    def _drive(self, npes, created, executed, rounds=40):
+        """All PEs idle with the given counters; loop services until the
+        flag fires or the round budget runs out."""
+        ctx, system = make(npes)
+        dets = [system.handle(r) for r in range(npes)]
+        fired = {}
+
+        def pe(rank):
+            det = dets[rank]
+            for _ in range(rounds):
+                done = yield from det.service(
+                    created[rank], executed[rank], idle=True
+                )
+                if done or det.terminated:
+                    fired[rank] = ctx.now
+                    return True
+                yield Delay(1e-6)
+            return False
+
+        procs = [ctx.engine.spawn(pe(r), f"pe{r}") for r in range(npes)]
+        ctx.run()
+        return ctx, [p.result for p in procs], fired
+
+    def test_terminates_when_balanced(self):
+        ctx, results, fired = self._drive(
+            4, created=[10, 0, 5, 0], executed=[3, 7, 1, 4]
+        )
+        assert all(results)
+        assert len(fired) == 4
+
+    def test_never_terminates_with_outstanding_task(self):
+        _, results, _ = self._drive(
+            4, created=[10, 0, 0, 0], executed=[3, 3, 3, 0]  # 9 of 10 done
+        )
+        assert not any(results)
+
+    def test_two_pes(self):
+        _, results, _ = self._drive(2, created=[4, 4], executed=[4, 4])
+        assert all(results)
+
+    def test_larger_ring(self):
+        _, results, _ = self._drive(
+            16, created=[1] * 16, executed=[1] * 16, rounds=100
+        )
+        assert all(results)
+
+    def test_no_false_positive_with_moving_counters(self):
+        """Counters that keep changing (work still flowing) must not
+        trigger termination even if sums transiently balance."""
+        ctx, system = make(3)
+        dets = [system.handle(r) for r in range(3)]
+        done_flags = []
+
+        def pe0():
+            created = 10
+            executed = 10
+            for i in range(30):
+                # PE 0 keeps spawning and executing one more task each
+                # service call: totals stay equal but keep moving.
+                created += 1
+                executed += 1
+                done = yield from dets[0].service(created, executed, idle=True)
+                if done:
+                    done_flags.append(("pe0", i))
+                    return
+                yield Delay(1e-6)
+
+        def other(rank):
+            for _ in range(40):
+                done = yield from dets[rank].service(0, 0, idle=True)
+                if done or dets[rank].terminated:
+                    return
+                yield Delay(1e-6)
+
+        ctx.engine.spawn(pe0(), "pe0")
+        ctx.engine.spawn(other(1), "pe1")
+        ctx.engine.spawn(other(2), "pe2")
+        ctx.run()
+        assert done_flags == []
+
+    def test_token_traffic_counted_in_metrics(self):
+        ctx, results, _ = self._drive(4, [1] * 4, [1] * 4)
+        snap = ctx.metrics.snapshot()
+        assert snap["put"] > 0       # token hops
+        assert snap["put_nb"] >= 3   # termination broadcast

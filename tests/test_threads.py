@@ -1,0 +1,117 @@
+"""Race tests: the SWS protocol over real threads."""
+
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.threads import AtomicArray64, AtomicWord64, ThreadSwsQueue, hammer
+
+U64 = (1 << 64) - 1
+
+
+class TestAtomicWord:
+    def test_basic_ops(self):
+        w = AtomicWord64(5)
+        assert w.load() == 5
+        assert w.fetch_add(3) == 5
+        assert w.load() == 8
+        assert w.swap(1) == 8
+        assert w.compare_swap(1, 2) == 1
+        assert w.compare_swap(99, 3) == 2
+        assert w.load() == 2
+
+    def test_wraps_u64(self):
+        w = AtomicWord64(U64)
+        assert w.fetch_add(1) == U64
+        assert w.load() == 0
+
+    def test_concurrent_fetch_add_counts_exactly(self):
+        w = AtomicWord64()
+        n_threads, per_thread = 8, 2000
+
+        def worker():
+            for _ in range(per_thread):
+                w.fetch_add(1)
+
+        ts = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert w.load() == n_threads * per_thread
+
+    def test_concurrent_fetch_add_olds_unique(self):
+        w = AtomicWord64()
+        olds, lock = [], threading.Lock()
+
+        def worker():
+            mine = [w.fetch_add(1) for _ in range(500)]
+            with lock:
+                olds.extend(mine)
+
+        ts = [threading.Thread(target=worker) for _ in range(6)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert sorted(olds) == list(range(3000))
+
+
+class TestAtomicArray:
+    def test_indexing(self):
+        arr = AtomicArray64(4, fill=9)
+        assert len(arr) == 4
+        assert arr[2].load() == 9
+        arr[2].store(1)
+        assert arr.snapshot() == [9, 9, 1, 9]
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            AtomicArray64(0)
+
+
+class TestThreadQueue:
+    def test_sequential_release_steal(self):
+        q = ThreadSwsQueue(list(range(20)))
+        q.release(16)
+        r1 = q.steal()
+        assert r1.claimed == list(range(8))
+        r2 = q.steal()
+        assert r2.claimed == list(range(8, 12))
+
+    def test_steal_on_locked_word_aborts(self):
+        q = ThreadSwsQueue(list(range(10)))
+        q.release(8)
+        from repro.core.stealval import StealValEpoch
+
+        q.stealval.store(StealValEpoch.locked_word())
+        assert q.steal().aborted_locked
+
+    def test_empty_steal(self):
+        q = ThreadSwsQueue([1, 2, 3])
+        assert q.steal().empty
+
+    def test_acquire_takes_top_half(self):
+        q = ThreadSwsQueue(list(range(16)))
+        q.release(8)
+        taken = q.acquire()
+        assert taken == [4, 5, 6, 7]
+
+
+@pytest.mark.parametrize("nthieves", [2, 4, 8])
+def test_hammer_conserves_tasks(nthieves):
+    tasks = list(range(3000))
+    loot, kept = hammer(tasks, nthieves=nthieves, releases=6, acquires=2)
+    stolen = [t for l in loot for t in l]
+    counts = Counter(stolen + kept)
+    assert all(v == 1 for v in counts.values()), "duplicated tasks"
+    assert sorted(counts) == tasks, "lost tasks"
+
+
+def test_hammer_repeated_runs_stay_consistent():
+    for trial in range(3):
+        tasks = list(range(1500))
+        loot, kept = hammer(tasks, nthieves=3, releases=5, acquires=1)
+        stolen = [t for l in loot for t in l]
+        assert sorted(stolen + kept) == tasks

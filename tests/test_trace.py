@@ -1,0 +1,107 @@
+"""Tests for communication-trace analysis."""
+
+import pytest
+
+from repro.fabric.engine import Delay
+from repro.fabric.metrics import OpRecord
+from repro.fabric.trace import (
+    GLYPHS,
+    interarrival_stats,
+    render_timeline,
+    steal_pressure,
+    summarize,
+)
+from repro.shmem.api import ShmemCtx
+
+from .conftest import TEST_LAT
+
+
+def make_trace():
+    return [
+        OpRecord(0.0, 1, 0, "amo_fetch_add", 8),
+        OpRecord(1e-6, 1, 0, "get", 128),
+        OpRecord(2e-6, 1, 0, "amo_add_nb", 8),
+        OpRecord(3e-6, 2, 0, "amo_swap", 8),
+        OpRecord(4e-6, 2, 3, "put", 16),
+    ]
+
+
+class TestSummary:
+    def test_counts(self):
+        s = summarize(make_trace())
+        assert s.total_ops == 5
+        assert s.ops_by_kind["amo_fetch_add"] == 1
+        assert s.ops_by_initiator == {1: 3, 2: 2}
+        assert s.ops_by_target == {0: 4, 3: 1}
+        assert s.bytes_total == 168
+        assert s.duration == pytest.approx(4e-6)
+
+    def test_busiest_target(self):
+        assert summarize(make_trace()).busiest_target() == 0
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.total_ops == 0
+        assert s.busiest_target() is None
+
+
+class TestTimeline:
+    def test_lanes_and_glyphs(self):
+        out = render_timeline(make_trace(), npes=4, width=40)
+        lines = out.splitlines()
+        assert lines[1].startswith("pe0")
+        assert "A" in lines[2]  # PE 1 lane has the fetch-add glyph
+        assert "S" in lines[3] or "P" in lines[3]
+        assert "pe3" in lines[4]
+
+    def test_empty_trace(self):
+        assert "empty" in render_timeline([], npes=2)
+
+    def test_every_kind_has_glyph(self):
+        from repro.fabric.metrics import OP_KINDS
+
+        assert set(GLYPHS) == set(OP_KINDS)
+
+
+class TestDerived:
+    def test_steal_pressure_counts_claims_and_locks(self):
+        p = steal_pressure(make_trace())
+        assert p == {0: 2}  # one fetch-add + one lock swap
+
+    def test_interarrival(self):
+        mean, mx = interarrival_stats(make_trace(), target=0)
+        assert mean == pytest.approx(1e-6)
+        assert mx == pytest.approx(1e-6)
+
+    def test_interarrival_sparse(self):
+        assert interarrival_stats(make_trace(), target=3) == (0.0, 0.0)
+
+
+class TestLiveTrace:
+    def test_ctx_trace_records_protocol_ops(self):
+        from repro.core.config import QueueConfig
+        from repro.core.sws_queue import SwsQueueSystem
+
+        ctx = ShmemCtx(2, latency=TEST_LAT, trace_comm=True)
+        sys_ = SwsQueueSystem(ctx, QueueConfig(qsize=64, task_size=16))
+        victim, thief = sys_.handle(0), sys_.handle(1)
+        for _ in range(8):
+            victim.enqueue(bytes(16))
+
+        def owner():
+            yield from victim.release()
+            yield Delay(1.0)
+
+        def t():
+            yield Delay(1e-6)
+            r = yield from thief.steal(0)
+            assert r.success
+            yield thief.pe.quiet()
+
+        ctx.engine.spawn(owner(), "o")
+        ctx.engine.spawn(t(), "t")
+        ctx.run()
+        s = summarize(ctx.metrics.trace)
+        assert s.ops_by_kind == {"amo_fetch_add": 1, "get": 1, "amo_add_nb": 1}
+        out = render_timeline(ctx.metrics.trace, npes=2)
+        assert "A" in out and "G" in out and "a" in out

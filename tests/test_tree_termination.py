@@ -1,0 +1,125 @@
+"""Tests for the tree-based termination detector."""
+
+import pytest
+
+from repro.fabric.engine import Delay
+from repro.runtime.pool import TaskPool, run_pool
+from repro.runtime.registry import TaskOutcome, TaskRegistry
+from repro.runtime.task import Task
+from repro.runtime.termination import TreeTerminationSystem
+from repro.shmem.api import ShmemCtx
+
+from .conftest import TEST_LAT
+
+
+def make(npes):
+    ctx = ShmemCtx(npes, latency=TEST_LAT)
+    system = TreeTerminationSystem(ctx)
+    return ctx, [system.handle(r) for r in range(npes)]
+
+
+def drive(npes, created, executed, rounds=60):
+    ctx, dets = make(npes)
+    results = {}
+
+    def pe(rank):
+        det = dets[rank]
+        for _ in range(rounds):
+            done = yield from det.service(created[rank], executed[rank], idle=True)
+            if done or det.terminated:
+                return True
+            yield Delay(1e-6)
+        return False
+
+    procs = [ctx.engine.spawn(pe(r), f"pe{r}") for r in range(npes)]
+    ctx.run()
+    return [p.result for p in procs]
+
+
+class TestTreeShape:
+    def test_children_and_parent(self):
+        _, dets = make(7)
+        assert dets[0].children == [1, 2] and dets[0].parent is None
+        assert dets[1].children == [3, 4] and dets[1].parent == 0
+        assert dets[3].children == [] and dets[3].parent == 1
+
+    def test_partial_tree(self):
+        _, dets = make(4)
+        assert dets[1].children == [3]
+        assert dets[2].children == []
+
+
+class TestDetection:
+    @pytest.mark.parametrize("npes", [1, 2, 3, 4, 7, 8, 16])
+    def test_terminates_when_balanced(self, npes):
+        created = [3] * npes
+        executed = [3] * npes
+        assert all(drive(npes, created, executed))
+
+    def test_unbalanced_totals_never_terminate(self):
+        created = [10, 0, 0, 0]
+        executed = [3, 3, 3, 0]  # one task outstanding
+        assert not any(drive(4, created, executed))
+
+    def test_cross_pe_balance(self):
+        # Created on one PE, executed elsewhere: totals balance.
+        created = [12, 0, 0, 0, 0]
+        executed = [2, 4, 3, 2, 1]
+        assert all(drive(5, created, executed))
+
+    def test_busy_root_stalls_detection(self):
+        """The root only evaluates while idle."""
+        ctx, dets = make(2)
+        fired = []
+
+        def root():
+            for i in range(20):
+                done = yield from dets[0].service(1, 1, idle=(i >= 10))
+                if done:
+                    fired.append(i)
+                    return
+                yield Delay(1e-6)
+
+        def leaf():
+            for _ in range(40):
+                if dets[1].terminated:
+                    return
+                yield from dets[1].service(1, 1, idle=True)
+                yield Delay(1e-6)
+
+        ctx.engine.spawn(root(), "root")
+        ctx.engine.spawn(leaf(), "leaf")
+        ctx.run()
+        assert fired and fired[0] >= 10
+
+
+class TestPoolWithTree:
+    def test_pool_runs_with_tree_termination(self):
+        reg = TaskRegistry()
+        reg.register(
+            "root", lambda p, tc: TaskOutcome(1e-5, [Task(1)] * 150)
+        )
+        reg.register("leaf", lambda p, tc: TaskOutcome(1e-4))
+        stats = run_pool(8, reg, [Task(0)], impl="sws", termination="tree")
+        assert stats.total_tasks == 151
+
+    def test_both_detectors_agree_on_counts(self):
+        def go(kind):
+            reg = TaskRegistry()
+            reg.register(
+                "root", lambda p, tc: TaskOutcome(1e-5, [Task(1)] * 120)
+            )
+            reg.register("leaf", lambda p, tc: TaskOutcome(2e-4))
+            return run_pool(
+                8, reg, [Task(0)], impl="sws", termination=kind, seed=4
+            )
+
+        ring = go("ring")
+        tree = go("tree")
+        assert ring.total_tasks == tree.total_tasks == 121
+
+    def test_invalid_kind_rejected(self):
+        reg = TaskRegistry()
+        reg.register("leaf", lambda p, tc: TaskOutcome(1e-4))
+        with pytest.raises(ValueError, match="termination"):
+            TaskPool(2, reg, termination="gossip")

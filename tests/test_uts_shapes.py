@@ -1,0 +1,92 @@
+"""Tests for the EXPDEC and CYCLIC UTS branching laws."""
+
+import pytest
+
+from repro.workloads.uts import enumerate_tree
+from repro.workloads.uts.tree import (
+    GeoShape,
+    UtsParams,
+    branching_factor,
+)
+
+
+class TestExpdec:
+    def test_root_is_b0(self):
+        p = UtsParams(b0=8.0, gen_mx=10, shape=GeoShape.EXPDEC)
+        assert branching_factor(p, 0) == 8.0
+
+    def test_monotone_decay(self):
+        p = UtsParams(b0=8.0, gen_mx=10, shape=GeoShape.EXPDEC)
+        bs = [branching_factor(p, d) for d in range(1, 10)]
+        assert all(a >= b for a, b in zip(bs, bs[1:]))
+
+    def test_reaches_one_at_horizon(self):
+        """EXPDEC's exponent makes b(gen_mx - epsilon) ~ 1 (critical)."""
+        p = UtsParams(b0=8.0, gen_mx=10, shape=GeoShape.EXPDEC)
+        assert branching_factor(p, 9) == pytest.approx(
+            8.0 * 9 ** (-0.9030899869919435), rel=1e-6
+        )
+
+    def test_zero_beyond_horizon(self):
+        p = UtsParams(b0=8.0, gen_mx=10, shape=GeoShape.EXPDEC)
+        assert branching_factor(p, 10) == 0.0
+
+    def test_enumerable(self):
+        p = UtsParams(b0=4.0, gen_mx=8, shape=GeoShape.EXPDEC, root_seed=19)
+        s = enumerate_tree(p, max_nodes=100_000)
+        assert s.nodes >= 1
+        assert s.max_depth <= 8
+
+
+class TestCyclic:
+    def test_oscillates(self):
+        p = UtsParams(b0=4.0, gen_mx=8, shape=GeoShape.CYCLIC)
+        b_up = branching_factor(p, 2)    # sin(pi/2) = 1 -> b0
+        b_down = branching_factor(p, 6)  # sin(3pi/2) = -1 -> 1/b0
+        assert b_up == pytest.approx(4.0)
+        assert b_down == pytest.approx(0.25)
+
+    def test_neutral_at_zero(self):
+        p = UtsParams(b0=4.0, gen_mx=8, shape=GeoShape.CYCLIC)
+        assert branching_factor(p, 0) == pytest.approx(1.0)
+
+    def test_cutoff_at_five_genmx(self):
+        p = UtsParams(b0=4.0, gen_mx=8, shape=GeoShape.CYCLIC)
+        assert branching_factor(p, 41) == 0.0
+        assert branching_factor(p, 40) > 0.0
+
+    def test_enumerable_and_deeper_than_genmx(self):
+        """Cyclic trees may exceed gen_mx in depth (cutoff is 5x)."""
+        found_deep = False
+        for seed in range(30):
+            p = UtsParams(
+                b0=3.0, gen_mx=4, shape=GeoShape.CYCLIC, root_seed=seed
+            )
+            s = enumerate_tree(p, max_nodes=200_000)
+            assert s.max_depth <= 5 * 4 + 1
+            if s.max_depth > 4:
+                found_deep = True
+        assert found_deep
+
+
+class TestShapeComparison:
+    def test_fixed_vs_linear_same_b0(self):
+        fixed = UtsParams(b0=3.0, gen_mx=6, shape=GeoShape.FIXED)
+        linear = UtsParams(b0=3.0, gen_mx=6, shape=GeoShape.LINEAR)
+        # FIXED holds b0 at every level; LINEAR tapers below it.
+        for d in range(1, 6):
+            assert branching_factor(fixed, d) > branching_factor(linear, d)
+
+    def test_all_shapes_parallel_searchable(self):
+        """Each shape runs through the pool and matches its oracle."""
+        from repro.runtime.pool import run_pool
+        from repro.runtime.registry import TaskRegistry
+        from repro.workloads.uts import UtsWorkload
+
+        for shape in GeoShape:
+            p = UtsParams(b0=3.0, gen_mx=4, shape=shape, root_seed=7)
+            oracle = enumerate_tree(p, max_nodes=50_000)
+            reg = TaskRegistry()
+            wl = UtsWorkload(reg, p)
+            stats = run_pool(4, reg, [wl.seed_task()], impl="sws")
+            assert stats.total_tasks == oracle.nodes, shape

@@ -1,0 +1,84 @@
+"""Property tests for the Figure-3 SWS variant: conservation + partition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import QueueConfig
+from repro.core.sws_v1_queue import SwsV1QueueSystem
+from repro.fabric.engine import Delay
+from repro.shmem.api import ShmemCtx
+
+from .conftest import TEST_LAT, rec, rec_id, run_procs
+
+
+@given(
+    ntasks=st.integers(4, 100),
+    nthieves=st.integers(1, 4),
+    delays=st.lists(st.floats(0.0, 4.0), min_size=4, max_size=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_v1_concurrent_thieves_partition(ntasks, nthieves, delays):
+    """Racing thieves on a V1 queue never duplicate or lose a claim."""
+    ctx = ShmemCtx(nthieves + 1, latency=TEST_LAT)
+    sys_ = SwsV1QueueSystem(ctx, QueueConfig(qsize=256, task_size=16))
+    victim = sys_.handle(0)
+    for i in range(ntasks):
+        victim.enqueue(rec(i))
+
+    stolen: list[int] = []
+
+    def owner():
+        n = yield from victim.release()
+        yield Delay(1.0)
+        victim.progress()
+        victim.invariants()
+        return n
+
+    def thief(rank, delay_us):
+        q = sys_.handle(rank)
+        yield Delay(delay_us * 1e-6)
+        while True:
+            r = yield from q.steal(0)
+            if not r.success:
+                break
+            stolen.extend(rec_id(x) for x in r.records)
+        yield q.pe.quiet()
+
+    gens = [owner()]
+    for i in range(nthieves):
+        gens.append(thief(i + 1, delays[i]))
+    results = run_procs(ctx, *gens)
+    released = results[0]
+    # Thieves drained the full allotment exactly once each task.
+    assert sorted(stolen) == list(range(released))
+    # Fully drained allotment means everything reclaims.
+    assert victim.reclaim_tail == released
+
+
+@given(ntasks=st.integers(1, 60), cycles=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_v1_release_acquire_cycles_conserve(ntasks, cycles):
+    """Owner-only release/acquire churn never loses a task."""
+    ctx = ShmemCtx(1, latency=TEST_LAT)
+    sys_ = SwsV1QueueSystem(ctx, QueueConfig(qsize=256, task_size=16))
+    q = sys_.handle(0)
+    for i in range(ntasks):
+        q.enqueue(rec(i))
+
+    def owner():
+        for _ in range(cycles):
+            yield from q.release()
+            yield from q.acquire()
+        # Take everything back and drain.
+        while True:
+            got = yield from q.acquire()
+            if not got:
+                break
+        seen = []
+        while (r := q.dequeue()) is not None:
+            seen.append(rec_id(r))
+        return seen
+
+    (seen,) = run_procs(ctx, owner())
+    assert sorted(seen) == list(range(ntasks))
+    q.invariants()

@@ -1,0 +1,143 @@
+"""Tests for the event-driven shmem_wait_until primitive."""
+
+import pytest
+
+from repro.fabric.engine import Delay
+from repro.fabric.errors import AddressError, DeadlockError
+from repro.fabric.memory import SymmetricHeap
+from repro.shmem.api import ShmemCtx
+
+from .conftest import TEST_LAT, run_procs
+
+
+def make_ctx(npes=2):
+    ctx = ShmemCtx(npes, latency=TEST_LAT)
+    ctx.heap.alloc_words("w", 4)
+    return ctx
+
+
+class TestHeapWaiters:
+    def test_waiter_fired_on_store(self):
+        h = SymmetricHeap(1)
+        h.alloc_words("w", 2)
+        seen = []
+        h.add_waiter(0, "w", 0, lambda v: (seen.append(v), v == 3)[1])
+        h.store(0, "w", 0, 1)
+        h.store(0, "w", 0, 3)
+        h.store(0, "w", 0, 9)  # waiter already removed
+        assert seen == [1, 3]
+
+    def test_waiter_fired_on_atomics(self):
+        h = SymmetricHeap(1)
+        h.alloc_words("w", 1)
+        seen = []
+        h.add_waiter(0, "w", 0, lambda v: (seen.append(v), False)[1])
+        h.fetch_add(0, "w", 0, 5)
+        h.swap(0, "w", 0, 7)
+        h.compare_swap(0, "w", 0, 7, 8)
+        h.compare_swap(0, "w", 0, 99, 1)  # no match: no notify
+        assert seen == [5, 7, 8]
+
+    def test_waiter_fired_on_store_words(self):
+        h = SymmetricHeap(1)
+        h.alloc_words("w", 4)
+        seen = []
+        h.add_waiter(0, "w", 2, lambda v: (seen.append(v), False)[1])
+        h.store_words(0, "w", 0, [1, 2, 3, 4])
+        assert seen == [3]
+
+    def test_waiter_per_pe(self):
+        h = SymmetricHeap(2)
+        h.alloc_words("w", 1)
+        seen = []
+        h.add_waiter(1, "w", 0, lambda v: (seen.append(v), False)[1])
+        h.store(0, "w", 0, 5)  # other PE: no notify
+        assert seen == []
+        h.store(1, "w", 0, 6)
+        assert seen == [6]
+
+    def test_waiter_address_validated(self):
+        h = SymmetricHeap(1)
+        h.alloc_words("w", 1)
+        with pytest.raises(AddressError):
+            h.add_waiter(0, "w", 5, lambda v: True)
+
+
+class TestWaitUntil:
+    def test_immediate_when_satisfied(self):
+        ctx = make_ctx()
+        ctx.heap.store(0, "w", 0, 42)
+        pe = ctx.pe(0)
+
+        def p():
+            v = yield pe.wait_until("w", 0, lambda x: x == 42)
+            return v, ctx.now
+
+        ((v, t),) = run_procs(ctx, p())
+        assert v == 42
+        assert t == 0.0
+
+    def test_woken_by_remote_put(self):
+        ctx = make_ctx()
+        waiter_pe, writer_pe = ctx.pe(0), ctx.pe(1)
+
+        def waiter():
+            v = yield waiter_pe.wait_until("w", 1, lambda x: x >= 10)
+            return v, ctx.now
+
+        def writer():
+            yield Delay(5e-6)
+            yield writer_pe.put_word(0, "w", 1, 10)
+
+        results = run_procs(ctx, waiter(), writer())
+        v, t = results[0]
+        assert v == 10
+        # Wake happened shortly after the put landed (5us + flight time),
+        # not at poll granularity.
+        assert 5e-6 < t < 8e-6
+
+    def test_woken_by_remote_atomic(self):
+        ctx = make_ctx()
+        waiter_pe, writer_pe = ctx.pe(0), ctx.pe(1)
+
+        def waiter():
+            v = yield waiter_pe.wait_until("w", 0, lambda x: x == 3)
+            return v
+
+        def writer():
+            for _ in range(3):
+                yield writer_pe.atomic_fetch_add(0, "w", 0, 1)
+
+        results = run_procs(ctx, waiter(), writer())
+        assert results[0] == 3
+
+    def test_multiple_waiters_same_word(self):
+        ctx = make_ctx(npes=3)
+        woken = []
+
+        def waiter(idx, threshold):
+            pe = ctx.pe(0)
+            v = yield pe.wait_until("w", 0, lambda x, t=threshold: x >= t)
+            woken.append((idx, v))
+
+        def writer():
+            pe = ctx.pe(1)
+            yield Delay(1e-6)
+            yield pe.put_word(0, "w", 0, 1)
+            yield Delay(1e-6)
+            yield pe.put_word(0, "w", 0, 2)
+
+        run_procs(ctx, waiter("a", 1), waiter("b", 2), writer())
+        assert ("a", 1) in woken
+        assert ("b", 2) in woken
+
+    def test_unsatisfied_wait_deadlocks_visibly(self):
+        ctx = make_ctx()
+        pe = ctx.pe(0)
+
+        def p():
+            yield pe.wait_until("w", 0, lambda x: x == 999)
+
+        ctx.engine.spawn(p(), "stuck-waiter")
+        with pytest.raises(DeadlockError, match="stuck-waiter"):
+            ctx.run()

@@ -1,0 +1,138 @@
+"""White-box tests of the worker loop: batching, backoff, release cadence."""
+
+import pytest
+
+from repro.core.config import QueueConfig
+from repro.runtime.pool import TaskPool, run_pool
+from repro.runtime.registry import TaskOutcome, TaskRegistry
+from repro.runtime.task import Task
+from repro.runtime.worker import WorkerConfig
+
+
+def chain_registry(length, step_time=1e-4):
+    """Tasks that spawn one successor each: a purely serial chain."""
+    reg = TaskRegistry()
+
+    def step(payload, tc):
+        k = int.from_bytes(payload, "little")
+        kids = [Task(0, (k - 1).to_bytes(2, "little"))] if k > 0 else []
+        return TaskOutcome(step_time, kids)
+
+    reg.register("step", step)
+    return reg
+
+
+def fanout_registry(width, leaf_time=1e-4):
+    reg = TaskRegistry()
+    reg.register(
+        "root", lambda p, tc: TaskOutcome(1e-5, [Task(1) for _ in range(width)])
+    )
+    reg.register("leaf", lambda p, tc: TaskOutcome(leaf_time))
+    return reg
+
+
+class TestBatching:
+    def test_batch_max_one_still_completes(self):
+        stats = run_pool(
+            2,
+            fanout_registry(50),
+            [Task(0)],
+            impl="sws",
+            worker_config=WorkerConfig(batch_max=1),
+        )
+        assert stats.total_tasks == 51
+
+    def test_serial_chain_runs_serially(self):
+        """A 1-wide chain can't parallelize: runtime ~= chain length."""
+        length = 60
+        stats = run_pool(
+            4,
+            chain_registry(length),
+            [Task(0, length.to_bytes(2, "little"))],
+            impl="sws",
+        )
+        assert stats.total_tasks == length + 1
+        assert stats.runtime >= (length + 1) * 1e-4
+
+    def test_task_overhead_charged(self):
+        def go(overhead):
+            return run_pool(
+                1,
+                fanout_registry(100, leaf_time=1e-5),
+                [Task(0)],
+                impl="sws",
+                worker_config=WorkerConfig(task_overhead=overhead),
+            ).runtime
+
+        assert go(1e-5) > go(0.0)
+
+
+class TestBackoff:
+    def test_failed_steals_backoff_exponentially(self):
+        """With exhausted work, attempt counts drop sharply when the
+        backoff cap rises."""
+        def failed_attempts(cap):
+            stats = run_pool(
+                4,
+                fanout_registry(20, leaf_time=5e-3),
+                [Task(0)],
+                impl="sws",
+                worker_config=WorkerConfig(
+                    steal_backoff=1e-6, steal_backoff_max=cap
+                ),
+                seed=2,
+            )
+            return stats.total_failed_steals
+
+        assert failed_attempts(512e-6) < failed_attempts(2e-6) / 2
+
+
+class TestReleaseCadence:
+    def test_release_min_local_respected(self):
+        """With a huge release threshold the owner never shares, so
+        thieves get nothing and the owner does all the work."""
+        pool = TaskPool(
+            4,
+            fanout_registry(100),
+            impl="sws",
+            worker_config=WorkerConfig(release_min_local=10_000),
+        )
+        pool.seed(0, [Task(0)])
+        stats = pool.run()
+        assert stats.total_tasks == 101
+        assert stats.workers[0].tasks_executed == 101
+        assert stats.total_steals == 0
+
+    def test_progress_every_one_still_correct(self):
+        stats = run_pool(
+            4,
+            fanout_registry(100),
+            [Task(0)],
+            impl="sws",
+            worker_config=WorkerConfig(progress_every=1),
+        )
+        assert stats.total_tasks == 101
+
+
+class TestQueueSizing:
+    def test_small_queue_large_fanout_overflows(self):
+        from repro.fabric.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="overflow"):
+            run_pool(
+                1,
+                fanout_registry(200),
+                [Task(0)],
+                impl="sws",
+                queue_config=QueueConfig(qsize=64, task_size=48),
+            )
+
+    def test_exact_fit_queue_works(self):
+        stats = run_pool(
+            1,
+            fanout_registry(60),
+            [Task(0)],
+            impl="sws",
+            queue_config=QueueConfig(qsize=64, task_size=48),
+        )
+        assert stats.total_tasks == 61

@@ -1,0 +1,87 @@
+"""Validation tests for WorkerConfig and extra RunStats coverage."""
+
+import pytest
+
+from repro.runtime.stats import RunStats, WorkerStats
+from repro.runtime.worker import WorkerConfig
+
+
+class TestWorkerConfig:
+    def test_defaults_valid(self):
+        WorkerConfig()
+
+    def test_batch_max(self):
+        with pytest.raises(ValueError):
+            WorkerConfig(batch_max=0)
+
+    def test_negative_overheads(self):
+        with pytest.raises(ValueError):
+            WorkerConfig(task_overhead=-1e-9)
+        with pytest.raises(ValueError):
+            WorkerConfig(steal_backoff=-1e-9)
+
+    def test_backoff_max_ordering(self):
+        with pytest.raises(ValueError):
+            WorkerConfig(steal_backoff=1e-5, steal_backoff_max=1e-6)
+
+    def test_release_min_local(self):
+        with pytest.raises(ValueError):
+            WorkerConfig(release_min_local=0)
+
+    def test_progress_every(self):
+        with pytest.raises(ValueError):
+            WorkerConfig(progress_every=0)
+
+    def test_frozen(self):
+        cfg = WorkerConfig()
+        with pytest.raises(AttributeError):
+            cfg.batch_max = 10
+
+
+class TestWorkerStats:
+    def test_steal_attempts(self):
+        w = WorkerStats(steals_ok=3, steals_failed=7)
+        assert w.steal_attempts == 10
+
+    def test_overhead_time(self):
+        w = WorkerStats(
+            steal_time=1.0, search_time=2.0, acquire_time=0.5, release_time=0.25
+        )
+        assert w.overhead_time == pytest.approx(3.75)
+
+
+class TestRunStats:
+    def _stats(self):
+        return RunStats(
+            npes=2,
+            runtime=10.0,
+            workers=[
+                WorkerStats(rank=0, tasks_executed=30, task_time=6.0),
+                WorkerStats(rank=1, tasks_executed=10, task_time=4.0),
+            ],
+            comm={"total": 5, "blocking": 3, "bytes": 100},
+        )
+
+    def test_totals(self):
+        s = self._stats()
+        assert s.total_tasks == 40
+        assert s.throughput == pytest.approx(4.0)
+        assert s.total_task_time == pytest.approx(10.0)
+
+    def test_efficiency(self):
+        s = self._stats()
+        # ideal = 10 / 2 = 5s; actual 10s -> 50%.
+        assert s.parallel_efficiency == pytest.approx(0.5)
+
+    def test_balance_ratio(self):
+        s = self._stats()
+        assert s.balance_ratio() == pytest.approx(30 / 20)
+
+    def test_zero_runtime_guards(self):
+        s = RunStats(npes=1, runtime=0.0, workers=[WorkerStats()])
+        assert s.throughput == 0.0
+        assert s.parallel_efficiency == 0.0
+
+    def test_empty_workers_balance(self):
+        s = RunStats(npes=1, runtime=1.0, workers=[])
+        assert s.balance_ratio() == 0.0

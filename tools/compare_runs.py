@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare two saved experiment runs (regression diffing).
+
+Usage::
+
+    python tools/compare_runs.py before after --exp fig8 --key-cols 2
+    python tools/compare_runs.py before after            # all shared exps
+
+Runs are created with ``python -m repro.analysis.cli --exp ... --save
+<label>``.  Exits non-zero when any relative change exceeds the
+threshold — CI-friendly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.store import ResultStore, render_diff
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="compare_runs")
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--results-dir", default="results")
+    parser.add_argument("--exp", nargs="*", default=None,
+                        help="experiment ids (default: all shared)")
+    parser.add_argument("--key-cols", type=int, default=1,
+                        help="leading columns identifying a row")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative change that counts as significant")
+    parser.add_argument("--fail-on-change", action="store_true",
+                        help="exit 1 if any significant change is found")
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.results_dir)
+    exp_ids = args.exp or sorted(
+        set(store.experiments(args.before)) & set(store.experiments(args.after))
+    )
+    if not exp_ids:
+        sys.stderr.write("no shared experiments between the two runs\n")
+        return 2
+
+    changed = False
+    for exp_id in exp_ids:
+        diffs = store.compare(args.before, args.after, exp_id,
+                              key_cols=args.key_cols)
+        text = render_diff(diffs, threshold=args.threshold)
+        sys.stdout.write(f"== {exp_id} ({args.before} -> {args.after}) ==\n")
+        sys.stdout.write(text + "\n")
+        if "no significant changes" not in text:
+            changed = True
+    return 1 if (changed and args.fail_on_change) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
