@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-full examples clean
+.PHONY: install test chaos bench experiments experiments-full examples clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+chaos:
+	$(PYTHON) -m pytest -m chaos tests/chaos/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

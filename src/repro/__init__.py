@@ -40,7 +40,15 @@ from .core import (
     SwsQueue,
     SwsQueueSystem,
 )
-from .fabric import EDR_INFINIBAND, SLOW_ETHERNET, ZERO_LATENCY, LatencyModel
+from .fabric import (
+    EDR_INFINIBAND,
+    SLOW_ETHERNET,
+    ZERO_LATENCY,
+    FabricTimeoutError,
+    FaultPlan,
+    LatencyModel,
+    PEFailure,
+)
 from .runtime import (
     RunStats,
     Task,
@@ -78,6 +86,9 @@ __all__ = [
     "EDR_INFINIBAND",
     "SLOW_ETHERNET",
     "ZERO_LATENCY",
+    "FaultPlan",
+    "PEFailure",
+    "FabricTimeoutError",
     "ShmemCtx",
     "Pe",
     "__version__",

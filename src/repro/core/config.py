@@ -35,6 +35,18 @@ class QueueConfig:
         SDC thief volume policy: ``"half"`` (Hendler-Shavit steal-half,
         the paper's choice) or ``"one"`` (classic Cilk steal-one) — an
         ablation knob.  SWS volumes are fixed by the stealval schedule.
+    sdc_lock_lease:
+        Hold deadline (virtual seconds) for the SDC swap-lock, or ``None``
+        for the classic unleased protocol.  With a lease, the lock word
+        carries the holder's identity plus an acquisition timestamp, and
+        any contender may CAS a lock held past the deadline back open —
+        the recovery path for a fail-stopped (or wedged) lock holder.
+        ``None`` keeps the baseline protocol bit-identical.
+    steal_fetch_retries:
+        (SWS) How many times a thief re-issues the post-claim block fetch
+        after a :class:`~repro.fabric.errors.FabricTimeoutError` before
+        abandoning the claimed tasks (they are unreachable if the victim
+        died).  Only reached when fault injection is active.
     """
 
     qsize: int = 4096
@@ -44,6 +56,8 @@ class QueueConfig:
     lock_backoff: float = 0.5e-6
     damping_threshold: int = 4
     sdc_steal: str = "half"
+    sdc_lock_lease: float | None = None
+    steal_fetch_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.qsize <= 1:
@@ -73,3 +87,9 @@ class QueueConfig:
             raise ValueError(
                 f"sdc_steal must be 'half' or 'one', got {self.sdc_steal!r}"
             )
+        if self.sdc_lock_lease is not None and self.sdc_lock_lease <= 0:
+            raise ValueError(
+                f"sdc_lock_lease must be positive or None, got {self.sdc_lock_lease}"
+            )
+        if self.steal_fetch_retries < 0:
+            raise ValueError("steal_fetch_retries must be non-negative")

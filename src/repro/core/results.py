@@ -13,6 +13,8 @@ class StealStatus(Enum):
     EMPTY = "empty"            #: target had no stealable work
     DISABLED = "disabled"      #: target queue locked / steals disabled
     LOCKED_ABORT = "locked"    #: (SDC) gave up waiting for the queue lock
+    TIMEOUT = "timeout"        #: a fabric op timed out before claiming work
+    ABANDONED = "abandoned"    #: (SWS) claimed tasks unreachable (victim died)
 
 
 @dataclass

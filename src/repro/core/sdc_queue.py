@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..fabric.engine import Delay
-from ..fabric.errors import ProtocolError
+from ..fabric.errors import FabricTimeoutError, ProtocolError
 from ..shmem.api import ShmemCtx
 from .config import QueueConfig
 from .results import StealResult, StealStatus
@@ -51,6 +51,21 @@ TASK_REGION = "sdcq.tasks"
 
 _UNLOCKED = 0
 _LOCKED = 1
+
+# Lease-mode lock word: (rank + 1) in the high bits, the acquisition
+# timestamp in virtual nanoseconds in the low 48 — never 0 (= unlocked),
+# unique per (locker, time), and enough timestamp range for ~3 days of
+# virtual time.  Only used when QueueConfig.sdc_lock_lease is set.
+_TS_BITS = 48
+_TS_MASK = (1 << _TS_BITS) - 1
+
+
+def _lease_word(rank: int, now: float) -> int:
+    return ((rank + 1) << _TS_BITS) | (int(now * 1e9) & _TS_MASK)
+
+
+def _lease_expired(word: int, now: float, lease: float) -> bool:
+    return now - (word & _TS_MASK) / 1e9 >= lease
 
 
 class SdcQueueSystem:
@@ -82,6 +97,8 @@ class SdcQueue:
         self.head = 0        # next enqueue slot
         self.ctail = 0       # reclaim point: space below this is free
         self.rseq = 0        # next steal sequence number to reclaim
+        #: Expired swap-lock leases this PE broke open (lease mode only).
+        self.locks_recovered = 0
         # Owner-visible cached state is always read from symmetric memory so
         # that thief updates (TAIL) are observed.
 
@@ -168,9 +185,28 @@ class SdcQueue:
         Requires the queue lock because thieves read SPLIT and write TAIL
         under it.  Yields fabric requests (lock spin uses local atomics
         plus a backoff delay).  Returns the number of tasks reacquired.
+
+        In lease mode the owner locks with its own lease word and breaks
+        an expired thief lease in its spin loop — a fail-stopped thief
+        must not wedge the owner out of its own queue.
         """
-        while self.pe.local_cas(META_REGION, LOCK, _UNLOCKED, _LOCKED) != _UNLOCKED:
-            yield Delay(self.cfg.lock_backoff)
+        lease = self.cfg.sdc_lock_lease
+        if lease is None:
+            while self.pe.local_cas(META_REGION, LOCK, _UNLOCKED, _LOCKED) != _UNLOCKED:
+                yield Delay(self.cfg.lock_backoff)
+            my = _UNLOCKED  # unused in classic mode
+        else:
+            while True:
+                now = self.system.ctx.now
+                my = _lease_word(self.rank, now)
+                old = self.pe.local_cas(META_REGION, LOCK, _UNLOCKED, my)
+                if old == _UNLOCKED:
+                    break
+                if _lease_expired(old, now, lease):
+                    if self.pe.local_cas(META_REGION, LOCK, old, my) == old:
+                        self.locks_recovered += 1
+                        break
+                yield Delay(self.cfg.lock_backoff)
         try:
             avail = self.shared_count
             if avail <= 0:
@@ -179,7 +215,12 @@ class SdcQueue:
             self.pe.local_store(META_REGION, SPLIT, self._split() - ntake)
             return ntake
         finally:
-            self.pe.local_store(META_REGION, LOCK, _UNLOCKED)
+            if lease is None:
+                self.pe.local_store(META_REGION, LOCK, _UNLOCKED)
+            else:
+                # CAS, not store: a contender that broke our (expired)
+                # lease now owns the word and must not be clobbered.
+                self.pe.local_cas(META_REGION, LOCK, my, _UNLOCKED)
 
     def progress(self) -> int:
         """Reclaim space behind completed steals, in claim order.
@@ -223,6 +264,8 @@ class SdcQueue:
         """
         if victim == self.rank:
             raise ProtocolError("a PE cannot steal from itself")
+        if self.cfg.sdc_lock_lease is not None:
+            return (yield from self._steal_leased(victim, max_lock_polls))
         pe = self.pe
         polls = 0
         while True:
@@ -257,11 +300,32 @@ class SdcQueue:
         # (5) copy the stolen block (two gets when it wraps the buffer)
         data = yield from self._fetch_block(victim, tail, ntasks)
         # (6) deferred-copy completion: non-blocking atomic into the ring
-        yield pe.atomic_add_nb(victim, COMP_REGION, seq % self.cfg.qsize, ntasks)
+        yield from self._notify_completion(victim, seq % self.cfg.qsize, ntasks)
 
         ts = self.cfg.task_size
         records = [data[i * ts : (i + 1) * ts] for i in range(ntasks)]
         return StealResult(StealStatus.STOLEN, victim, ntasks, records)
+
+    def _notify_completion(self, victim: int, slot: int, ntasks: int) -> Generator:
+        """Deliver the deferred-copy completion count.
+
+        Reliable fabric: Scioto's passive non-blocking atomic.  Fault
+        mode: the victim reclaims space strictly in claim order, so one
+        dropped completion would pin every later steal's slots until the
+        queue overflows — use an acked fetch-add retried on timeout
+        ("timed out implies never applied" keeps the count exact).
+        Exhausted retries mean the victim fail-stopped; its queue dies
+        with it.
+        """
+        if self.system.ctx.faults is None:
+            yield self.pe.atomic_add_nb(victim, COMP_REGION, slot, ntasks)
+            return
+        for _attempt in range(self.cfg.steal_fetch_retries + 1):
+            try:
+                yield self.pe.atomic_fetch_add(victim, COMP_REGION, slot, ntasks)
+                return
+            except FabricTimeoutError:
+                continue
 
     def _fetch_block(self, victim: int, start_index: int, ntasks: int) -> Generator:
         """Blocking copy of ``ntasks`` records starting at absolute index."""
@@ -275,6 +339,95 @@ class SdcQueue:
         part1 = yield self.pe.get_bytes(victim, TASK_REGION, slot * ts, first * ts)
         part2 = yield self.pe.get_bytes(victim, TASK_REGION, 0, (ntasks - first) * ts)
         return part1 + part2
+
+    # ------------------------------------------------------------------
+    # lease-mode steal (fault recovery for a wedged/dead lock holder)
+    # ------------------------------------------------------------------
+    def _steal_leased(self, victim: int, max_lock_polls: int) -> Generator:
+        """Steal with a leased swap-lock (``QueueConfig.sdc_lock_lease``).
+
+        The protocol is the classic six-communication sequence, with two
+        changes for survival under faults:
+
+        * the lock is taken by CAS of a (rank, timestamp) lease word, and
+          a lock observed held past its lease deadline is *broken* by
+          CAS'ing the stale word out — recovering queues wedged by a
+          fail-stopped thief;
+        * a fabric timeout inside the critical section releases the lock
+          best-effort before propagating, and the post-claim block fetch
+          is retried ``steal_fetch_retries`` times before the claimed
+          tasks are abandoned (the victim's memory is gone).
+        """
+        pe = self.pe
+        ctx = self.system.ctx
+        lease = self.cfg.sdc_lock_lease
+        polls = 0
+        while True:
+            my = _lease_word(self.rank, ctx.now)
+            old = yield pe.atomic_compare_swap(victim, META_REGION, LOCK, _UNLOCKED, my)
+            if old == _UNLOCKED:
+                break
+            if _lease_expired(old, ctx.now, lease):
+                prev = yield pe.atomic_compare_swap(victim, META_REGION, LOCK, old, my)
+                if prev == old:
+                    self.locks_recovered += 1
+                    break
+                old = prev  # raced: fall through and poll like a held lock
+            words = yield pe.get_words(victim, META_REGION, TAIL, 3)
+            tail, _seq, split = words
+            if split - tail <= 0:
+                return StealResult(StealStatus.EMPTY, victim)
+            polls += 1
+            if polls >= max_lock_polls:
+                return StealResult(StealStatus.LOCKED_ABORT, victim)
+            yield Delay(self.cfg.lock_backoff)
+
+        try:
+            words = yield pe.get_words(victim, META_REGION, TAIL, 3)
+            tail, seq, split = words
+            avail = split - tail
+            if avail <= 0:
+                yield from self._lease_unlock(victim, my)
+                return StealResult(StealStatus.EMPTY, victim)
+            ntasks = 1 if self.cfg.sdc_steal == "one" else max(1, avail // 2)
+            yield pe.put_words(victim, META_REGION, TAIL, [tail + ntasks, seq + 1])
+        except FabricTimeoutError:
+            yield from self._lease_unlock(victim, my)
+            raise
+        yield from self._lease_unlock(victim, my)
+
+        data = yield from self._fetch_block_retry(victim, tail, ntasks)
+        if data is None:
+            return StealResult(StealStatus.ABANDONED, victim, ntasks)
+        yield from self._notify_completion(victim, seq % self.cfg.qsize, ntasks)
+
+        ts = self.cfg.task_size
+        records = [data[i * ts : (i + 1) * ts] for i in range(ntasks)]
+        return StealResult(StealStatus.STOLEN, victim, ntasks, records)
+
+    def _lease_unlock(self, victim: int, my: int) -> Generator:
+        """Best-effort release of a leased lock.
+
+        CAS, not swap: if another PE already broke our lease we must not
+        steal the lock back from it.  A timeout here is swallowed — the
+        lease deadline guarantees some contender eventually recovers.
+        """
+        try:
+            yield self.pe.atomic_compare_swap(victim, META_REGION, LOCK, my, _UNLOCKED)
+        except FabricTimeoutError:
+            pass
+
+    def _fetch_block_retry(self, victim: int, start_index: int, ntasks: int) -> Generator:
+        """Retrying block fetch; ``None`` once retries are exhausted."""
+        attempts = self.cfg.steal_fetch_retries + 1
+        for i in range(attempts):
+            try:
+                data = yield from self._fetch_block(victim, start_index, ntasks)
+                return data
+            except FabricTimeoutError:
+                if i == attempts - 1:
+                    return None
+        return None
 
     # ------------------------------------------------------------------
     # debugging / validation helpers

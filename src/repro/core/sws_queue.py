@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..fabric.engine import Delay
-from ..fabric.errors import ProtocolError
+from ..fabric.errors import FabricTimeoutError, ProtocolError
 from ..shmem.api import ShmemCtx
 from .config import QueueConfig
 from .results import StealResult, StealStatus
@@ -320,15 +320,48 @@ class SwsQueue:
         if ntasks == 0:
             return StealResult(StealStatus.EMPTY, victim)
         disp = steal_displacement(view.itasks, view.asteals)
-        # (2) copy the claimed block (start computed locally, §4 example)
-        data = yield from self._fetch_block(victim, view.tail + disp, ntasks)
+        # (2) copy the claimed block (start computed locally, §4 example).
+        # The claim already happened, so under fault injection a timed-out
+        # get is retried rather than surfaced: giving up here would leak
+        # claimed tasks.  Only when the victim's memory is truly gone
+        # (retries exhausted — it fail-stopped) is the block abandoned.
+        data = None
+        for attempt in range(self.cfg.steal_fetch_retries + 1):
+            try:
+                data = yield from self._fetch_block(victim, view.tail + disp, ntasks)
+                break
+            except FabricTimeoutError:
+                if attempt == self.cfg.steal_fetch_retries:
+                    # No completion notification: the claimed records must
+                    # stay pinned in the (dead) victim's buffer.
+                    return StealResult(StealStatus.ABANDONED, victim, ntasks)
         # (3) passive completion notification into this epoch's row
-        yield pe.atomic_add_nb(
-            victim, COMP_REGION, self._comp_offset(view.epoch, view.asteals), ntasks
+        yield from self._notify_completion(
+            victim, self._comp_offset(view.epoch, view.asteals), ntasks
         )
         ts = self.cfg.task_size
         records = [data[i * ts : (i + 1) * ts] for i in range(ntasks)]
         return StealResult(StealStatus.STOLEN, victim, ntasks, records)
+
+    def _notify_completion(self, victim: int, offset: int, ntasks: int) -> Generator:
+        """Deliver the completion count into the victim's COMP row.
+
+        Reliable fabric: the paper's passive non-blocking atomic.  Fault
+        mode: the victim's epoch turnover *waits* on this word, so one
+        dropped non-blocking add would wedge it forever — use an acked
+        fetch-add instead, retried on timeout ("timed out implies never
+        applied" keeps the count exact).  Exhausting the retries means
+        the victim fail-stopped; its queue dies with it.
+        """
+        if self.system.ctx.faults is None:
+            yield self.pe.atomic_add_nb(victim, COMP_REGION, offset, ntasks)
+            return
+        for _attempt in range(self.cfg.steal_fetch_retries + 1):
+            try:
+                yield self.pe.atomic_fetch_add(victim, COMP_REGION, offset, ntasks)
+                return
+            except FabricTimeoutError:
+                continue
 
     def probe(self, victim: int) -> Generator:
         """Empty-mode probe (steal damping, §4.3): read-only atomic fetch.

@@ -13,11 +13,13 @@ from .errors import (
     AlignmentError,
     DeadlockError,
     FabricError,
+    FabricTimeoutError,
     PEIndexError,
     ProtocolError,
     RegionError,
     SimulationError,
 )
+from .faults import NO_FAULTS, FaultInjector, FaultPlan, PEFailure
 from .latency import (
     EDR_INFINIBAND,
     PRESETS,
@@ -40,6 +42,11 @@ __all__ = [
     "AddressError",
     "AlignmentError",
     "DeadlockError",
+    "FabricTimeoutError",
+    "FaultPlan",
+    "FaultInjector",
+    "PEFailure",
+    "NO_FAULTS",
     "PEIndexError",
     "ProtocolError",
     "RegionError",

@@ -58,7 +58,10 @@ class Call:
 class Process:
     """A live coroutine process inside the engine."""
 
-    __slots__ = ("name", "gen", "engine", "finished", "result", "waiting")
+    __slots__ = (
+        "name", "gen", "engine", "finished", "result", "waiting",
+        "killed", "blocked_on",
+    )
 
     def __init__(self, name: str, gen: ProcessGen, engine: "Engine") -> None:
         self.name = name
@@ -68,6 +71,11 @@ class Process:
         self.result: Any = None
         #: True while the process awaits a resume; guards double-resume bugs.
         self.waiting = False
+        #: True once the process was fail-stopped by :meth:`Engine.kill`.
+        self.killed = False
+        #: Human-readable description of the request currently blocking
+        #: this process (set by request handlers, shown on deadlock).
+        self.blocked_on: str | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.finished else ("waiting" if self.waiting else "ready")
@@ -85,6 +93,9 @@ class Engine:
         self._live = 0
         #: Events executed so far — the simulation-cost metric.
         self.events_processed = 0
+        #: Callbacks returning extra context lines for deadlock reports
+        #: (the NIC registers one describing outstanding ops / waiters).
+        self.diagnostics: list[Callable[[], str]] = []
 
     # ------------------------------------------------------------------
     # clock & event queue
@@ -128,16 +139,23 @@ class Engine:
     def resume(self, proc: Process, value: Any = None, delay: float = 0.0) -> None:
         """Resume ``proc`` with ``value`` after ``delay`` seconds."""
         if proc.finished:
+            if proc.killed:
+                return  # stale wakeup for a fail-stopped process
             raise SimulationError(f"resume of finished process {proc.name}")
         self.schedule(delay, lambda: self._step(proc, value))
 
     def throw(self, proc: Process, exc: BaseException, delay: float = 0.0) -> None:
         """Raise ``exc`` inside ``proc`` after ``delay`` seconds."""
         if proc.finished:
+            if proc.killed:
+                return
             raise SimulationError(f"throw into finished process {proc.name}")
 
         def _do() -> None:
+            if proc.finished:
+                return
             proc.waiting = False
+            proc.blocked_on = None
             try:
                 req = proc.gen.throw(exc)
             except StopIteration as stop:
@@ -147,12 +165,28 @@ class Engine:
 
         self.schedule(delay, _do)
 
+    def kill(self, proc: Process) -> None:
+        """Fail-stop ``proc`` immediately (simulated PE crash).
+
+        The generator is closed (running any ``finally`` blocks at its
+        current yield point), the process leaves the live set, and every
+        later resume/throw aimed at it is silently discarded — in-flight
+        completions for a dead PE land on the floor.
+        """
+        if proc.finished:
+            return
+        proc.finished = True
+        proc.killed = True
+        self._live -= 1
+        proc.gen.close()
+
     def _step(self, proc: Process, value: Any) -> None:
         if proc.finished:
             return
         if not proc.waiting:
             raise SimulationError(f"double resume of process {proc.name}")
         proc.waiting = False
+        proc.blocked_on = None
         try:
             req = proc.gen.send(value)
         except StopIteration as stop:
@@ -163,6 +197,7 @@ class Engine:
     def _dispatch(self, proc: Process, req: Any) -> None:
         proc.waiting = True
         if isinstance(req, Delay):
+            proc.blocked_on = f"delay({req.duration:.3g}s)"
             self.resume(proc, None, delay=req.duration)
         elif isinstance(req, Call):
             req.handler(self, proc, *req.args)
@@ -196,11 +231,24 @@ class Engine:
             self.events_processed += 1
             fn()
         if self._live > 0:
-            stuck = [p.name for p in self.processes if not p.finished]
-            raise DeadlockError(
-                f"event queue empty with {self._live} live processes: {stuck}"
-            )
+            raise DeadlockError(self._deadlock_report())
         return self._now
+
+    def _deadlock_report(self) -> str:
+        """Describe every stuck process and attached diagnostics."""
+        lines = [
+            f"event queue empty at t={self._now:.6g}s with "
+            f"{self._live} live processes:"
+        ]
+        for p in self.processes:
+            if p.finished:
+                continue
+            lines.append(f"  {p.name}: blocked on {p.blocked_on or '<unknown>'}")
+        for diag in self.diagnostics:
+            text = diag()
+            if text:
+                lines.append(text)
+        return "\n".join(lines)
 
     def run_all(self, gens: Iterable[tuple[str, ProcessGen]]) -> float:
         """Convenience: spawn named generators then :meth:`run` to completion."""

@@ -33,7 +33,40 @@ class SimulationError(FabricError):
 
 
 class DeadlockError(SimulationError):
-    """All live processes are blocked and no events remain."""
+    """All live processes are blocked and no events remain.
+
+    The message lists every stuck process with the request it is blocked
+    on (op kind, target PE, address) plus any registered engine
+    diagnostics — e.g. the NIC's per-PE outstanding-op and ``quiet()``
+    waiter counts — so a wedged protocol can be diagnosed from the
+    traceback alone.
+    """
+
+
+class FabricTimeoutError(FabricError):
+    """A blocking fabric operation exceeded its per-op timeout.
+
+    Raised inside the initiating process when a timed NIC operation
+    (``amo_*``, ``get_*``, ``put_*`` or a timed ``quiet()``) did not
+    complete within ``op_timeout`` virtual seconds.  The NIC cancels the
+    in-flight descriptor when the timeout fires: a timed-out operation is
+    guaranteed to **never** have been (nor ever be) applied at the
+    target, so callers may safely retry without risking duplicate
+    side effects.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        initiator: int = -1,
+        target: int = -1,
+        kind: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.initiator = initiator
+        self.target = target
+        self.kind = kind
 
 
 class ProtocolError(FabricError):

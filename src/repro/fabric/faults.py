@@ -1,0 +1,226 @@
+"""Deterministic fault injection for the simulated fabric.
+
+Real PGAS runtimes built on one-sided RDMA must survive lost packets,
+latency spikes, and fail-stopped peers; the paper's fused-atomic steal is
+motivated in part by how badly SDC's swap-lock degrades when the lock
+holder stalls.  This module injects exactly those hazards into the
+otherwise-perfect :class:`~repro.fabric.nic.Nic`, reproducibly:
+
+* **message drops** — with probability ``drop_rate`` a one-sided op is
+  lost *before it is applied* at the target.  Blocking ops then time out
+  at the initiator (see ``op_timeout`` on the NIC); non-blocking ops are
+  retired locally in error (so ``quiet()`` still completes) without the
+  remote memory ever mutating.  Request-phase loss only: an operation
+  that was applied always acks, so "timed out" implies "never applied"
+  and retries are duplicate-free.
+* **delay spikes** — with probability ``delay_rate`` an op's one-way
+  latency grows by up to ``delay_spike`` seconds (uniform draw),
+  modelling switch congestion far beyond the latency model's jitter.
+* **PE failures** — at each scheduled virtual time the PE fail-stops:
+  its process is killed mid-flight (``Engine.kill``) and its memory
+  stops responding, so every op that *arrives* at a dead PE is dropped.
+
+All randomness comes from a counter-hashed splitmix64 stream seeded by
+``FaultPlan.seed``: a given (plan, workload) pair always reproduces the
+same fault schedule, which the chaos suite relies on.
+
+The default :class:`FaultPlan` injects nothing and installs no hooks:
+`Nic` only consults the injector when a plan is active, so fault support
+is zero-cost — and bit-identical — for ordinary runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .errors import SimulationError
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class PEFailure:
+    """One scheduled fail-stop: ``pe`` dies at virtual time ``time``."""
+
+    pe: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.pe < 0:
+            raise ValueError(f"pe must be non-negative, got {self.pe}")
+        if self.time <= 0:
+            raise ValueError(
+                f"failure time must be positive (after launch), got {self.time}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seeded description of the faults to inject.
+
+    Attributes
+    ----------
+    seed:
+        Base of the deterministic fault stream.
+    drop_rate:
+        Per-operation probability in ``[0, 1)`` that the message is lost
+        before applying at the target.
+    delay_rate:
+        Per-operation probability in ``[0, 1)`` of a latency spike.
+    delay_spike:
+        Maximum extra one-way latency (seconds) added by a spike; the
+        actual spike is a uniform draw in ``[0, delay_spike]``.
+    pe_failures:
+        Scheduled fail-stops, each a :class:`PEFailure` (or a bare
+        ``(pe, time)`` tuple, normalized on construction).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_spike: float = 0.0
+    pe_failures: tuple[PEFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if not 0.0 <= self.delay_rate < 1.0:
+            raise ValueError(f"delay_rate must be in [0, 1), got {self.delay_rate}")
+        if self.delay_spike < 0:
+            raise ValueError(f"delay_spike must be >= 0, got {self.delay_spike}")
+        normalized = tuple(
+            f if isinstance(f, PEFailure) else PEFailure(*f)
+            for f in self.pe_failures
+        )
+        object.__setattr__(self, "pe_failures", normalized)
+        pes = [f.pe for f in normalized]
+        if len(pes) != len(set(pes)):
+            raise ValueError(f"duplicate PE in pe_failures: {pes}")
+
+    @property
+    def active(self) -> bool:
+        """Does this plan inject anything at all?"""
+        return bool(
+            self.drop_rate > 0.0
+            or self.delay_rate > 0.0
+            or self.pe_failures
+        )
+
+
+class FaultInjector:
+    """Runtime side of a :class:`FaultPlan`: consulted by the NIC per op.
+
+    Also the accounting point: drops, spikes, timeouts and kills are
+    tallied here and surfaced through :meth:`snapshot` into
+    ``RunStats.faults``.
+    """
+
+    def __init__(self, plan: FaultPlan, npes: int) -> None:
+        for f in plan.pe_failures:
+            if f.pe >= npes:
+                raise SimulationError(
+                    f"fault plan fails PE {f.pe} but the job has {npes} PEs"
+                )
+        self.plan = plan
+        self.npes = npes
+        self._fail_time = {f.pe: f.time for f in plan.pe_failures}
+        self._counter = 0
+        # accounting
+        self.dropped_by_kind: Counter = Counter()
+        self.dead_target_drops = 0
+        self.delay_spikes = 0
+        self.timeouts_by_kind: Counter = Counter()
+        self.killed: list[int] = []
+
+    # ------------------------------------------------------------------
+    # deterministic uniform stream
+    # ------------------------------------------------------------------
+    def _uniform(self) -> float:
+        """Next deterministic draw in [0, 1) (splitmix64 counter hash)."""
+        self._counter += 1
+        z = (self.plan.seed * 0x9E3779B97F4A7C15
+             + self._counter * 0xD1B54A32D192ED03) & _MASK64
+        z ^= z >> 31
+        z = (z * 0x94D049BB133111EB) & _MASK64
+        z ^= z >> 29
+        return z / float(1 << 64)
+
+    # ------------------------------------------------------------------
+    # queries (hot path — called once per fabric op when active)
+    # ------------------------------------------------------------------
+    def fail_time(self, pe: int) -> float | None:
+        """Scheduled death time of ``pe``, or None if it never fails."""
+        return self._fail_time.get(pe)
+
+    def is_dead(self, pe: int, now: float) -> bool:
+        """Is ``pe`` fail-stopped at virtual time ``now``?"""
+        t = self._fail_time.get(pe)
+        return t is not None and now >= t
+
+    def should_drop(self, kind: str) -> bool:
+        """Draw the per-op loss verdict (and count it when lost)."""
+        if self.plan.drop_rate <= 0.0:
+            return False
+        if self._uniform() < self.plan.drop_rate:
+            self.dropped_by_kind[kind] += 1
+            return True
+        return False
+
+    def extra_delay(self) -> float:
+        """Draw the per-op latency spike (0.0 almost always)."""
+        if self.plan.delay_rate <= 0.0:
+            return 0.0
+        if self._uniform() < self.plan.delay_rate:
+            self.delay_spikes += 1
+            return self._uniform() * self.plan.delay_spike
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # notifications from the NIC
+    # ------------------------------------------------------------------
+    def note_dead_target(self, kind: str) -> None:
+        """An op arrived at a dead PE's memory and fell on the floor."""
+        self.dead_target_drops += 1
+        self.dropped_by_kind[kind] += 1
+
+    def note_timeout(self, kind: str) -> None:
+        """A blocking op's timeout fired (descriptor cancelled)."""
+        self.timeouts_by_kind[kind] += 1
+
+    # ------------------------------------------------------------------
+    # PE fail-stop wiring
+    # ------------------------------------------------------------------
+    def schedule_failures(self, engine, procs_by_pe: dict[int, object]) -> None:
+        """Arm the scheduled kills against the given PE processes.
+
+        ``procs_by_pe`` maps a PE rank to its engine :class:`Process`;
+        ranks without a scheduled failure are ignored.
+        """
+        for pe, when in self._fail_time.items():
+            proc = procs_by_pe.get(pe)
+            if proc is None:
+                continue
+
+            def _kill(proc=proc, pe=pe) -> None:
+                engine.kill(proc)
+                self.killed.append(pe)
+
+            engine.at(when, _kill)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, int]:
+        """Aggregate fault counters as a plain dict (for ``RunStats``)."""
+        return {
+            "dropped_ops": sum(self.dropped_by_kind.values()),
+            "dead_target_drops": self.dead_target_drops,
+            "delay_spikes": self.delay_spikes,
+            "op_timeouts": sum(self.timeouts_by_kind.values()),
+            "pes_killed": len(self.killed),
+        }
+
+
+#: Shared inert plan: injects nothing, keeps the fabric on its fast path.
+NO_FAULTS = FaultPlan()

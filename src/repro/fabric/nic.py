@@ -25,6 +25,18 @@ Timing model (see :mod:`repro.fabric.latency`):
   the injection overhead only; :meth:`quiet` blocks until every
   outstanding non-blocking op from that PE has been applied remotely.
 
+Fault model (see :mod:`repro.fabric.faults`): when a
+:class:`~repro.fabric.faults.FaultInjector` is attached, every op may be
+dropped, delayed, or lost against a dead PE's memory.  Blocking calls
+additionally honour ``op_timeout``: if the result has not returned within
+that many virtual seconds the NIC *cancels the descriptor* — the op is
+guaranteed never to be applied afterwards — and raises
+:class:`~repro.fabric.errors.FabricTimeoutError` in the initiator, so a
+retry can never double-apply.  An op that was already applied when its
+timer fires simply completes late.  With no injector and no timeout the
+scheduling paths below are exactly the fault-free ones — zero extra
+events, bit-identical runs.
+
 Every operation is tallied in :class:`~repro.fabric.metrics.FabricMetrics`.
 """
 
@@ -33,13 +45,23 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from .engine import Call, Engine, Process
-from .errors import SimulationError
+from .errors import FabricTimeoutError, SimulationError
+from .faults import FaultInjector
 from .latency import LatencyModel
 from .memory import SymmetricHeap
 from .metrics import FabricMetrics
 from .topology import Topology
 
 WORD_BYTES = 8
+
+
+class _QuietWait:
+    """One parked quiet() caller (identity-compared for timeout cancel)."""
+
+    __slots__ = ("proc",)
+
+    def __init__(self, proc: Process) -> None:
+        self.proc = proc
 
 
 class Nic:
@@ -53,16 +75,26 @@ class Nic:
         latency: LatencyModel,
         metrics: FabricMetrics | None = None,
         jitter_seed: int = 0,
+        faults: FaultInjector | None = None,
+        op_timeout: float | None = None,
     ) -> None:
         if heap.npes != topology.npes:
             raise SimulationError(
                 f"heap has {heap.npes} PEs but topology has {topology.npes}"
             )
+        if op_timeout is not None and op_timeout <= 0:
+            raise SimulationError(f"op_timeout must be positive, got {op_timeout}")
         self.engine = engine
         self.heap = heap
         self.topology = topology
         self.latency = latency
         self.metrics = metrics or FabricMetrics(heap.npes)
+        #: Active fault injector, or None for a perfectly reliable fabric.
+        self.faults = faults
+        #: Per-op timeout for blocking calls and quiet(); None disables.
+        self.op_timeout = op_timeout
+        #: Timeouts fired so far (descriptors cancelled).
+        self.timeouts = 0
         # Per-target serialization points for the NIC atomic and read units.
         self._amo_busy_until = [0.0] * heap.npes
         self._get_busy_until = [0.0] * heap.npes
@@ -70,11 +102,12 @@ class Nic:
         self._link_busy_until = [0.0] * heap.npes
         # Outstanding non-blocking ops per initiator, for quiet().
         self._outstanding = [0] * heap.npes
-        self._quiet_waiters: dict[int, list[Process]] = {}
+        self._quiet_waiters: dict[int, list[_QuietWait]] = {}
         # Deterministic jitter stream: counter hashed with the seed, so a
         # given (seed, op sequence) always reproduces the same delays.
         self._jitter_seed = jitter_seed
         self._jitter_counter = 0
+        engine.diagnostics.append(self._deadlock_diagnostic)
 
     # ------------------------------------------------------------------
     # latency helpers
@@ -105,6 +138,62 @@ class Nic:
         return done
 
     # ------------------------------------------------------------------
+    # fault helpers
+    # ------------------------------------------------------------------
+    def _fault_route(self, target: int, kind: str, arrival: float) -> tuple[float, bool]:
+        """Consult the injector for one op; returns (arrival, lost).
+
+        A lost op never executes at the target: either the wire dropped
+        it or the target PE is dead when it would arrive (the failure
+        schedule is static, so arrival-time death is decided now).
+        """
+        faults = self.faults
+        arrival += faults.extra_delay()
+        if faults.should_drop(kind):
+            return arrival, True
+        if faults.is_dead(target, arrival):
+            faults.note_dead_target(kind)
+            return arrival, True
+        return arrival, False
+
+    def _arm_timeout(
+        self, engine: Engine, proc: Process, state: dict,
+        initiator: int, target: int, kind: str,
+    ) -> None:
+        """Schedule the descriptor-cancel timer for one blocking op."""
+        deadline = engine.now + self.op_timeout
+
+        def fire() -> None:
+            if proc.finished or state["applied"] or state["dead"]:
+                return
+            state["dead"] = True  # cancel: the op will never be applied
+            self.timeouts += 1
+            if self.faults is not None:
+                self.faults.note_timeout(kind)
+            engine.throw(
+                proc,
+                FabricTimeoutError(
+                    f"{kind} from PE {initiator} to PE {target} timed out "
+                    f"after {self.op_timeout:.3g}s",
+                    initiator=initiator, target=target, kind=kind,
+                ),
+            )
+
+        engine.at(deadline, fire)
+
+    def _deadlock_diagnostic(self) -> str:
+        """Extra context for DeadlockError: outstanding ops per PE."""
+        lines = []
+        for pe, n in enumerate(self._outstanding):
+            waiting = len(self._quiet_waiters.get(pe, ()))
+            if n or waiting:
+                lines.append(
+                    f"  nic: PE {pe} has {n} outstanding non-blocking op(s) "
+                    f"and {waiting} quiet() waiter(s)"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # fetching atomics (blocking round trip)
     # ------------------------------------------------------------------
     def amo_fetch_add(self, initiator: int, target: int, region: str, offset: int, delta: int) -> Call:
@@ -132,9 +221,19 @@ class Nic:
                    kind: str, apply: Callable[[], int]) -> Call:
         def handler(engine: Engine, proc: Process) -> None:
             self.metrics.record(engine.now, initiator, target, kind, WORD_BYTES)
+            proc.blocked_on = f"{kind} -> pe{target} {region}[{offset}]"
             arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+            guarded = self.faults is not None or self.op_timeout is not None
+            state = {"applied": False, "dead": False} if guarded else None
+            lost = False
+            if self.faults is not None:
+                arrival, lost = self._fault_route(target, kind, arrival)
 
             def at_target() -> None:
+                if state is not None:
+                    if state["dead"]:
+                        return  # descriptor cancelled by the timeout
+                    state["applied"] = True
                 done = self._serialize(
                     self._amo_busy_until, target, engine.now, self.latency.amo_process
                 )
@@ -142,7 +241,10 @@ class Nic:
                 back = self._one_way(target, initiator)
                 engine.at(done + back, lambda: engine._step(proc, value))
 
-            engine.at(arrival, at_target)
+            if not lost:
+                engine.at(arrival, at_target)
+            if self.op_timeout is not None:
+                self._arm_timeout(engine, proc, state, initiator, target, kind)
 
         return Call(handler)
 
@@ -155,6 +257,9 @@ class Nic:
             self.metrics.record(engine.now, initiator, target, "amo_add_nb", WORD_BYTES)
             self._outstanding[initiator] += 1
             arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+            lost = False
+            if self.faults is not None:
+                arrival, lost = self._fault_route(target, "amo_add_nb", arrival)
 
             def at_target() -> None:
                 self._serialize(
@@ -163,7 +268,12 @@ class Nic:
                 self.heap.fetch_add(target, region, offset, delta)
                 self._complete_nb(initiator)
 
-            engine.at(arrival, at_target)
+            if lost:
+                # The descriptor still retires locally (in error), so
+                # quiet() completes; the remote word never changes.
+                engine.at(arrival, lambda: self._complete_nb(initiator))
+            else:
+                engine.at(arrival, at_target)
             engine.resume(proc, None, delay=self.latency.alpha_sw)
 
         return Call(handler)
@@ -174,24 +284,38 @@ class Nic:
     def get_words(self, initiator: int, target: int, region: str, offset: int, count: int) -> Call:
         """Blocking read of consecutive remote words; yields list[int]."""
         return self._get(initiator, target, count * WORD_BYTES,
-                         lambda: self.heap.load_words(target, region, offset, count))
+                         lambda: self.heap.load_words(target, region, offset, count),
+                         f"get -> pe{target} {region}[{offset}:{offset + count}]")
 
     def get_word(self, initiator: int, target: int, region: str, offset: int) -> Call:
         """Blocking read of one remote word; yields int."""
         return self._get(initiator, target, WORD_BYTES,
-                         lambda: self.heap.load(target, region, offset))
+                         lambda: self.heap.load(target, region, offset),
+                         f"get -> pe{target} {region}[{offset}]")
 
     def get_bytes(self, initiator: int, target: int, region: str, offset: int, count: int) -> Call:
         """Blocking read of remote bytes; yields bytes."""
         return self._get(initiator, target, count,
-                         lambda: self.heap.read_bytes(target, region, offset, count))
+                         lambda: self.heap.read_bytes(target, region, offset, count),
+                         f"get -> pe{target} {region}[{offset}:{offset + count}]B")
 
-    def _get(self, initiator: int, target: int, nbytes: int, read: Callable[[], Any]) -> Call:
+    def _get(self, initiator: int, target: int, nbytes: int,
+             read: Callable[[], Any], desc: str = "") -> Call:
         def handler(engine: Engine, proc: Process) -> None:
             self.metrics.record(engine.now, initiator, target, "get", nbytes)
+            proc.blocked_on = desc or f"get -> pe{target} ({nbytes}B)"
             arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+            guarded = self.faults is not None or self.op_timeout is not None
+            state = {"applied": False, "dead": False} if guarded else None
+            lost = False
+            if self.faults is not None:
+                arrival, lost = self._fault_route(target, "get", arrival)
 
             def at_target() -> None:
+                if state is not None:
+                    if state["dead"]:
+                        return
+                    state["applied"] = True
                 done = self._serialize(
                     self._get_busy_until, target, engine.now, self.latency.get_process
                 )
@@ -208,7 +332,10 @@ class Nic:
                     back = self._one_way(target, initiator) + stream
                 engine.at(done + back, lambda: engine._step(proc, value))
 
-            engine.at(arrival, at_target)
+            if not lost:
+                engine.at(arrival, at_target)
+            if self.op_timeout is not None:
+                self._arm_timeout(engine, proc, state, initiator, target, "get")
 
         return Call(handler)
 
@@ -243,6 +370,9 @@ class Nic:
             self.metrics.record(engine.now, initiator, target, kind, nbytes)
             inject = self.latency.alpha_sw + self.latency.payload_time(nbytes)
             arrival = engine.now + inject + self._one_way(initiator, target)
+            lost = False
+            if self.faults is not None:
+                arrival, lost = self._fault_route(target, kind, arrival)
 
             stream = self.latency.payload_time(nbytes)
 
@@ -261,12 +391,23 @@ class Nic:
                 return done
 
             if blocking:
+                proc.blocked_on = f"put -> pe{target} ({nbytes}B)"
+                guarded = self.faults is not None or self.op_timeout is not None
+                state = {"applied": False, "dead": False} if guarded else None
+
                 def at_target() -> None:
+                    if state is not None:
+                        if state["dead"]:
+                            return
+                        state["applied"] = True
                     done = apply_write()
                     back = self._one_way(target, initiator)
                     engine.at(done + back, lambda: engine._step(proc, None))
 
-                engine.at(arrival, at_target)
+                if not lost:
+                    engine.at(arrival, at_target)
+                if self.op_timeout is not None:
+                    self._arm_timeout(engine, proc, state, initiator, target, kind)
             else:
                 self._outstanding[initiator] += 1
 
@@ -277,7 +418,10 @@ class Nic:
                     else:
                         self._complete_nb(initiator)
 
-                engine.at(arrival, at_target_nb)
+                if lost:
+                    engine.at(arrival, lambda: self._complete_nb(initiator))
+                else:
+                    engine.at(arrival, at_target_nb)
                 engine.resume(proc, None, delay=inject)
 
         return Call(handler)
@@ -296,10 +440,13 @@ class Nic:
         """Non-blocking put-with-signal (OpenSHMEM 1.5 ``put_signal``).
 
         The payload and the signal word travel as one message: at arrival
-        the data is written and then the signal word is atomically set,
-        in that order — so a consumer observing the signal is guaranteed
-        to see the payload.  Replaces a put + quiet + atomic triple with
-        a single communication.
+        the payload lands through the target's link (occupying it when
+        ``link_serialize`` is on, exactly like every other put) and the
+        fused signal store then executes in the target's atomic unit
+        (``amo_process`` of serialized occupancy, like every other
+        atomic), strictly after the payload — so a consumer observing
+        the signal is guaranteed to see the data.  Replaces a
+        put + quiet + atomic triple with a single communication.
         """
 
         def handler(engine: Engine, proc: Process) -> None:
@@ -308,13 +455,47 @@ class Nic:
             self._outstanding[initiator] += 1
             inject = self.latency.alpha_sw + self.latency.payload_time(nbytes)
             arrival = engine.now + inject + self._one_way(initiator, target)
+            lost = False
+            if self.faults is not None:
+                arrival, lost = self._fault_route(target, "put_signal", arrival)
+
+            stream = self.latency.payload_time(len(data))
 
             def at_target() -> None:
-                self.heap.write_bytes(target, region, offset, data)
-                self.heap.store(target, sig_region, sig_offset, sig_value)
-                self._complete_nb(initiator)
+                if self.latency.link_serialize and stream > 0:
+                    data_done = self._serialize(
+                        self._link_busy_until, target, engine.now, stream
+                    )
+                else:
+                    data_done = engine.now
 
-            engine.at(arrival, at_target)
+                def apply_data() -> None:
+                    self.heap.write_bytes(target, region, offset, data)
+
+                if data_done > engine.now:
+                    engine.at(data_done, apply_data)
+                else:
+                    apply_data()
+                # The signal queues behind the payload in the atomic unit;
+                # _serialize guarantees sig_done >= data_done, and equal
+                # times fire in insertion order — data always first.
+                sig_done = self._serialize(
+                    self._amo_busy_until, target, data_done, self.latency.amo_process
+                )
+
+                def apply_signal() -> None:
+                    self.heap.store(target, sig_region, sig_offset, sig_value)
+                    self._complete_nb(initiator)
+
+                if sig_done > engine.now:
+                    engine.at(sig_done, apply_signal)
+                else:
+                    apply_signal()
+
+            if lost:
+                engine.at(arrival, lambda: self._complete_nb(initiator))
+            else:
+                engine.at(arrival, at_target)
             engine.resume(proc, None, delay=inject)
 
         return Call(handler)
@@ -323,12 +504,40 @@ class Nic:
     # completion / ordering
     # ------------------------------------------------------------------
     def quiet(self, pe: int) -> Call:
-        """Block until all outstanding non-blocking ops from ``pe`` applied."""
+        """Block until all outstanding non-blocking ops from ``pe`` applied.
+
+        With ``op_timeout`` set, a quiet that has not drained within the
+        timeout raises :class:`FabricTimeoutError` instead of blocking
+        forever (outstanding descriptors keep draining in the background).
+        """
         def handler(engine: Engine, proc: Process) -> None:
             if self._outstanding[pe] == 0:
                 engine.resume(proc, None)
-            else:
-                self._quiet_waiters.setdefault(pe, []).append(proc)
+                return
+            proc.blocked_on = f"quiet({self._outstanding[pe]} outstanding)"
+            entry = _QuietWait(proc)
+            self._quiet_waiters.setdefault(pe, []).append(entry)
+            if self.op_timeout is not None:
+                def fire() -> None:
+                    waiters = self._quiet_waiters.get(pe)
+                    if not waiters or entry not in waiters or proc.finished:
+                        return
+                    waiters.remove(entry)
+                    if not waiters:
+                        del self._quiet_waiters[pe]
+                    self.timeouts += 1
+                    if self.faults is not None:
+                        self.faults.note_timeout("quiet")
+                    engine.throw(
+                        proc,
+                        FabricTimeoutError(
+                            f"quiet on PE {pe} timed out with "
+                            f"{self._outstanding[pe]} op(s) outstanding",
+                            initiator=pe, target=pe, kind="quiet",
+                        ),
+                    )
+
+                engine.at(engine.now + self.op_timeout, fire)
 
         return Call(handler)
 
@@ -337,8 +546,8 @@ class Nic:
         if self._outstanding[initiator] < 0:
             raise SimulationError("non-blocking completion underflow")
         if self._outstanding[initiator] == 0:
-            for proc in self._quiet_waiters.pop(initiator, []):
-                self.engine.resume(proc, None)
+            for entry in self._quiet_waiters.pop(initiator, []):
+                self.engine.resume(entry.proc, None)
 
     def pending_ops(self, pe: int) -> int:
         """Outstanding non-blocking operations issued by ``pe``."""

@@ -64,10 +64,17 @@ class LifelineConfig:
 
 
 class LifelineSystem:
-    """Allocates the symmetric request flags for the job."""
+    """Allocates the symmetric request flags for the job.
 
-    def __init__(self, ctx: ShmemCtx) -> None:
+    ``faults`` (a :class:`~repro.fabric.faults.FaultInjector`) makes every
+    manager route around fail-stopped PEs: dead buddies are not registered
+    with, and a dead requester's lifeline is dropped rather than fulfilled
+    — tasks pushed at a dead inbox would be lost.
+    """
+
+    def __init__(self, ctx: ShmemCtx, faults=None) -> None:
         self.ctx = ctx
+        self.faults = faults
         ctx.heap.alloc_words(REQ_REGION, ctx.npes)
 
     def handle(self, rank: int, config: LifelineConfig | None = None) -> "LifelineManager":
@@ -111,12 +118,17 @@ class LifelineManager:
             and self.consecutive_failures >= self.cfg.z_failures
         )
 
+    def _alive(self, pe: int) -> bool:
+        faults = self.system.faults
+        return faults is None or not faults.is_dead(pe, self.system.ctx.now)
+
     def activate(self) -> Generator:
-        """Register lifelines with every buddy (non-blocking puts)."""
+        """Register lifelines with every (live) buddy (non-blocking puts)."""
         self.active = True
         self.activations += 1
         for buddy in self.buddies:
-            yield self.pe.put_word_nb(buddy, REQ_REGION, self.rank, 1)
+            if self._alive(buddy):
+                yield self.pe.put_word_nb(buddy, REQ_REGION, self.rank, 1)
         yield self.pe.quiet()
 
     def retract(self) -> Generator:
@@ -124,19 +136,28 @@ class LifelineManager:
         self.active = False
         self.consecutive_failures = 0
         for buddy in self.buddies:
-            yield self.pe.put_word_nb(buddy, REQ_REGION, self.rank, 0)
+            if self._alive(buddy):
+                yield self.pe.put_word_nb(buddy, REQ_REGION, self.rank, 0)
         yield self.pe.quiet()
 
     # ------------------------------------------------------------------
     # donor side
     # ------------------------------------------------------------------
     def pending_requests(self) -> list[int]:
-        """Ranks currently holding a lifeline into this PE (local reads)."""
-        return [
-            r
-            for r in range(self.npes)
-            if r != self.rank and self.pe.local_load(REQ_REGION, r) == 1
-        ]
+        """Ranks currently holding a lifeline into this PE (local reads).
+
+        Fault mode: requesters that have since fail-stopped are dropped
+        (their flag cleared) — donating into a dead inbox loses tasks.
+        """
+        out = []
+        for r in range(self.npes):
+            if r == self.rank or self.pe.local_load(REQ_REGION, r) != 1:
+                continue
+            if not self._alive(r):
+                self.pe.local_store(REQ_REGION, r, 0)
+                continue
+            out.append(r)
+        return out
 
     def clear_request(self, requester: int) -> None:
         """Mark a lifeline fulfilled (local write to own flag word)."""

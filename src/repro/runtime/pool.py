@@ -25,6 +25,7 @@ from ..core.damping import DampingTracker
 from ..core.sdc_queue import SdcQueueSystem
 from ..core.sws_queue import SwsQueueSystem
 from ..core.sws_v1_queue import SwsV1QueueSystem
+from ..fabric.faults import FaultPlan
 from ..fabric.latency import EDR_INFINIBAND, LatencyModel
 from ..shmem.api import ShmemCtx
 from .inbox import InboxSystem
@@ -33,7 +34,7 @@ from .registry import TaskRegistry
 from .stats import RunStats
 from .task import Task
 from .termination import TerminationSystem, TreeTerminationSystem
-from .victim import make_selector
+from .victim import QuarantineSelector, make_selector
 from .worker import QueueDriver, Worker, WorkerConfig
 
 #: ``sws`` is the Figure-4 epoch design; ``sws-v1`` the Figure-3 valid-bit
@@ -60,6 +61,9 @@ class TaskPool:
         lifelines: bool = False,
         lifeline_config: LifelineConfig | None = None,
         termination: str = "ring",
+        fault_plan: FaultPlan | None = None,
+        op_timeout: float | None = None,
+        token_timeout: float | None = None,
     ) -> None:
         if impl not in IMPLEMENTATIONS:
             raise ValueError(f"impl must be one of {IMPLEMENTATIONS}, got {impl!r}")
@@ -70,7 +74,44 @@ class TaskPool:
         self.worker_config = worker_config or WorkerConfig()
         self.seed_value = seed
 
-        self.ctx = ShmemCtx(npes, latency=latency, pes_per_node=pes_per_node)
+        faulty = fault_plan is not None and fault_plan.active
+        if faulty:
+            if impl == "sws-v1":
+                raise ValueError(
+                    "fault injection is not supported for impl='sws-v1' "
+                    "(the valid-bit variant has no recovery path)"
+                )
+            if termination != "ring":
+                raise ValueError(
+                    "fault injection requires termination='ring' "
+                    "(the tree detector has no fault-tolerant variant)"
+                )
+            if any(f.pe == 0 for f in fault_plan.pe_failures):
+                raise ValueError(
+                    "PE 0 cannot be in pe_failures: it anchors termination "
+                    "detection (token regeneration and the declare broadcast)"
+                )
+            if op_timeout is None:
+                # Must comfortably exceed one serialized round trip, and
+                # stay far below any useful quarantine/token timescale.
+                rtt = 2.0 * (latency.alpha_sw + latency.half_rtt_inter)
+                op_timeout = max(50.0 * rtt, 20e-6)
+            if token_timeout is None:
+                # A full ring round: one hop + worker service latency per
+                # PE, with generous slack for retry/backoff storms.
+                token_timeout = 4.0 * npes * max(
+                    op_timeout, self.worker_config.steal_backoff_max
+                )
+        self.fault_plan = fault_plan if faulty else None
+        self.op_timeout = op_timeout
+
+        self.ctx = ShmemCtx(
+            npes,
+            latency=latency,
+            pes_per_node=pes_per_node,
+            fault_plan=fault_plan,
+            op_timeout=op_timeout,
+        )
         if impl == "sws":
             self.queue_system = SwsQueueSystem(self.ctx, self.queue_config)
         elif impl == "sws-v1":
@@ -78,7 +119,11 @@ class TaskPool:
         else:
             self.queue_system = SdcQueueSystem(self.ctx, self.queue_config)
         if termination == "ring":
-            self.term_system = TerminationSystem(self.ctx)
+            self.term_system = TerminationSystem(
+                self.ctx,
+                faults=self.ctx.faults,
+                token_timeout=token_timeout if token_timeout is not None else 1e-3,
+            )
         elif termination == "tree":
             self.term_system = TreeTerminationSystem(self.ctx)
         else:
@@ -91,7 +136,9 @@ class TaskPool:
             if (remote_spawn or lifelines)
             else None
         )
-        self.lifeline_system = LifelineSystem(self.ctx) if lifelines else None
+        self.lifeline_system = (
+            LifelineSystem(self.ctx, faults=self.ctx.faults) if lifelines else None
+        )
         self.lifeline_config = lifeline_config or LifelineConfig()
 
         self.workers: list[Worker] = []
@@ -112,6 +159,13 @@ class TaskPool:
                 if npes > 1
                 else None
             )
+            if selector is not None and self.ctx.faults is not None:
+                selector = QuarantineSelector(
+                    selector,
+                    clock=lambda: self.ctx.engine.now,
+                    quarantine_after=self.worker_config.quarantine_after,
+                    quarantine_time=self.worker_config.quarantine_time,
+                )
             self.workers.append(
                 Worker(
                     rank=rank,
@@ -132,6 +186,7 @@ class TaskPool:
                         if self.lifeline_system
                         else None
                     ),
+                    seed=seed,
                 )
             )
         self._ran = False
@@ -152,16 +207,27 @@ class TaskPool:
         if self._ran:
             raise RuntimeError("pool already ran")
         self._ran = True
+        procs_by_pe = {}
         for w in self.workers:
-            self.ctx.engine.spawn(w.run(), name=f"pe{w.rank}")
+            procs_by_pe[w.rank] = self.ctx.engine.spawn(w.run(), name=f"pe{w.rank}")
+        faults = self.ctx.faults
+        if faults is not None:
+            faults.schedule_failures(self.ctx.engine, procs_by_pe)
         end = self.ctx.run()
         for w in self.workers:
+            if faults is not None and faults.is_dead(w.rank, end):
+                continue  # a fail-stopped PE's mid-protocol state is moot
             w.driver.queue.invariants()
+        for w in self.workers:
+            w.stats.locks_recovered = getattr(w.driver.queue, "locks_recovered", 0)
+            if isinstance(w.selector, QuarantineSelector):
+                w.stats.quarantines = w.selector.quarantines
         return RunStats(
             npes=self.npes,
             runtime=end,
             workers=[w.stats for w in self.workers],
             comm=self.ctx.metrics.snapshot(),
+            faults=faults.snapshot() if faults is not None else {},
         )
 
 

@@ -39,6 +39,12 @@ class WorkerStats:
     #: Virtual time this PE executed its first task (-1.0 if it never did)
     #: — the per-PE work-dispersal latency.
     first_task_time: float = -1.0
+    # -- fault/recovery counters (all zero on a reliable fabric) --------
+    steal_timeouts: int = 0         # steal ops that raised FabricTimeoutError
+    steal_retries: int = 0          # same-victim retries after a timeout
+    steals_abandoned: int = 0       # claimed blocks given up (victim died)
+    quarantines: int = 0            # victims this PE quarantined
+    locks_recovered: int = 0        # expired SDC lock leases broken open
 
     def note_steal_volume(self, ntasks: int) -> None:
         """Record one successful steal's block size."""
@@ -68,6 +74,9 @@ class RunStats:
     runtime: float                      # virtual wall-clock of the run
     workers: list[WorkerStats] = field(default_factory=list)
     comm: dict[str, int] = field(default_factory=dict)
+    #: Fabric-level fault counters (``FaultInjector.snapshot()``); empty
+    #: when the run used a reliable fabric.
+    faults: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_tasks(self) -> int:
@@ -121,6 +130,31 @@ class RunStats:
         """Failed steal attempts across the run."""
         return sum(w.steals_failed for w in self.workers)
 
+    @property
+    def total_steal_timeouts(self) -> int:
+        """Timed-out steal operations across the run."""
+        return sum(w.steal_timeouts for w in self.workers)
+
+    @property
+    def total_steal_retries(self) -> int:
+        """Post-timeout same-victim retries across the run."""
+        return sum(w.steal_retries for w in self.workers)
+
+    @property
+    def total_quarantines(self) -> int:
+        """Victim quarantine events across the run."""
+        return sum(w.quarantines for w in self.workers)
+
+    @property
+    def total_locks_recovered(self) -> int:
+        """Expired SDC lock leases broken open across the run."""
+        return sum(w.locks_recovered for w in self.workers)
+
+    @property
+    def total_steals_abandoned(self) -> int:
+        """Claimed-then-abandoned steal blocks across the run."""
+        return sum(w.steals_abandoned for w in self.workers)
+
     def steal_volume_histogram(self) -> dict[int, int]:
         """Merged histogram of successful steal block sizes."""
         out: dict[int, int] = {}
@@ -161,15 +195,20 @@ class RunStats:
         return max(0.0, min(1.0, frac))
 
     def to_json(self) -> str:
-        """Serialize the full run record (for archiving raw results)."""
-        return json.dumps(
-            {
-                "npes": self.npes,
-                "runtime": self.runtime,
-                "workers": [asdict(w) for w in self.workers],
-                "comm": self.comm,
-            }
-        )
+        """Serialize the full run record (for archiving raw results).
+
+        The ``faults`` key is omitted for reliable-fabric runs so their
+        archives stay byte-identical to pre-fault-support ones.
+        """
+        payload = {
+            "npes": self.npes,
+            "runtime": self.runtime,
+            "workers": [asdict(w) for w in self.workers],
+            "comm": self.comm,
+        }
+        if self.faults:
+            payload["faults"] = self.faults
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "RunStats":
@@ -187,6 +226,7 @@ class RunStats:
             runtime=payload["runtime"],
             workers=workers,
             comm=payload.get("comm", {}),
+            faults=payload.get("faults", {}),
         )
 
     def summary(self) -> dict[str, float]:
@@ -204,4 +244,11 @@ class RunStats:
             "comm_total": self.comm.get("total", 0),
             "comm_blocking": self.comm.get("blocking", 0),
             "comm_bytes": self.comm.get("bytes", 0),
+            "steal_timeouts": self.total_steal_timeouts,
+            "steal_retries": self.total_steal_retries,
+            "quarantines": self.total_quarantines,
+            "locks_recovered": self.total_locks_recovered,
+            "steals_abandoned": self.total_steals_abandoned,
+            "dropped_ops": self.faults.get("dropped_ops", 0),
+            "pes_killed": self.faults.get("pes_killed", 0),
         }

@@ -19,13 +19,31 @@ problem.  Two four-counter (Mattern) detectors are provided:
 Both ride the same fabric as everything else (counted puts applied
 atomically at arrival), so detection cost is part of measured runtime,
 as in the paper.
+
+Fault mode (ring only): when the system is built with a
+:class:`~repro.fabric.faults.FaultInjector`, the ring routes the token
+around fail-stopped PEs (the injector's static schedule acts as a perfect
+failure detector — an idealization, documented in ``docs/simulator.md``),
+token puts are retried on timeout and re-routed if the successor died,
+PE 0 regenerates a token lost with a dead holder after ``token_timeout``,
+and the declare broadcast uses acked puts with bounded retry.  Because a
+dead PE's counter contributions are lost (and abandoned steals lose
+tasks), the exact ``created == executed`` test can never fire; instead the
+token additionally accumulates an all-quiescent bit (packed into the round
+word, so the token stays 4 words) and PE 0 declares once two consecutive
+complete rounds carry identical sums *and* the all-quiescent bit — no PE
+held or could still receive live work across both rounds.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import TYPE_CHECKING, Generator
 
+from ..fabric.errors import FabricTimeoutError
 from ..shmem.api import ShmemCtx
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fabric.faults import FaultInjector
 
 REGION = "term"
 TOKEN_FLAG = 0
@@ -35,13 +53,35 @@ TOKEN_EXECUTED = 3
 TERM_FLAG = 4
 WORDS = 5
 
+#: Per-hop put retries before giving up on a token (PE 0 regenerates).
+_TOKEN_PUT_RETRIES = 5
+#: Per-target retries of the termination broadcast.
+_DECLARE_RETRIES = 3
+
 
 class TerminationSystem:
-    """Allocates the symmetric token/flag words for the job."""
+    """Allocates the symmetric token/flag words for the job.
 
-    def __init__(self, ctx: ShmemCtx) -> None:
+    ``faults`` switches every detector into fault-aware mode;
+    ``token_timeout`` is how long PE 0 waits for a missing token before
+    regenerating it (only meaningful in fault mode).
+    """
+
+    def __init__(
+        self,
+        ctx: ShmemCtx,
+        faults: "FaultInjector | None" = None,
+        token_timeout: float = 1e-3,
+    ) -> None:
         self.ctx = ctx
+        self.faults = faults
+        self.token_timeout = token_timeout
         ctx.heap.alloc_words(REGION, WORDS)
+
+    @property
+    def fault_aware(self) -> bool:
+        """Is the ring running the fault-tolerant protocol variant?"""
+        return self.faults is not None
 
     def handle(self, rank: int) -> "TerminationDetector":
         """Detector bound to PE ``rank``."""
@@ -60,6 +100,11 @@ class TerminationDetector:
         self._holding = rank == 0
         self._round = 0
         self._prev: tuple[int, int] | None = None
+        # Fault-mode state: previous round's all-quiescent bit, the last
+        # time PE 0 saw token activity, and how many tokens it regrew.
+        self._prev_q = False
+        self._last_token = 0.0
+        self.regenerations = 0
 
     @property
     def terminated(self) -> bool:
@@ -79,16 +124,30 @@ class TerminationDetector:
             (REGION, TOKEN_FLAG, nonzero),
         ]
 
-    def service(self, created: int, executed: int, idle: bool) -> Generator:
+    def service(
+        self,
+        created: int,
+        executed: int,
+        idle: bool,
+        quiescent: bool | None = None,
+    ) -> Generator:
         """Advance the protocol; call on every worker-loop iteration.
 
         ``created``/``executed`` are this PE's cumulative counters;
         ``idle`` signals the caller found no local work (PE 0 only starts
         rounds while idle, so detection traffic appears exactly when work
-        is scarce).  Returns True once termination has been declared.
+        is scarce).  ``quiescent`` (fault mode only) asserts the PE holds
+        no live work at all — no local tasks, nothing stealable, inbox
+        drained; it defaults to ``idle``.  Returns True once termination
+        has been declared.
         """
         if self.terminated:
             return True
+        if self.system.fault_aware and self.npes > 1:
+            done = yield from self._service_fault(
+                created, executed, idle, idle if quiescent is None else quiescent
+            )
+            return done
         if self.npes == 1:
             if idle and created == executed:
                 self.pe.local_store(REGION, TERM_FLAG, 1)
@@ -136,6 +195,109 @@ class TerminationDetector:
             yield self.pe.put_word_nb(p, REGION, TERM_FLAG, 1)
         self.pe.local_store(REGION, TERM_FLAG, 1)
         yield self.pe.quiet()
+
+    # ------------------------------------------------------------------
+    # fault-aware ring variant
+    # ------------------------------------------------------------------
+    def _dead(self, pe: int) -> bool:
+        return self.system.faults.is_dead(pe, self.system.ctx.now)
+
+    def _next_live(self) -> int:
+        """Ring successor, skipping fail-stopped PEs (self if sole survivor)."""
+        for k in range(1, self.npes):
+            cand = (self.rank + k) % self.npes
+            if not self._dead(cand):
+                return cand
+        return self.rank
+
+    def _service_fault(
+        self, created: int, executed: int, idle: bool, quiescent: bool
+    ) -> Generator:
+        """One fault-mode protocol step (see module docstring)."""
+        pe = self.pe
+        now = self.system.ctx.now
+        if self.rank == 0:
+            if pe.local_load(REGION, TOKEN_FLAG) == 1:
+                word = pe.local_load(REGION, TOKEN_ROUND)
+                rnd, qbit = word >> 1, bool(word & 1)
+                c = pe.local_load(REGION, TOKEN_CREATED)
+                e = pe.local_load(REGION, TOKEN_EXECUTED)
+                pe.local_store(REGION, TOKEN_FLAG, 0)
+                self._last_token = now
+                if rnd == self._round:
+                    # Stale rounds (duplicates of a regenerated token)
+                    # are dropped; only the expected round counts.
+                    self._holding = True
+                    if self._prev == (c, e) and (c == e or (qbit and self._prev_q)):
+                        yield from self._declare_fault()
+                        return True
+                    self._prev = (c, e)
+                    self._prev_q = qbit
+            elif not self._holding and (
+                now - self._last_token > self.system.token_timeout
+            ):
+                # The token vanished with a dead holder: regrow it.
+                self._holding = True
+                self.regenerations += 1
+            if self._holding and idle:
+                self._round += 1
+                self._holding = False
+                self._last_token = now
+                yield from self._forward_fault(self._round, created, executed, quiescent)
+            return False
+
+        if pe.local_load(REGION, TOKEN_FLAG) == 1:
+            word = pe.local_load(REGION, TOKEN_ROUND)
+            rnd, qbit = word >> 1, bool(word & 1)
+            c = pe.local_load(REGION, TOKEN_CREATED) + created
+            e = pe.local_load(REGION, TOKEN_EXECUTED) + executed
+            pe.local_store(REGION, TOKEN_FLAG, 0)
+            yield from self._forward_fault(rnd, c, e, qbit and quiescent)
+        return False
+
+    def _forward_fault(
+        self, rnd: int, created: int, executed: int, qbit: bool
+    ) -> Generator:
+        """Reliable token hop: retry timed-out puts, re-route around the
+        dead, deliver to self when sole survivor."""
+        word = (rnd << 1) | int(qbit)
+        nxt = self._next_live()
+        tried = 0
+        while True:
+            if nxt == self.rank:
+                # Everyone else is dead; the round completes in place.
+                pe = self.pe
+                pe.local_store(REGION, TOKEN_ROUND, word)
+                pe.local_store(REGION, TOKEN_CREATED, created)
+                pe.local_store(REGION, TOKEN_EXECUTED, executed)
+                pe.local_store(REGION, TOKEN_FLAG, 1)
+                return
+            try:
+                yield self.pe.put_words(
+                    nxt, REGION, TOKEN_FLAG, [1, word, created, executed]
+                )
+                return
+            except FabricTimeoutError:
+                tried += 1
+                cand = self._next_live()
+                if cand != nxt:
+                    nxt, tried = cand, 0  # successor died: re-route
+                elif tried >= _TOKEN_PUT_RETRIES:
+                    return  # drop the token; PE 0 regenerates it
+
+    def _declare_fault(self) -> Generator:
+        """Reliable termination broadcast: acked puts, retried, dead skipped."""
+        for p in range(1, self.npes):
+            if self._dead(p):
+                continue
+            for _attempt in range(_DECLARE_RETRIES + 1):
+                try:
+                    yield self.pe.put_word(p, REGION, TERM_FLAG, 1)
+                    break
+                except FabricTimeoutError:
+                    if self._dead(p):
+                        break
+        self.pe.local_store(REGION, TERM_FLAG, 1)
 
 
 # ----------------------------------------------------------------------

@@ -146,6 +146,96 @@ class HierarchicalVictim:
             self._local_failures += 1
 
 
+class QuarantineSelector:
+    """Fault-aware wrapper: quarantine victims that keep timing out.
+
+    Wraps any :class:`VictimSelector`.  The worker reports steal timeouts
+    via :meth:`note_timeout`; after ``quarantine_after`` consecutive
+    timeouts against one victim, that victim is excluded from selection
+    for ``quarantine_time`` virtual seconds, doubling on each repeat
+    offence (a fail-stopped PE ends up effectively removed, while a
+    transiently slow one gets re-probed after the quarantine decays).
+    A successful steal clears the victim's record entirely.
+
+    Selection redraws from the inner selector up to ``max_redraws`` times
+    to dodge quarantined victims; if every draw is quarantined the last
+    draw is returned anyway — a forced re-probe, so a worker can never
+    livelock with the whole job quarantined.
+    """
+
+    def __init__(
+        self,
+        inner: VictimSelector,
+        clock,
+        quarantine_after: int = 2,
+        quarantine_time: float = 200e-6,
+        max_redraws: int = 8,
+    ) -> None:
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if quarantine_time <= 0:
+            raise ValueError("quarantine_time must be positive")
+        self.inner = inner
+        self.clock = clock
+        self.quarantine_after = quarantine_after
+        self.quarantine_time = quarantine_time
+        self.max_redraws = max_redraws
+        self._strikes: dict[int, int] = {}
+        self._until: dict[int, float] = {}
+        self._episodes: dict[int, int] = {}
+        #: Total quarantine events (reported into WorkerStats).
+        self.quarantines = 0
+
+    def is_quarantined(self, victim: int) -> bool:
+        """Is ``victim`` currently excluded (decays automatically)?"""
+        until = self._until.get(victim)
+        if until is None:
+            return False
+        if self.clock() >= until:
+            # Quarantine expired: re-probe, but keep the episode history
+            # so a still-dead victim re-quarantines for longer.
+            del self._until[victim]
+            return False
+        return True
+
+    def next_victim(self) -> int:
+        """A victim from the inner policy, dodging quarantined PEs."""
+        victim = self.inner.next_victim()
+        for _ in range(self.max_redraws):
+            if not self.is_quarantined(victim):
+                return victim
+            victim = self.inner.next_victim()
+        return victim  # everyone looks dead: force a re-probe
+
+    def note_timeout(self, victim: int) -> None:
+        """One steal against ``victim`` exhausted its retries."""
+        strikes = self._strikes.get(victim, 0) + 1
+        if strikes < self.quarantine_after:
+            self._strikes[victim] = strikes
+            return
+        self._strikes[victim] = 0
+        episode = self._episodes.get(victim, 0)
+        self._episodes[victim] = episode + 1
+        self._until[victim] = self.clock() + self.quarantine_time * (2 ** episode)
+        self.quarantines += 1
+
+    def note_steal(self, victim: int, success: bool) -> None:
+        """A steal attempt actually completed (no timeout)."""
+        if success:
+            self._strikes.pop(victim, None)
+            self._until.pop(victim, None)
+            self._episodes.pop(victim, None)
+        else:
+            # Any response at all proves the victim is alive.
+            self._strikes.pop(victim, None)
+
+    def note(self, success: bool) -> None:
+        """Forward outcome notes to an adaptive inner selector."""
+        note = getattr(self.inner, "note", None)
+        if note is not None:
+            note(success)
+
+
 def make_selector(
     kind: str, npes: int, rank: int, seed: int = 0, topology: Topology | None = None
 ) -> VictimSelector:

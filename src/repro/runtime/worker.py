@@ -20,6 +20,7 @@ hosts SWS steal damping (probe-first empty-mode, §4.3).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Generator
 
@@ -28,7 +29,7 @@ from ..core.results import StealResult, StealStatus
 from ..core.sdc_queue import SdcQueue
 from ..core.sws_queue import SwsQueue
 from ..fabric.engine import Delay
-from ..fabric.errors import ProtocolError
+from ..fabric.errors import FabricTimeoutError, ProtocolError
 from .inbox import Inbox
 from .lifeline import LifelineManager
 from .registry import TaskContext, TaskRegistry
@@ -74,6 +75,21 @@ class WorkerConfig:
         ``wait_until_any`` (inbox delivery / token / termination flag)
         instead of backoff polling — zero idle events, hardware-style
         wait/wake.  PE 0 keeps polling (it initiates detection rounds).
+    steal_timeout_retries:
+        Fault mode: same-victim retries after a steal op raises
+        :class:`~repro.fabric.errors.FabricTimeoutError`, before the
+        victim is reported to the selector for quarantine.
+    retry_jitter:
+        Fault mode: retry backoff is stretched by a uniform draw in
+        ``[0, retry_jitter]`` of itself, decorrelating thieves that
+        timed out against the same victim simultaneously.
+    quarantine_after:
+        Fault mode: consecutive retry-exhausted steals against one victim
+        before the pool's :class:`~repro.runtime.victim.QuarantineSelector`
+        excludes it.
+    quarantine_time:
+        Fault mode: base quarantine duration (virtual seconds); doubles on
+        each repeat offence and decays to a re-probe on expiry.
     """
 
     batch_max: int = 64
@@ -86,6 +102,10 @@ class WorkerConfig:
     spawn_policy: str = "work_first"
     sample_queue: bool = False
     idle_wait: bool = False
+    steal_timeout_retries: int = 2
+    retry_jitter: float = 0.5
+    quarantine_after: int = 2
+    quarantine_time: float = 200e-6
 
     def __post_init__(self) -> None:
         if self.batch_max < 1:
@@ -103,6 +123,14 @@ class WorkerConfig:
                 f"spawn_policy must be work_first|help_first, "
                 f"got {self.spawn_policy!r}"
             )
+        if self.steal_timeout_retries < 0:
+            raise ValueError("steal_timeout_retries must be non-negative")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be non-negative")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if self.quarantine_time <= 0:
+            raise ValueError("quarantine_time must be positive")
 
 
 class QueueDriver:
@@ -196,6 +224,7 @@ class Worker:
         task_size: int,
         inbox: Inbox | None = None,
         lifeline: LifelineManager | None = None,
+        seed: int = 0,
     ) -> None:
         self.rank = rank
         self.npes = npes
@@ -212,6 +241,11 @@ class Worker:
         if lifeline is not None and inbox is None:
             raise ProtocolError("lifelines require the remote-spawn inbox")
         self._engine = driver.queue.system.ctx.engine
+        # Fault mode: timed-out steals are retried with jittered backoff.
+        # The jitter RNG is drawn from ONLY on fault paths, so reliable
+        # runs stay bit-identical regardless of seed.
+        self._fault_mode = driver.queue.system.ctx.faults is not None
+        self._retry_rng = random.Random((seed << 16) ^ (rank * 0x9E3779B1) ^ 0xFA117)
         self._batches = 0
         self._backoff = config.steal_backoff
         self._remote_spawns: list[tuple[int, Task]] = []
@@ -237,9 +271,25 @@ class Worker:
         yield pe.barrier_all()
         while True:
             idle = self.driver.local_count == 0
-            done = yield from self.term.service(
-                self.stats.tasks_spawned, self.stats.tasks_executed, idle
-            )
+            if self._fault_mode:
+                # Quiescent = holds no live work at all: nothing local,
+                # nothing advertised to thieves, inbox drained.  Feeds
+                # the fault-mode termination test's all-quiescent bit.
+                quiescent = (
+                    idle
+                    and self.driver.stealable_remaining == 0
+                    and (self.inbox is None or not self.inbox.pending_hint)
+                )
+                done = yield from self.term.service(
+                    self.stats.tasks_spawned,
+                    self.stats.tasks_executed,
+                    idle,
+                    quiescent=quiescent,
+                )
+            else:
+                done = yield from self.term.service(
+                    self.stats.tasks_spawned, self.stats.tasks_executed, idle
+                )
             if done or self.term.terminated:
                 break
 
@@ -290,7 +340,7 @@ class Worker:
                     continue
             victim = self.selector.next_victim()
             t0 = self.now
-            result = yield from self.driver.steal_op(victim, self.stats)
+            result = yield from self._attempt_steal(victim)
             dt = self.now - t0
             if self.lifeline is not None:
                 self.lifeline.note_steal(result.success)
@@ -311,7 +361,50 @@ class Worker:
                 yield Delay(self._backoff)
                 self._backoff = min(self.cfg.steal_backoff_max, self._backoff * 2)
         # Drain any passive completion notifications before exiting.
-        yield pe.quiet()
+        if self._fault_mode:
+            try:
+                yield pe.quiet()
+            except FabricTimeoutError:
+                pass  # stragglers drain in background events after exit
+        else:
+            yield pe.quiet()
+
+    def _attempt_steal(self, victim: int) -> Generator:
+        """One steal, with bounded retry + jittered backoff on timeouts.
+
+        On a reliable fabric this is exactly ``driver.steal_op`` (no
+        timeouts can occur, nothing extra yields).  Under faults, a
+        :class:`FabricTimeoutError` is retried against the same victim up
+        to ``steal_timeout_retries`` times with exponential backoff and a
+        jitter stretch; exhaustion reports the victim to the selector
+        (quarantine) and surfaces as a failed :class:`StealResult`.
+        """
+        retries = 0
+        while True:
+            try:
+                result = yield from self.driver.steal_op(victim, self.stats)
+            except FabricTimeoutError:
+                self.stats.steal_timeouts += 1
+                if retries >= self.cfg.steal_timeout_retries:
+                    note_timeout = getattr(self.selector, "note_timeout", None)
+                    if note_timeout is not None:
+                        note_timeout(victim)
+                    return StealResult(StealStatus.TIMEOUT, victim)
+                retries += 1
+                self.stats.steal_retries += 1
+                pause = min(
+                    self.cfg.steal_backoff * (2 ** (retries - 1)),
+                    self.cfg.steal_backoff_max,
+                )
+                pause *= 1.0 + self.cfg.retry_jitter * self._retry_rng.random()
+                yield Delay(pause)
+                continue
+            if result.status is StealStatus.ABANDONED:
+                self.stats.steals_abandoned += 1
+            note_steal = getattr(self.selector, "note_steal", None)
+            if note_steal is not None:
+                note_steal(victim, result.success)
+            return result
 
     # ------------------------------------------------------------------
     def _execute_batch(self) -> Generator:

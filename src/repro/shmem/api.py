@@ -18,6 +18,7 @@ import math
 from typing import Any
 
 from ..fabric.engine import Call, Delay, Engine, Process
+from ..fabric.faults import FaultInjector, FaultPlan
 from ..fabric.latency import EDR_INFINIBAND, LatencyModel
 from ..fabric.memory import SymmetricHeap
 from ..fabric.metrics import FabricMetrics
@@ -26,7 +27,13 @@ from ..fabric.topology import Topology
 
 
 class ShmemCtx:
-    """One simulated OpenSHMEM job: engine + heap + NIC + topology."""
+    """One simulated OpenSHMEM job: engine + heap + NIC + topology.
+
+    ``fault_plan`` attaches a :class:`~repro.fabric.faults.FaultInjector`
+    (exposed as ``ctx.faults``) when the plan is active; ``op_timeout``
+    bounds every blocking fabric call (see :class:`~repro.fabric.nic.Nic`).
+    Both default to off, leaving the fabric perfectly reliable.
+    """
 
     def __init__(
         self,
@@ -35,12 +42,17 @@ class ShmemCtx:
         pes_per_node: int = 48,
         trace_comm: bool = False,
         jitter_seed: int = 0,
+        fault_plan: FaultPlan | None = None,
+        op_timeout: float | None = None,
     ) -> None:
         self.npes = npes
         self.engine = Engine()
         self.heap = SymmetricHeap(npes)
         self.topology = Topology(npes, pes_per_node=pes_per_node)
         self.metrics = FabricMetrics(npes, trace=trace_comm)
+        self.faults: FaultInjector | None = None
+        if fault_plan is not None and fault_plan.active:
+            self.faults = FaultInjector(fault_plan, npes)
         self.nic = Nic(
             self.engine,
             self.heap,
@@ -48,6 +60,8 @@ class ShmemCtx:
             latency,
             self.metrics,
             jitter_seed=jitter_seed,
+            faults=self.faults,
+            op_timeout=op_timeout,
         )
         self.latency = latency
         self._barrier = _Barrier(self)

@@ -1,0 +1,4 @@
+"""Chaos suite: end-to-end fault-injection scenarios (marker: ``chaos``).
+
+Run alone with ``make chaos`` or ``pytest -m chaos``.
+"""

@@ -1,6 +1,8 @@
 """Tests for the simulated NIC: timing, semantics, serialization, quiet."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.fabric.engine import Delay
 from repro.fabric.latency import LatencyModel
@@ -294,3 +296,60 @@ class TestMetricsCounting:
         assert snap["amo_add_nb"] == 1
         assert snap["total"] == 4
         assert snap["blocking"] == 3
+
+
+class TestOutstandingAccounting:
+    """Property test: quiet()/_outstanding bookkeeping never underflows
+    and always drains, for any interleaving of non-blocking ops — on a
+    reliable fabric and under fault injection (where dropped descriptors
+    must still retire locally)."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put_nb", "amo_add_nb", "put_signal_nb", "quiet"]),
+                st.integers(min_value=1, max_value=2),  # target PE
+                st.floats(min_value=0.0, max_value=30e-6),  # pre-op think time
+            ),
+            min_size=1,
+            max_size=24,
+        ),
+        drop_rate=st.sampled_from([0.0, 0.3]),
+        seed=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_outstanding_never_underflows_and_always_drains(
+        self, ops, drop_rate, seed
+    ):
+        from repro.fabric.faults import FaultPlan
+
+        plan = FaultPlan(seed=seed, drop_rate=drop_rate) if drop_rate else None
+        ctx = ShmemCtx(npes=3, latency=LAT, pes_per_node=1, fault_plan=plan)
+        ctx.heap.alloc_words("m", 8)
+        ctx.heap.alloc_bytes("d", 4096)
+        pe = ctx.pe(0)
+        done = []
+
+        def body():
+            for kind, target, think in ops:
+                if think:
+                    yield Delay(think)
+                if kind == "put_nb":
+                    yield pe.put_word_nb(target, "m", 0, 1)
+                elif kind == "amo_add_nb":
+                    yield pe.atomic_add_nb(target, "m", 1, 1)
+                elif kind == "put_signal_nb":
+                    yield pe.put_signal_nb(target, "d", 0, b"abcd", "m", 2, 1)
+                else:
+                    yield pe.quiet()
+                # _complete_nb raises SimulationError on underflow, so a
+                # mismatched retirement would abort the run here.
+                assert ctx.nic.pending_ops(0) >= 0
+            yield pe.quiet()  # the final fence must always drain
+            done.append(True)
+
+        ctx.engine.spawn(body(), "p")
+        ctx.run()
+        assert done == [True]
+        for rank in range(3):
+            assert ctx.nic.pending_ops(rank) == 0
