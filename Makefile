@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench experiments experiments-full examples clean
+.PHONY: install test chaos schedules explore bench experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -12,6 +12,16 @@ test:
 
 chaos:
 	$(PYTHON) -m pytest -m chaos tests/chaos/
+
+schedules:
+	$(PYTHON) -m pytest -m schedules tests/schedules/
+
+# Deeper interleaving sweep than the pytest suite (see docs/testing.md);
+# failing schedules land in results/schedules/ as replayable traces.
+explore:
+	$(PYTHON) -m repro explore --seeds 50 --shrink --out results/schedules
+	$(PYTHON) -m repro explore --policy dfs --dfs-depth 5 --shrink \
+	    --out results/schedules
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

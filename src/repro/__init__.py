@@ -47,9 +47,14 @@ from .fabric import (
     FabricTimeoutError,
     FaultPlan,
     LatencyModel,
+    OracleViolation,
     PEFailure,
+    ScheduleTrace,
+    Scheduler,
+    make_scheduler,
 )
 from .runtime import (
+    PoolOracle,
     RunStats,
     Task,
     TaskOutcome,
@@ -89,6 +94,11 @@ __all__ = [
     "FaultPlan",
     "PEFailure",
     "FabricTimeoutError",
+    "Scheduler",
+    "ScheduleTrace",
+    "make_scheduler",
+    "PoolOracle",
+    "OracleViolation",
     "ShmemCtx",
     "Pe",
     "__version__",

@@ -1,24 +1,159 @@
-"""``python -m repro`` — a 10-second sanity demonstration.
+"""``python -m repro`` — demo, schedule exploration, and trace replay.
 
-Prints the package version, the Figure-2 communication counts (the
-paper's headline), and a pointer to the full experiment CLI.
+With no arguments: a 10-second sanity demonstration (package version,
+the Figure-2 communication counts, pointers to the full harness).
+
+Subcommands::
+
+    python -m repro explore [--workload W] [--impl I] [--policy P]
+                            [--seeds N] [--dfs-depth D] [--out DIR]
+    python -m repro replay TRACE.json [--strict] [--shrink]
+
+``explore`` sweeps same-timestamp event orderings under the invariant
+oracle and writes every failing schedule as a replayable JSON trace;
+``replay`` re-executes such a trace bit-identically (the local half of
+the CI-artifact-to-repro workflow; see docs/testing.md).
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+from pathlib import Path
+
 from . import __version__
-from .analysis.experiments import run_experiment
+from .analysis.explore import WORKLOADS, explore, replay_trace, shrink_trace
+from .fabric.scheduler import POLICIES, ScheduleTrace
+from .runtime.pool import IMPLEMENTATIONS
 
 
-def main() -> int:
+def _demo() -> int:
     """Print the version, the Figure-2 headline, and pointers."""
+    from .analysis.experiments import run_experiment
+
     print(f"repro {__version__} — SWS structured-atomic work stealing "
           f"(ICPP 2021 reproduction)\n")
     print(run_experiment("fig2").render())
     print("full harness: python -m repro.analysis.cli --exp all")
+    print("schedule fuzzing: python -m repro explore --help")
     print("docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/")
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    if args.replay is not None:
+        # `explore --replay T` == `replay T`: reproduce a recorded trace.
+        args.trace = args.replay
+        return _cmd_replay(args)
+    workloads = WORKLOADS if args.workload == "all" else (args.workload,)
+    impls = IMPLEMENTATIONS if args.impl == "all" else (args.impl,)
+    out = Path(args.out) if args.out else None
+    failures = 0
+    written = []
+    for wl in workloads:
+        for impl in impls:
+            report = explore(
+                wl,
+                impl,
+                policy=args.policy,
+                seeds=range(args.seed_base, args.seed_base + args.seeds),
+                dfs_depth=args.dfs_depth,
+                max_runs=args.max_runs,
+                npes=args.npes,
+            )
+            print(report.render())
+            for i, fail in enumerate(report.failures):
+                failures += 1
+                trace = fail.trace
+                if args.shrink:
+                    trace, runs = shrink_trace(trace)
+                    print(f"  shrunk to {len(trace.choices)} choices "
+                          f"({runs} replays)")
+                if out is not None:
+                    out.mkdir(parents=True, exist_ok=True)
+                    path = out / f"{wl}-{impl}-{args.policy}-{fail.trace.seed}-{i}.json"
+                    path.write_text(trace.to_json())
+                    written.append(path)
+    if written:
+        print(f"\n{len(written)} failing trace(s) written to {args.out}:")
+        for p in written:
+            print(f"  {p}")
+    if failures:
+        print(f"\nFAIL: {failures} schedule(s) violated the protocol oracle")
+        return 1
+    print("\nall explored schedules oracle-clean")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = ScheduleTrace.from_json(Path(args.trace).read_text())
+    meta = trace.meta
+    print(f"replaying {args.trace}: workload={meta.get('workload')} "
+          f"impl={meta.get('impl')} choices={len(trace.choices)}")
+    if args.shrink:
+        trace, runs = shrink_trace(trace)
+        print(f"shrunk to {len(trace.choices)} choices ({runs} replays)")
+        if args.out:
+            Path(args.out).write_text(trace.to_json())
+            print(f"wrote {args.out}")
+    result = replay_trace(trace, strict=args.strict)
+    if result.ok:
+        print(f"run is clean: {result.events} events, "
+              f"virtual runtime {result.runtime:.6g}s")
+        return 0
+    print(f"reproduced [{result.check}] after {result.events} events:")
+    print(f"  {result.detail}")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="cmd")
+
+    p_ex = sub.add_parser("explore", help="sweep event schedules under the oracle")
+    p_ex.add_argument("--workload", default="all", choices=(*WORKLOADS, "all"))
+    p_ex.add_argument("--impl", default="all", choices=(*IMPLEMENTATIONS, "all"))
+    p_ex.add_argument("--policy", default="random",
+                      choices=[p for p in POLICIES if p != "replay"])
+    p_ex.add_argument("--seeds", type=int, default=20,
+                      help="number of seeds (random/pct)")
+    p_ex.add_argument("--seed-base", type=int, default=0,
+                      help="first seed (nightly CI shards by this)")
+    p_ex.add_argument("--dfs-depth", type=int, default=6,
+                      help="decision points enumerated exhaustively (dfs)")
+    p_ex.add_argument("--max-runs", type=int, default=512,
+                      help="branch cap for dfs")
+    p_ex.add_argument("--npes", type=int, default=4)
+    p_ex.add_argument("--shrink", action="store_true",
+                      help="shrink failing traces before writing them")
+    p_ex.add_argument("--out", default=None,
+                      help="directory for failing-trace JSON files")
+    p_ex.add_argument("--replay", metavar="TRACE", default=None,
+                      help="re-execute a recorded trace instead of sweeping")
+    p_ex.add_argument("--strict", action="store_true",
+                      help="with --replay: verify recorded ready-set widths")
+    p_ex.set_defaults(fn=_cmd_explore)
+
+    p_rp = sub.add_parser("replay", help="re-execute a recorded schedule trace")
+    p_rp.add_argument("trace", help="trace JSON written by explore")
+    p_rp.add_argument("--strict", action="store_true",
+                      help="verify ready-set widths against the recording")
+    p_rp.add_argument("--shrink", action="store_true",
+                      help="shrink the trace before replaying")
+    p_rp.add_argument("--out", default=None,
+                      help="write the shrunk trace here")
+    p_rp.set_defaults(fn=_cmd_replay)
+
+    # main() with no argv is the library entry point (and the historic
+    # behaviour): run the demo, never read sys.argv.
+    args = parser.parse_args(argv if argv is not None else [])
+    if args.cmd is None:
+        return _demo()
+    return args.fn(args)
+
+
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(sys.argv[1:]))

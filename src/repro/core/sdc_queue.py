@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..fabric.engine import Delay
-from ..fabric.errors import FabricTimeoutError, ProtocolError
+from ..fabric.errors import FabricTimeoutError, OracleViolation, ProtocolError
 from ..shmem.api import ShmemCtx
 from .config import QueueConfig
 from .results import StealResult, StealStatus
@@ -430,8 +430,55 @@ class SdcQueue:
         return None
 
     # ------------------------------------------------------------------
-    # debugging / validation helpers
+    # schedule-exploration oracle hooks (repro.runtime.oracle)
     # ------------------------------------------------------------------
+    def oracle_comp_words(self) -> list[int]:
+        """The completion ring, bulk-read for transition tracking."""
+        return self.system.ctx.heap.load_words(
+            self.rank, COMP_REGION, 0, self.cfg.qsize
+        )
+
+    def oracle_comp_expected(self) -> dict[int, int] | None:
+        """SDC steal volumes are dynamic — no per-slot expectation.
+
+        Returning ``None`` tells the oracle to apply only the generic
+        transition rules (a slot is written once per steal, then cleared
+        by the owner) plus the 1..qsize volume range.
+        """
+        return None
+
+    def oracle_check(self) -> None:
+        """Per-event invariants, valid at any event boundary."""
+        tail, split = self._tail(), self._split()
+        if not (self.ctail <= tail <= split <= self.head):
+            raise OracleViolation(
+                "sdc-index-order",
+                f"ctail={self.ctail} tail={tail} split={split} head={self.head}",
+                pe=self.rank,
+            )
+        if self.head - self.ctail > self.cfg.qsize:
+            raise OracleViolation(
+                "sdc-capacity",
+                f"in_use={self.head - self.ctail} > qsize={self.cfg.qsize}",
+                pe=self.rank,
+            )
+        lock = self.pe.local_load(META_REGION, LOCK)
+        if self.cfg.sdc_lock_lease is None:
+            if lock not in (_UNLOCKED, _LOCKED):
+                raise OracleViolation(
+                    "sdc-lock-word",
+                    f"lock word {lock:#x} is neither locked nor unlocked",
+                    pe=self.rank,
+                )
+        elif lock != _UNLOCKED:
+            holder = (lock >> _TS_BITS) - 1
+            if not 0 <= holder < self.system.ctx.npes:
+                raise OracleViolation(
+                    "sdc-lease-holder",
+                    f"lease word {lock:#x} names invalid holder {holder}",
+                    pe=self.rank,
+                )
+
     def invariants(self) -> None:
         """Raise :class:`ProtocolError` if owner-visible state is inconsistent."""
         tail, split = self._tail(), self._split()

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..fabric.engine import Delay
-from ..fabric.errors import FabricTimeoutError, ProtocolError
+from ..fabric.errors import FabricTimeoutError, OracleViolation, ProtocolError
 from ..shmem.api import ShmemCtx
 from .config import QueueConfig
 from .results import StealResult, StealStatus
@@ -102,6 +102,9 @@ class SwsQueue:
         #: Cumulative time the owner spent polling for a free epoch (the
         #: cost the completion-epoch design exists to minimize).
         self.epoch_wait_time = 0.0
+        #: Monotone count of stealval publications (oracle: identifies a
+        #: publication uniquely even when epoch/itasks/tail repeat).
+        self.publications = 0
 
     # ------------------------------------------------------------------
     # owner-local views
@@ -218,6 +221,7 @@ class SwsQueue:
             self.pe.local_store(COMP_REGION, base + i, 0)
         self.epoch = next_epoch
         self.records.append(EpochRecord(next_epoch, start, itasks))
+        self.publications += 1
         self.pe.local_store(
             META_REGION,
             STEALVAL,
@@ -423,6 +427,109 @@ class SwsQueue:
                 for r in self.records
             ],
         }
+
+    # ------------------------------------------------------------------
+    # schedule-exploration oracle hooks (repro.runtime.oracle)
+    # ------------------------------------------------------------------
+    def oracle_comp_words(self) -> list[int]:
+        """All completion-array words, bulk-read for transition tracking."""
+        n = self.cfg.max_epochs * self.cfg.comp_slots
+        return self.system.ctx.heap.load_words(self.rank, COMP_REGION, 0, n)
+
+    def oracle_comp_expected(self) -> dict[int, int]:
+        """Legal nonzero value per completion offset, from live records.
+
+        Only offsets belonging to an outstanding allotment record may be
+        written; slot ``j`` of a record's row may only ever hold the
+        steal-half schedule's volume for steal ``j``.  Anything else —
+        including a doubled value from two thieves claiming the same
+        block — is a protocol violation.
+        """
+        expected: dict[int, int] = {}
+        for rec in self.records:
+            for j, vol in enumerate(schedule(rec.itasks)):
+                expected[self._comp_offset(rec.epoch, j)] = vol
+        return expected
+
+    def oracle_check(self) -> None:
+        """Per-event invariants, valid at *any* event boundary.
+
+        Unlike :meth:`invariants` (end-of-run strictness), this tolerates
+        the mid-management window where the stealval is locked and no
+        record is open — but everything it does assert must hold after
+        every single engine event.
+        """
+        if not (self.reclaim_tail <= self.split <= self.head):
+            raise OracleViolation(
+                "sws-index-order",
+                f"reclaim={self.reclaim_tail} split={self.split} head={self.head}",
+                pe=self.rank,
+            )
+        if self.head - self.reclaim_tail > self.cfg.qsize:
+            raise OracleViolation(
+                "sws-capacity",
+                f"in_use={self.head - self.reclaim_tail} > qsize={self.cfg.qsize}",
+                pe=self.rank,
+            )
+        if sum(r.open for r in self.records) > 1:
+            raise OracleViolation(
+                "sws-records", "more than one open allotment record", pe=self.rank
+            )
+        view = StealValEpoch.unpack(self._load_stealval())
+        open_rec = self.records[-1] if self.records and self.records[-1].open else None
+        if view.locked:
+            if open_rec is not None:
+                raise OracleViolation(
+                    "sws-locked-open",
+                    "stealval locked while a record is open", pe=self.rank,
+                )
+            if view.itasks or view.tail:
+                raise OracleViolation(
+                    "sws-locked-fields",
+                    f"locked stealval carries itasks={view.itasks} "
+                    f"tail={view.tail}", pe=self.rank,
+                )
+            return
+        if open_rec is None:
+            raise OracleViolation(
+                "sws-unlocked-closed",
+                "stealval live but no open allotment record", pe=self.rank,
+            )
+        cap = min(self.system.itask_cap, self.cfg.qsize)
+        if view.itasks > cap:
+            raise OracleViolation(
+                "sws-itasks-range",
+                f"advertised itasks={view.itasks} exceeds cap {cap}", pe=self.rank,
+            )
+        if view.tail >= self.cfg.qsize:
+            raise OracleViolation(
+                "sws-tail-range",
+                f"tail={view.tail} outside qsize={self.cfg.qsize}", pe=self.rank,
+            )
+        if (view.epoch, view.itasks, view.tail) != (
+            open_rec.epoch, open_rec.itasks, self._slot(open_rec.start)
+        ):
+            raise OracleViolation(
+                "sws-stealval-record",
+                f"stealval ({view.epoch},{view.itasks},{view.tail}) disagrees "
+                f"with open record ({open_rec.epoch},{open_rec.itasks},"
+                f"{self._slot(open_rec.start)})", pe=self.rank,
+            )
+        if open_rec.start + open_rec.itasks != self.split:
+            raise OracleViolation(
+                "sws-allotment-split",
+                f"allotment end {open_rec.start + open_rec.itasks} != "
+                f"split {self.split}", pe=self.rank,
+            )
+        for rec in self.records:
+            vols = schedule(rec.itasks)
+            claims = rec.claims if not rec.open else len(vols)
+            if not (0 <= rec.folded <= claims <= len(vols)):
+                raise OracleViolation(
+                    "sws-epoch-accounting",
+                    f"epoch {rec.epoch}: folded={rec.folded} claims={claims} "
+                    f"schedule={len(vols)}", pe=self.rank,
+                )
 
     def invariants(self) -> None:
         """Raise :class:`ProtocolError` on inconsistent owner state."""

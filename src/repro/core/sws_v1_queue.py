@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Generator
 
 from ..fabric.engine import Delay
-from ..fabric.errors import ProtocolError
+from ..fabric.errors import OracleViolation, ProtocolError
 from ..shmem.api import ShmemCtx
 from .config import QueueConfig
 from .results import StealResult, StealStatus
@@ -76,6 +76,8 @@ class SwsV1Queue:
         #: Owner time spent waiting out in-flight steals — the cost the
         #: epoch design removes.
         self.stall_time = 0.0
+        #: Monotone count of stealval publications (oracle identity).
+        self.publications = 0
 
     # ------------------------------------------------------------------
     # views
@@ -173,6 +175,7 @@ class SwsV1Queue:
     def _publish(self, start: int, itasks: int) -> None:
         self.allot_start = start
         self.allot_itasks = itasks
+        self.publications += 1
         self.pe.local_store(
             META_REGION,
             STEALVAL,
@@ -268,6 +271,73 @@ class SwsV1Queue:
         return part1 + part2
 
     # ------------------------------------------------------------------
+    # schedule-exploration oracle hooks (repro.runtime.oracle)
+    # ------------------------------------------------------------------
+    def oracle_comp_words(self) -> list[int]:
+        """The single completion row, bulk-read for transition tracking."""
+        return self.system.ctx.heap.load_words(
+            self.rank, COMP_REGION, 0, self.cfg.comp_slots
+        )
+
+    def oracle_comp_expected(self) -> dict[int, int]:
+        """Legal nonzero value per completion slot of the live allotment.
+
+        The live allotment stays ``(allot_start, allot_itasks)`` while the
+        owner drains in-flight steals with the valid bit cleared, so
+        draining completions are still validated against it.
+        """
+        return {
+            j: vol for j, vol in enumerate(schedule(self.allot_itasks))
+        }
+
+    def oracle_check(self) -> None:
+        """Per-event invariants, valid at any event boundary."""
+        if not (self.reclaim_tail <= self.split <= self.head):
+            raise OracleViolation(
+                "swsv1-index-order",
+                f"reclaim={self.reclaim_tail} split={self.split} head={self.head}",
+                pe=self.rank,
+            )
+        if self.head - self.reclaim_tail > self.cfg.qsize:
+            raise OracleViolation(
+                "swsv1-capacity",
+                f"in_use={self.head - self.reclaim_tail} > qsize={self.cfg.qsize}",
+                pe=self.rank,
+            )
+        view = StealValV1.unpack(self.pe.local_load(META_REGION, STEALVAL))
+        if not view.valid:
+            if view.itasks or view.tail:
+                raise OracleViolation(
+                    "swsv1-invalid-fields",
+                    f"invalid stealval carries itasks={view.itasks} "
+                    f"tail={view.tail}", pe=self.rank,
+                )
+            return
+        cap = min(self.system.itask_cap, self.cfg.qsize)
+        if view.itasks > cap:
+            raise OracleViolation(
+                "swsv1-itasks-range",
+                f"advertised itasks={view.itasks} exceeds cap {cap}", pe=self.rank,
+            )
+        if view.tail >= self.cfg.qsize:
+            raise OracleViolation(
+                "swsv1-tail-range",
+                f"tail={view.tail} outside qsize={self.cfg.qsize}", pe=self.rank,
+            )
+        if (view.itasks, view.tail) != (self.allot_itasks, self._slot(self.allot_start)):
+            raise OracleViolation(
+                "swsv1-stealval-allotment",
+                f"stealval ({view.itasks},{view.tail}) disagrees with "
+                f"allotment ({self.allot_itasks},{self._slot(self.allot_start)})",
+                pe=self.rank,
+            )
+        if self.allot_start + self.allot_itasks != self.split:
+            raise OracleViolation(
+                "swsv1-allotment-split",
+                f"allotment end {self.allot_start + self.allot_itasks} != "
+                f"split {self.split}", pe=self.rank,
+            )
+
     def invariants(self) -> None:
         """Raise on inconsistent owner state."""
         if not (self.reclaim_tail <= self.split <= self.head):

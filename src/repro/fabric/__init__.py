@@ -14,6 +14,7 @@ from .errors import (
     DeadlockError,
     FabricError,
     FabricTimeoutError,
+    OracleViolation,
     PEIndexError,
     ProtocolError,
     RegionError,
@@ -31,6 +32,19 @@ from .latency import (
 from .memory import RegionSpec, SymmetricHeap
 from .metrics import BLOCKING_KINDS, OP_KINDS, FabricMetrics, OpRecord
 from .nic import WORD_BYTES, Nic
+from .scheduler import (
+    POLICIES,
+    DfsScheduler,
+    FixedScheduler,
+    PctScheduler,
+    RandomScheduler,
+    ReplayScheduler,
+    ScheduleDivergence,
+    ScheduleTrace,
+    Scheduler,
+    dfs_successor,
+    make_scheduler,
+)
 from .topology import Topology
 
 __all__ = [
@@ -49,6 +63,7 @@ __all__ = [
     "NO_FAULTS",
     "PEIndexError",
     "ProtocolError",
+    "OracleViolation",
     "RegionError",
     "SimulationError",
     "LatencyModel",
@@ -65,5 +80,16 @@ __all__ = [
     "BLOCKING_KINDS",
     "Nic",
     "WORD_BYTES",
+    "Scheduler",
+    "FixedScheduler",
+    "RandomScheduler",
+    "PctScheduler",
+    "DfsScheduler",
+    "ReplayScheduler",
+    "ScheduleDivergence",
+    "ScheduleTrace",
+    "dfs_successor",
+    "make_scheduler",
+    "POLICIES",
     "Topology",
 ]

@@ -18,15 +18,27 @@ Determinism: events at equal timestamps pop in insertion order (a
 monotonically increasing sequence number breaks ties), so a given seed
 always reproduces the same interleaving — a property the reproduction's
 "run variation" experiments rely on.
+
+Schedule exploration: attaching a
+:class:`~repro.fabric.scheduler.Scheduler` replaces the insertion-order
+tie-break with a pluggable policy.  The engine then collects every event
+sharing the minimal timestamp into a *ready set* and lets the policy pick
+which runs next, recording the choice so any interleaving can be replayed
+bit-identically.  With no scheduler attached the original fast path runs
+unchanged.  ``observers`` are invoked after every executed event — the
+oracle layer uses them to check cross-PE invariants at each step.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 from .errors import DeadlockError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .scheduler import Scheduler
 
 #: Type of a simulated process body.
 ProcessGen = Generator[Any, Any, Any]
@@ -85,8 +97,8 @@ class Process:
 class Engine:
     """Deterministic discrete-event simulation engine."""
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+    def __init__(self, scheduler: "Scheduler | None" = None) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None], str | None]] = []
         self._seq = 0
         self._now = 0.0
         self.processes: list[Process] = []
@@ -96,6 +108,12 @@ class Engine:
         #: Callbacks returning extra context lines for deadlock reports
         #: (the NIC registers one describing outstanding ops / waiters).
         self.diagnostics: list[Callable[[], str]] = []
+        #: Same-timestamp tie-break policy; None = insertion order
+        #: (the bit-identical fast path).
+        self.scheduler = scheduler
+        #: Callbacks invoked after every executed event (invariant
+        #: oracles).  Must not mutate simulation state.
+        self.observers: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # clock & event queue
@@ -105,19 +123,26 @@ class Engine:
         """Current virtual time in seconds."""
         return self._now
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+    def schedule(self, delay: float, fn: Callable[[], None],
+                 actor: str | None = None) -> None:
         """Run ``fn()`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        self.at(self._now + delay, fn)
+        self.at(self._now + delay, fn, actor=actor)
 
-    def at(self, when: float, fn: Callable[[], None]) -> None:
-        """Run ``fn()`` at absolute virtual time ``when``."""
+    def at(self, when: float, fn: Callable[[], None],
+           actor: str | None = None) -> None:
+        """Run ``fn()`` at absolute virtual time ``when``.
+
+        ``actor`` names the logical owner of the event (a process or a
+        NIC unit) for schedule-exploration policies that prioritize by
+        actor; it never affects the default insertion-order tie-break.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self._now}"
             )
-        heapq.heappush(self._heap, (when, self._seq, fn))
+        heapq.heappush(self._heap, (when, self._seq, fn, actor))
         self._seq += 1
 
     # ------------------------------------------------------------------
@@ -133,7 +158,7 @@ class Engine:
         self.processes.append(proc)
         self._live += 1
         proc.waiting = True
-        self.at(self._now, lambda: self._step(proc, None))
+        self.at(self._now, lambda: self._step(proc, None), actor=proc.name)
         return proc
 
     def resume(self, proc: Process, value: Any = None, delay: float = 0.0) -> None:
@@ -142,7 +167,7 @@ class Engine:
             if proc.killed:
                 return  # stale wakeup for a fail-stopped process
             raise SimulationError(f"resume of finished process {proc.name}")
-        self.schedule(delay, lambda: self._step(proc, value))
+        self.schedule(delay, lambda: self._step(proc, value), actor=proc.name)
 
     def throw(self, proc: Process, exc: BaseException, delay: float = 0.0) -> None:
         """Raise ``exc`` inside ``proc`` after ``delay`` seconds."""
@@ -163,7 +188,7 @@ class Engine:
                 return
             self._dispatch(proc, req)
 
-        self.schedule(delay, _do)
+        self.schedule(delay, _do, actor=proc.name)
 
     def kill(self, proc: Process) -> None:
         """Fail-stop ``proc`` immediately (simulated PE crash).
@@ -220,9 +245,17 @@ class Engine:
         Returns the final virtual time.  Raises :class:`DeadlockError` if
         processes remain unfinished when the event queue empties — that
         means every live process is waiting on a resume nobody will send.
+
+        With a :attr:`scheduler` attached, same-timestamp events run in
+        the order the policy chooses (see :meth:`_run_scheduled`);
+        otherwise the insertion-order fast path below runs — byte for
+        byte the pre-exploration engine loop.
         """
+        if self.scheduler is not None:
+            return self._run_scheduled(until)
+        observers = self.observers
         while self._heap:
-            when, _, fn = self._heap[0]
+            when, _, fn, _actor = self._heap[0]
             if until is not None and when > until:
                 self._now = until
                 return self._now
@@ -230,6 +263,47 @@ class Engine:
             self._now = when
             self.events_processed += 1
             fn()
+            if observers:
+                for obs in observers:
+                    obs()
+        if self._live > 0:
+            raise DeadlockError(self._deadlock_report())
+        return self._now
+
+    def _run_scheduled(self, until: float | None) -> float:
+        """Exploration loop: the scheduler breaks same-timestamp ties.
+
+        Each iteration drains every event sharing the minimal timestamp
+        into a ready set (already in insertion order — the heap yields
+        equal times by sequence number), asks the policy which to run,
+        and pushes the rest back.  Events the chosen one schedules at the
+        same timestamp join the next iteration's ready set, so a policy
+        can interleave a fresh resume ahead of older pending events —
+        exactly the freedom a real unordered fabric has.
+        """
+        sched = self.scheduler
+        observers = self.observers
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            ready = [heapq.heappop(self._heap)]
+            while self._heap and self._heap[0][0] == when:
+                ready.append(heapq.heappop(self._heap))
+            if len(ready) == 1:
+                entry = ready[0]
+            else:
+                idx = sched.choose(when, ready)
+                entry = ready.pop(idx)
+                for other in ready:
+                    heapq.heappush(self._heap, other)
+            self._now = when
+            self.events_processed += 1
+            entry[2]()
+            if observers:
+                for obs in observers:
+                    obs()
         if self._live > 0:
             raise DeadlockError(self._deadlock_report())
         return self._now
@@ -248,6 +322,16 @@ class Engine:
             text = diag()
             if text:
                 lines.append(text)
+        if self.scheduler is not None:
+            # Embed the schedule identity so the hang is replayable as-is:
+            # feed the recorded choices to a ReplayScheduler (or the
+            # `repro explore --replay` CLI) to reproduce it.
+            lines.append(f"  scheduler: {self.scheduler.describe()}")
+            lines.append(
+                f"  schedule choices ({len(self.scheduler.choices)} decisions, "
+                f"last {min(32, len(self.scheduler.choices))} shown): "
+                f"{self.scheduler.choice_tail(32)}"
+            )
         return "\n".join(lines)
 
     def run_all(self, gens: Iterable[tuple[str, ProcessGen]]) -> float:

@@ -71,3 +71,20 @@ class FabricTimeoutError(FabricError):
 
 class ProtocolError(FabricError):
     """A queue protocol invariant was violated (corrupt metadata, etc.)."""
+
+
+class OracleViolation(ProtocolError):
+    """An invariant oracle caught a cross-PE protocol violation.
+
+    Raised by :mod:`repro.runtime.oracle` (and the queue classes' per-event
+    ``oracle_check`` hooks) during schedule exploration.  ``check`` names
+    the violated invariant; ``pe`` the owning PE (or ``None`` for global
+    invariants like task conservation).
+    """
+
+    def __init__(self, check: str, detail: str, pe: int | None = None) -> None:
+        where = f"PE {pe}: " if pe is not None else ""
+        super().__init__(f"[{check}] {where}{detail}")
+        self.check = check
+        self.pe = pe
+        self.detail = detail

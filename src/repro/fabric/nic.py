@@ -179,7 +179,7 @@ class Nic:
                 ),
             )
 
-        engine.at(deadline, fire)
+        engine.at(deadline, fire, actor=f"timer:pe{initiator}")
 
     def _deadlock_diagnostic(self) -> str:
         """Extra context for DeadlockError: outstanding ops per PE."""
@@ -239,10 +239,11 @@ class Nic:
                 )
                 value = apply()
                 back = self._one_way(target, initiator)
-                engine.at(done + back, lambda: engine._step(proc, value))
+                engine.at(done + back, lambda: engine._step(proc, value),
+                          actor=proc.name)
 
             if not lost:
-                engine.at(arrival, at_target)
+                engine.at(arrival, at_target, actor=f"nic.amo:pe{target}")
             if self.op_timeout is not None:
                 self._arm_timeout(engine, proc, state, initiator, target, kind)
 
@@ -271,9 +272,10 @@ class Nic:
             if lost:
                 # The descriptor still retires locally (in error), so
                 # quiet() completes; the remote word never changes.
-                engine.at(arrival, lambda: self._complete_nb(initiator))
+                engine.at(arrival, lambda: self._complete_nb(initiator),
+                          actor=f"nic.amo:pe{target}")
             else:
-                engine.at(arrival, at_target)
+                engine.at(arrival, at_target, actor=f"nic.amo:pe{target}")
             engine.resume(proc, None, delay=self.latency.alpha_sw)
 
         return Call(handler)
@@ -330,10 +332,11 @@ class Nic:
                     back = self._one_way(target, initiator)
                 else:
                     back = self._one_way(target, initiator) + stream
-                engine.at(done + back, lambda: engine._step(proc, value))
+                engine.at(done + back, lambda: engine._step(proc, value),
+                          actor=proc.name)
 
             if not lost:
-                engine.at(arrival, at_target)
+                engine.at(arrival, at_target, actor=f"nic.get:pe{target}")
             if self.op_timeout is not None:
                 self._arm_timeout(engine, proc, state, initiator, target, "get")
 
@@ -385,7 +388,7 @@ class Nic:
                 else:
                     done = engine.now
                 if done > engine.now:
-                    engine.at(done, write)
+                    engine.at(done, write, actor=f"nic.put:pe{target}")
                 else:
                     write()
                 return done
@@ -402,10 +405,11 @@ class Nic:
                         state["applied"] = True
                     done = apply_write()
                     back = self._one_way(target, initiator)
-                    engine.at(done + back, lambda: engine._step(proc, None))
+                    engine.at(done + back, lambda: engine._step(proc, None),
+                              actor=proc.name)
 
                 if not lost:
-                    engine.at(arrival, at_target)
+                    engine.at(arrival, at_target, actor=f"nic.put:pe{target}")
                 if self.op_timeout is not None:
                     self._arm_timeout(engine, proc, state, initiator, target, kind)
             else:
@@ -414,14 +418,17 @@ class Nic:
                 def at_target_nb() -> None:
                     done = apply_write()
                     if done > engine.now:
-                        engine.at(done, lambda: self._complete_nb(initiator))
+                        engine.at(done, lambda: self._complete_nb(initiator),
+                                  actor=f"nic.put:pe{target}")
                     else:
                         self._complete_nb(initiator)
 
                 if lost:
-                    engine.at(arrival, lambda: self._complete_nb(initiator))
+                    engine.at(arrival, lambda: self._complete_nb(initiator),
+                              actor=f"nic.put:pe{target}")
                 else:
-                    engine.at(arrival, at_target_nb)
+                    engine.at(arrival, at_target_nb,
+                              actor=f"nic.put:pe{target}")
                 engine.resume(proc, None, delay=inject)
 
         return Call(handler)
@@ -473,7 +480,7 @@ class Nic:
                     self.heap.write_bytes(target, region, offset, data)
 
                 if data_done > engine.now:
-                    engine.at(data_done, apply_data)
+                    engine.at(data_done, apply_data, actor=f"nic.put:pe{target}")
                 else:
                     apply_data()
                 # The signal queues behind the payload in the atomic unit;
@@ -488,14 +495,16 @@ class Nic:
                     self._complete_nb(initiator)
 
                 if sig_done > engine.now:
-                    engine.at(sig_done, apply_signal)
+                    engine.at(sig_done, apply_signal,
+                              actor=f"nic.amo:pe{target}")
                 else:
                     apply_signal()
 
             if lost:
-                engine.at(arrival, lambda: self._complete_nb(initiator))
+                engine.at(arrival, lambda: self._complete_nb(initiator),
+                          actor=f"nic.put:pe{target}")
             else:
-                engine.at(arrival, at_target)
+                engine.at(arrival, at_target, actor=f"nic.put:pe{target}")
             engine.resume(proc, None, delay=inject)
 
         return Call(handler)
@@ -537,7 +546,8 @@ class Nic:
                         ),
                     )
 
-                engine.at(engine.now + self.op_timeout, fire)
+                engine.at(engine.now + self.op_timeout, fire,
+                          actor=f"timer:pe{pe}")
 
         return Call(handler)
 

@@ -1,0 +1,354 @@
+"""Pluggable event schedulers: systematic exploration of steal races.
+
+The engine is deterministic: events at equal virtual timestamps pop in
+insertion order.  That determinism is what the reproduction's timing
+results rely on — but it also means every run explores exactly **one**
+interleaving of the racy window the paper's argument lives in (thief
+fetch-adds racing owner release/acquire and other thieves).  This module
+makes the same-timestamp tie-break a *policy*:
+
+:class:`FixedScheduler`
+    Insertion order — behaviourally identical to the engine's built-in
+    fast path (the default when no scheduler is attached).
+
+:class:`RandomScheduler`
+    Seeded uniform shuffle of every same-time ready set.
+
+:class:`PctScheduler`
+    PCT-style probabilistic concurrency testing: each actor (process or
+    NIC unit) gets a hashed priority; the highest-priority ready event
+    always runs, except at ``depth`` pre-drawn decision indices where the
+    current leader's priority is demoted below everyone — bounding the
+    number of "preemptions" needed to hit a bug of preemption depth d.
+
+:class:`DfsScheduler`
+    One branch of a bounded exhaustive DFS over same-time orderings:
+    follows a forced choice prefix, takes index 0 afterwards, and records
+    the width of every decision point so :func:`dfs_successor` can
+    enumerate the next branch.
+
+:class:`ReplayScheduler`
+    Bit-identical replay of a recorded choice sequence (and the engine of
+    a greedy shrinker — see :mod:`repro.analysis.explore`).
+
+Every scheduler records its **choice sequence**: one ``(index, width)``
+pair per *decision point* (a ready set with more than one event).  The
+sequence is the complete schedule identity — replaying it through
+:class:`ReplayScheduler` reproduces the run exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Policy names accepted by :func:`make_scheduler`.
+POLICIES = ("fixed", "random", "pct", "dfs", "replay")
+
+
+def _mix64(*parts: int) -> int:
+    """splitmix64-style deterministic hash of integer parts."""
+    z = 0x9E3779B97F4A7C15
+    for p in parts:
+        z = (z ^ (p & ((1 << 64) - 1))) * 0xBF58476D1CE4E5B9 & ((1 << 64) - 1)
+        z ^= z >> 31
+        z = (z * 0x94D049BB133111EB) & ((1 << 64) - 1)
+        z ^= z >> 29
+    return z
+
+
+class Scheduler:
+    """Base class: chooses among same-timestamp ready events.
+
+    Subclasses implement :meth:`_pick`; the base records the choice
+    sequence and exposes replay/diagnostic helpers.  ``ready`` entries
+    are engine heap tuples ``(when, seq, fn, actor)`` sorted by ``seq``
+    (insertion order), so index 0 always reproduces the default order.
+    """
+
+    #: Human-readable policy name (used in traces and deadlock reports).
+    name = "base"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        #: Recorded (choice index, ready-set width) per decision point.
+        self.choices: list[tuple[int, int]] = []
+        #: Decision points seen so far (== len(self.choices)).
+        self.decisions = 0
+
+    # -- policy ---------------------------------------------------------
+    def _pick(self, now: float, ready: Sequence[tuple]) -> int:
+        raise NotImplementedError
+
+    def choose(self, now: float, ready: Sequence[tuple]) -> int:
+        """Pick the index of the next event to run; records the choice."""
+        idx = self._pick(now, ready)
+        if not 0 <= idx < len(ready):
+            raise ValueError(
+                f"{self.name} scheduler chose {idx} of {len(ready)} ready events"
+            )
+        self.choices.append((idx, len(ready)))
+        self.decisions += 1
+        return idx
+
+    # -- diagnostics ----------------------------------------------------
+    def describe(self) -> str:
+        """One-line identity for deadlock reports and trace headers."""
+        return f"policy={self.name} seed={self.seed}"
+
+    def choice_tail(self, n: int = 32) -> str:
+        """The last ``n`` recorded choices, compactly rendered."""
+        tail = self.choices[-n:]
+        skipped = len(self.choices) - len(tail)
+        body = ",".join(f"{i}/{w}" for i, w in tail)
+        prefix = f"...[{skipped} earlier]," if skipped else ""
+        return f"[{prefix}{body}]"
+
+    def trace(self) -> "ScheduleTrace":
+        """Snapshot the recorded choice sequence as a replayable trace."""
+        return ScheduleTrace(
+            policy=self.name,
+            seed=self.seed,
+            choices=[i for i, _ in self.choices],
+            widths=[w for _, w in self.choices],
+        )
+
+
+class FixedScheduler(Scheduler):
+    """Insertion order — the engine's default tie-break as a policy."""
+
+    name = "fixed"
+
+    def _pick(self, now: float, ready: Sequence[tuple]) -> int:
+        return 0
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform choice at every decision point."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._rng = random.Random(_mix64(seed, 0x5EED))
+
+    def _pick(self, now: float, ready: Sequence[tuple]) -> int:
+        return self._rng.randrange(len(ready))
+
+
+class PctScheduler(Scheduler):
+    """PCT-style priority scheduling with ``depth`` demotion points.
+
+    Actors receive lazily assigned hashed priorities.  At each decision
+    point the ready event whose actor holds the highest priority runs.
+    ``depth`` demotion points are pre-drawn over the first
+    ``horizon`` decision indices; hitting one demotes the leading actor
+    below every existing priority, forcing a context switch exactly where
+    a depth-d bug needs one (Burckhardt et al.'s PCT, adapted to
+    same-time ready sets).
+    """
+
+    name = "pct"
+
+    def __init__(self, seed: int = 0, depth: int = 3, horizon: int = 4096) -> None:
+        super().__init__(seed)
+        if depth < 0:
+            raise ValueError(f"depth must be non-negative, got {depth}")
+        if horizon < 1:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.depth = depth
+        self.horizon = horizon
+        rng = random.Random(_mix64(seed, 0x9C7))
+        self._demote_at = set(rng.sample(range(horizon), min(depth, horizon)))
+        self._prio: dict[str, int] = {}
+        self._floor = 0  # descending counter for demoted actors
+
+    @staticmethod
+    def _actor_of(entry: tuple) -> str:
+        actor = entry[3] if len(entry) > 3 else None
+        return actor if actor else f"ev{entry[1]}"
+
+    def _priority(self, entry: tuple) -> int:
+        actor = self._actor_of(entry)
+        if actor not in self._prio:
+            # Stable digest (never Python's randomized str hash): PCT
+            # priorities must be identical across interpreter runs.
+            digest = _mix64(*actor.encode("utf-8"))
+            self._prio[actor] = _mix64(self.seed, digest)
+        return self._prio[actor]
+
+    def _pick(self, now: float, ready: Sequence[tuple]) -> int:
+        idx = max(range(len(ready)), key=lambda i: self._priority(ready[i]))
+        if self.decisions in self._demote_at:
+            self._floor -= 1
+            self._prio[self._actor_of(ready[idx])] = self._floor
+            idx = max(range(len(ready)), key=lambda i: self._priority(ready[i]))
+        return idx
+
+    def describe(self) -> str:
+        return f"policy=pct seed={self.seed} depth={self.depth}"
+
+
+class DfsScheduler(Scheduler):
+    """One branch of a bounded exhaustive DFS over same-time orderings.
+
+    Follows ``prefix`` at the first ``len(prefix)`` decision points, then
+    index 0 (default order).  After the run, :attr:`choices` holds the
+    full (choice, width) record; feed it to :func:`dfs_successor` to get
+    the next prefix in depth-first order, or ``None`` when the bounded
+    space is exhausted.
+    """
+
+    name = "dfs"
+
+    def __init__(self, prefix: Sequence[int] = (), max_depth: int = 16) -> None:
+        super().__init__(seed=0)
+        if max_depth < 0:
+            raise ValueError(f"max_depth must be non-negative, got {max_depth}")
+        self.prefix = list(prefix)
+        self.max_depth = max_depth
+
+    def _pick(self, now: float, ready: Sequence[tuple]) -> int:
+        if self.decisions < len(self.prefix):
+            # A replayed prefix choice may exceed this run's width if the
+            # divergence already changed the event population; clamp.
+            return min(self.prefix[self.decisions], len(ready) - 1)
+        return 0
+
+    def describe(self) -> str:
+        return f"policy=dfs prefix={self.prefix} max_depth={self.max_depth}"
+
+
+def dfs_successor(
+    choices: Sequence[tuple[int, int]], max_depth: int
+) -> list[int] | None:
+    """Next DFS prefix after a run that recorded ``choices``.
+
+    Only the first ``max_depth`` decision points are enumerated (the
+    bound that keeps the exhaustive search tractable); later decision
+    points always take the default order.  Returns ``None`` when every
+    bounded ordering has been visited.
+    """
+    bounded = list(choices[:max_depth])
+    while bounded:
+        idx, width = bounded[-1]
+        if idx + 1 < width:
+            return [i for i, _ in bounded[:-1]] + [idx + 1]
+        bounded.pop()
+    return None
+
+
+class ReplayScheduler(Scheduler):
+    """Replays a recorded choice sequence bit-identically.
+
+    Past the end of the trace (a shrunk prefix) it falls back to the
+    default insertion order.  ``strict`` additionally verifies the
+    ready-set width at every replayed decision point, catching traces
+    replayed against a different workload/seed.
+    """
+
+    name = "replay"
+
+    def __init__(
+        self,
+        trace: "ScheduleTrace | Sequence[int]",
+        strict: bool = False,
+    ) -> None:
+        if isinstance(trace, ScheduleTrace):
+            self._replay = list(trace.choices)
+            self._widths = list(trace.widths) if trace.widths else None
+            seed = trace.seed
+        else:
+            self._replay = list(trace)
+            self._widths = None
+            seed = 0
+        super().__init__(seed)
+        self.strict = strict
+
+    def _pick(self, now: float, ready: Sequence[tuple]) -> int:
+        d = self.decisions
+        if d >= len(self._replay):
+            return 0
+        if self.strict and self._widths is not None and d < len(self._widths):
+            if self._widths[d] != len(ready):
+                raise ScheduleDivergence(
+                    f"replay diverged at decision {d}: recorded width "
+                    f"{self._widths[d]}, live width {len(ready)}"
+                )
+        return min(self._replay[d], len(ready) - 1)
+
+    def describe(self) -> str:
+        return f"policy=replay len={len(self._replay)}"
+
+
+class ScheduleDivergence(RuntimeError):
+    """A strict replay met a ready set shaped unlike the recording."""
+
+
+@dataclass
+class ScheduleTrace:
+    """A compact, serializable identity of one explored schedule.
+
+    ``choices`` alone reproduces the run; ``widths`` (optional) enables
+    strict replay validation; ``meta`` carries workload parameters so a
+    trace file is a self-contained repro recipe.
+    """
+
+    policy: str
+    seed: int
+    choices: list[int]
+    widths: list[int] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def replayer(self, strict: bool = False) -> ReplayScheduler:
+        """Build a scheduler that reproduces this trace."""
+        return ReplayScheduler(self, strict=strict)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document (one trace per file)."""
+        return json.dumps(
+            {
+                "format": "repro.schedule-trace/1",
+                "policy": self.policy,
+                "seed": self.seed,
+                "choices": self.choices,
+                "widths": self.widths,
+                "meta": self.meta,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleTrace":
+        """Parse a trace produced by :meth:`to_json`."""
+        doc = json.loads(text)
+        if doc.get("format") != "repro.schedule-trace/1":
+            raise ValueError(f"not a schedule trace: format={doc.get('format')!r}")
+        return cls(
+            policy=doc["policy"],
+            seed=int(doc["seed"]),
+            choices=[int(c) for c in doc["choices"]],
+            widths=[int(w) for w in doc.get("widths", [])],
+            meta=doc.get("meta", {}),
+        )
+
+
+def make_scheduler(policy: str, seed: int = 0, **kwargs) -> Scheduler:
+    """Factory: build a scheduler from a policy name.
+
+    ``kwargs`` forward to the policy constructor (``depth``/``horizon``
+    for pct, ``prefix``/``max_depth`` for dfs, ``trace`` for replay).
+    """
+    if policy == "fixed":
+        return FixedScheduler(seed)
+    if policy == "random":
+        return RandomScheduler(seed)
+    if policy == "pct":
+        return PctScheduler(seed, **kwargs)
+    if policy == "dfs":
+        return DfsScheduler(**kwargs)
+    if policy == "replay":
+        return ReplayScheduler(**kwargs)
+    raise ValueError(f"unknown scheduler policy {policy!r}; valid: {POLICIES}")

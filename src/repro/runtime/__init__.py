@@ -1,5 +1,6 @@
 """Scioto-model task-parallel runtime over the work-stealing queues."""
 
+from .oracle import PoolOracle
 from .pool import IMPLEMENTATIONS, TaskPool, run_pool
 from .registry import TaskContext, TaskFn, TaskOutcome, TaskRegistry
 from .stats import RunStats, WorkerStats
@@ -31,6 +32,7 @@ __all__ = [
     "TaskPool",
     "run_pool",
     "IMPLEMENTATIONS",
+    "PoolOracle",
     "TaskRegistry",
     "TaskContext",
     "TaskOutcome",

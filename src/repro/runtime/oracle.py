@@ -1,0 +1,202 @@
+"""Cross-PE invariant oracles for schedule exploration.
+
+A :class:`PoolOracle` attaches to a :class:`~repro.runtime.pool.TaskPool`
+as an engine *observer*: after **every** discrete event it re-checks the
+protocol invariants whose violation would mean the steal protocol lost,
+duplicated, or corrupted work — exactly the failure modes a racy
+interleaving of the paper's fused fetch-add window would produce:
+
+* **per-PE structural sanity** — each queue's ``oracle_check`` hook:
+  index ordering, capacity, stealval field ranges, stealval/record
+  agreement, epoch accounting (``folded <= claims <= schedule length``);
+* **completion-array discipline** — every completion word may only make
+  the transitions ``0 -> volume`` (one thief's notification, where the
+  steal-half schedule fixes the legal volume), ``volume -> 0`` (owner
+  reclaim/turnover) or stay put.  Two thieves claiming the same block
+  both add into the same slot, so a **double-claim** surfaces as a
+  nonzero-to-different-nonzero transition the instant the second
+  notification lands;
+* **attempted-steal monotonicity** — within one stealval publication the
+  asteals counter may only grow (a shrink means a lost increment);
+* **task conservation** — tasks resident in queues never exceed
+  ``spawned - executed`` globally (each event), and at termination the
+  books balance exactly: every spawned task executed exactly once and
+  every queue drained.
+
+All checks are read-only; the oracle never perturbs the simulation, so a
+clean run under the oracle is bit-identical to the same run without it.
+Violations raise :class:`~repro.fabric.errors.OracleViolation`, which the
+exploration driver (:mod:`repro.analysis.explore`) pairs with the
+scheduler's recorded choice sequence into a replayable failure trace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..fabric.errors import OracleViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pool import TaskPool
+
+
+class PoolOracle:
+    """Invariant oracle over every PE of one task pool.
+
+    Construct with the pool, then register :meth:`check` as an engine
+    observer (``TaskPool(oracle=True)`` does both).  ``stride`` checks
+    every N-th event for long runs; the default checks every event.
+    """
+
+    def __init__(self, pool: "TaskPool", stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.pool = pool
+        self.stride = stride
+        self.queues = [w.driver.queue for w in pool.workers]
+        self.workers = pool.workers
+        #: Violations would raise before incrementing, so this counts
+        #: clean sweeps — a cheap "the oracle really ran" signal.
+        self.checks_passed = 0
+        self._events = 0
+        # Cross-event tracking state, per PE.
+        self._prev_comp: list[list[int] | None] = [None] * pool.npes
+        self._prev_sv: list[tuple | None] = [None] * pool.npes
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Run after one engine event; raises :class:`OracleViolation`."""
+        self._events += 1
+        if self._events % self.stride:
+            return
+        faults = self.pool.ctx.faults
+        now = self.pool.ctx.engine.now
+        for q in self.queues:
+            if faults is not None and faults.is_dead(q.rank, now):
+                continue  # a fail-stopped PE's memory is moot
+            q.oracle_check()
+            self._check_comp_transitions(q)
+            self._check_asteals_monotone(q)
+        if faults is None:
+            self._check_conservation()
+        self.checks_passed += 1
+
+    def check_final(self) -> None:
+        """End-of-run books: exact conservation, drained queues."""
+        if self.pool.ctx.faults is not None:
+            return  # abandoned steals legitimately break conservation
+        spawned = sum(w.stats.tasks_spawned for w in self.workers)
+        executed = sum(w.stats.tasks_executed for w in self.workers)
+        if spawned != executed:
+            raise OracleViolation(
+                "conservation-final",
+                f"{spawned} tasks spawned but {executed} executed "
+                f"({spawned - executed} lost or duplicated)",
+            )
+        for w in self.workers:
+            drv = w.driver
+            if drv.local_count or drv.stealable_remaining:
+                raise OracleViolation(
+                    "drain-final",
+                    f"queue not empty at termination: local={drv.local_count} "
+                    f"stealable={drv.stealable_remaining}",
+                    pe=w.rank,
+                )
+
+    # ------------------------------------------------------------------
+    def _check_comp_transitions(self, q) -> None:
+        """Completion words: written once per steal, with the legal volume."""
+        words = q.oracle_comp_words()
+        prev = self._prev_comp[q.rank]
+        expected = q.oracle_comp_expected()
+        qsize = q.cfg.qsize
+        for off, val in enumerate(words):
+            old = prev[off] if prev is not None else 0
+            if val == old:
+                continue
+            if val == 0:
+                continue  # owner reclaim / epoch turnover
+            if old != 0:
+                raise OracleViolation(
+                    "double-claim",
+                    f"completion word {off} jumped {old} -> {val}: two "
+                    f"thieves notified the same steal slot",
+                    pe=q.rank,
+                )
+            if expected is None:
+                if not 1 <= val <= qsize:
+                    raise OracleViolation(
+                        "comp-volume-range",
+                        f"completion word {off} holds {val}, outside "
+                        f"[1, {qsize}]",
+                        pe=q.rank,
+                    )
+            elif expected.get(off) != val:
+                raise OracleViolation(
+                    "comp-volume",
+                    f"completion word {off} holds {val}; the steal-half "
+                    f"schedule allows {expected.get(off, 'nothing')}",
+                    pe=q.rank,
+                )
+        self._prev_comp[q.rank] = words
+
+    def _check_asteals_monotone(self, q) -> None:
+        """asteals only grows within one stealval publication."""
+        sv = self._stealval_view(q)
+        if sv is None:
+            return
+        key, asteals = sv
+        prev = self._prev_sv[q.rank]
+        if prev is not None and prev[0] == key and asteals < prev[1]:
+            raise OracleViolation(
+                "asteals-monotone",
+                f"attempted-steal counter shrank {prev[1]} -> {asteals} "
+                f"within publication {key}",
+                pe=q.rank,
+            )
+        self._prev_sv[q.rank] = (key, asteals)
+
+    @staticmethod
+    def _stealval_view(q) -> tuple | None:
+        """(publication key, asteals) for the SWS family; None for SDC.
+
+        The key includes the owner's monotone publication counter, so two
+        different allotments that happen to advertise identical
+        (epoch, itasks, tail) fields are never conflated — without it, an
+        asteals reset across such a re-publication would look like a lost
+        increment.
+        """
+        from ..core.stealval import StealValEpoch, StealValV1
+        from ..core.sws_queue import SwsQueue
+        from ..core.sws_v1_queue import SwsV1Queue
+
+        if isinstance(q, SwsQueue):
+            v = StealValEpoch.unpack(q._load_stealval())
+            if v.locked:
+                return None
+            return ("epoch", q.publications), v.asteals
+        if isinstance(q, SwsV1Queue):
+            from ..core.sws_v1_queue import META_REGION, STEALVAL
+
+            v = StealValV1.unpack(q.pe.local_load(META_REGION, STEALVAL))
+            if not v.valid:
+                return None
+            return ("v1", q.publications), v.asteals
+        return None
+
+    def _check_conservation(self) -> None:
+        """Resident tasks can never exceed spawned - executed."""
+        spawned = sum(w.stats.tasks_spawned for w in self.workers)
+        executed = sum(w.stats.tasks_executed for w in self.workers)
+        resident = sum(
+            w.driver.local_count + w.driver.stealable_remaining
+            for w in self.workers
+        )
+        if resident > spawned - executed:
+            raise OracleViolation(
+                "conservation",
+                f"{resident} tasks resident in queues but only "
+                f"{spawned - executed} unexecuted exist "
+                f"(spawned={spawned}, executed={executed}): work was "
+                f"duplicated",
+            )

@@ -27,7 +27,9 @@ from ..core.sws_queue import SwsQueueSystem
 from ..core.sws_v1_queue import SwsV1QueueSystem
 from ..fabric.faults import FaultPlan
 from ..fabric.latency import EDR_INFINIBAND, LatencyModel
+from ..fabric.scheduler import Scheduler, make_scheduler
 from ..shmem.api import ShmemCtx
+from .oracle import PoolOracle
 from .inbox import InboxSystem
 from .lifeline import LifelineConfig, LifelineSystem
 from .registry import TaskRegistry
@@ -64,6 +66,8 @@ class TaskPool:
         fault_plan: FaultPlan | None = None,
         op_timeout: float | None = None,
         token_timeout: float | None = None,
+        scheduler: Scheduler | str | None = None,
+        oracle: bool | PoolOracle = False,
     ) -> None:
         if impl not in IMPLEMENTATIONS:
             raise ValueError(f"impl must be one of {IMPLEMENTATIONS}, got {impl!r}")
@@ -105,12 +109,17 @@ class TaskPool:
         self.fault_plan = fault_plan if faulty else None
         self.op_timeout = op_timeout
 
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler, seed=seed)
+        self.scheduler = scheduler
+
         self.ctx = ShmemCtx(
             npes,
             latency=latency,
             pes_per_node=pes_per_node,
             fault_plan=fault_plan,
             op_timeout=op_timeout,
+            scheduler=scheduler,
         )
         if impl == "sws":
             self.queue_system = SwsQueueSystem(self.ctx, self.queue_config)
@@ -189,6 +198,12 @@ class TaskPool:
                     seed=seed,
                 )
             )
+        if isinstance(oracle, PoolOracle):
+            self.oracle: PoolOracle | None = oracle
+        else:
+            self.oracle = PoolOracle(self) if oracle else None
+        if self.oracle is not None:
+            self.ctx.engine.observers.append(self.oracle.check)
         self._ran = False
 
     def seed(self, rank: int, tasks: list[Task]) -> None:
@@ -218,6 +233,8 @@ class TaskPool:
             if faults is not None and faults.is_dead(w.rank, end):
                 continue  # a fail-stopped PE's mid-protocol state is moot
             w.driver.queue.invariants()
+        if self.oracle is not None:
+            self.oracle.check_final()
         for w in self.workers:
             w.stats.locks_recovered = getattr(w.driver.queue, "locks_recovered", 0)
             if isinstance(w.selector, QuarantineSelector):

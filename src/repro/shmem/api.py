@@ -23,6 +23,7 @@ from ..fabric.latency import EDR_INFINIBAND, LatencyModel
 from ..fabric.memory import SymmetricHeap
 from ..fabric.metrics import FabricMetrics
 from ..fabric.nic import Nic
+from ..fabric.scheduler import Scheduler
 from ..fabric.topology import Topology
 
 
@@ -33,6 +34,11 @@ class ShmemCtx:
     (exposed as ``ctx.faults``) when the plan is active; ``op_timeout``
     bounds every blocking fabric call (see :class:`~repro.fabric.nic.Nic`).
     Both default to off, leaving the fabric perfectly reliable.
+
+    ``scheduler`` attaches a schedule-exploration policy
+    (:mod:`repro.fabric.scheduler`) that breaks same-timestamp event
+    ties; ``None`` keeps the engine's bit-identical insertion-order
+    fast path.
     """
 
     def __init__(
@@ -44,9 +50,10 @@ class ShmemCtx:
         jitter_seed: int = 0,
         fault_plan: FaultPlan | None = None,
         op_timeout: float | None = None,
+        scheduler: Scheduler | None = None,
     ) -> None:
         self.npes = npes
-        self.engine = Engine()
+        self.engine = Engine(scheduler=scheduler)
         self.heap = SymmetricHeap(npes)
         self.topology = Topology(npes, pes_per_node=pes_per_node)
         self.metrics = FabricMetrics(npes, trace=trace_comm)

@@ -1,0 +1,4 @@
+"""Schedule-exploration suite: interleaving fuzzing under the oracle.
+
+Run alone with ``make schedules`` or ``pytest -m schedules``.
+"""

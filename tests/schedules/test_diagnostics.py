@@ -1,0 +1,54 @@
+"""DeadlockError diagnostics embed the schedule identity (policy, seed,
+recorded choices), making any explored hang replayable straight from the
+error text.
+"""
+
+import pytest
+
+from repro.fabric.engine import Call, Delay, Engine
+from repro.fabric.errors import DeadlockError
+from repro.fabric.scheduler import make_scheduler
+
+pytestmark = pytest.mark.schedules
+
+
+def _stuck():
+    yield Delay(1.0)
+    yield Call(lambda engine, proc: None)  # handler never resumes us
+
+
+def test_deadlock_report_names_schedule():
+    sched = make_scheduler("random", seed=5)
+    eng = Engine(scheduler=sched)
+    # Two same-time processes force at least one recorded decision.
+    eng.spawn(_stuck(), "stuck-a")
+    eng.spawn(_stuck(), "stuck-b")
+    with pytest.raises(DeadlockError) as exc:
+        eng.run()
+    msg = str(exc.value)
+    assert "stuck-a" in msg and "stuck-b" in msg
+    assert "scheduler: policy=random seed=5" in msg
+    assert "schedule choices" in msg
+    assert sched.decisions >= 1
+    # The rendered tail is the replay recipe: one idx/width per decision.
+    assert f"{sched.choices[-1][0]}/{sched.choices[-1][1]}" in msg
+
+
+def test_deadlock_report_without_scheduler_unchanged():
+    eng = Engine()
+    eng.spawn(_stuck(), "stuck")
+    with pytest.raises(DeadlockError) as exc:
+        eng.run()
+    msg = str(exc.value)
+    assert "stuck" in msg
+    assert "scheduler:" not in msg
+
+
+def test_choice_tail_truncates():
+    sched = make_scheduler("fixed")
+    entries = [(0.0, i, lambda: None, None) for i in range(2)]
+    for _ in range(40):
+        sched.choose(0.0, entries)
+    tail = sched.choice_tail(32)
+    assert tail.startswith("[...[8 earlier],")
+    assert tail.count("0/2") == 32

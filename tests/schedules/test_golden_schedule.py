@@ -1,0 +1,64 @@
+"""Golden regression: the paper's §4 steal-half schedule for 150 tasks.
+
+For an initial allotment of 150 tasks the static steal-half schedule is
+{75, 37, 19, 9, 5, 2, 1, 1, 1} — the worked example in §4.  Because the
+schedule is a pure function of (itasks, asteals), the observed per-steal
+volumes must be exactly this sequence under *every* scheduler policy:
+tie-break exploration may reorder events, but it must never perturb the
+claim arithmetic.
+"""
+
+import pytest
+
+from repro.core.config import QueueConfig
+from repro.core.results import StealStatus
+from repro.core.steal_half import max_steals, schedule
+from repro.core.sws_queue import SwsQueueSystem
+from repro.core.sws_v1_queue import SwsV1QueueSystem
+from repro.fabric.engine import Delay
+from repro.fabric.scheduler import make_scheduler
+from repro.shmem.api import ShmemCtx
+
+from ..conftest import TEST_LAT, rec, run_procs
+
+pytestmark = pytest.mark.schedules
+
+GOLDEN_150 = [75, 37, 19, 9, 5, 2, 1, 1, 1]
+
+
+def test_schedule_function_matches_paper_example():
+    assert schedule(150) == GOLDEN_150
+    assert sum(GOLDEN_150) == 150
+    assert max_steals(150) == len(GOLDEN_150)
+
+
+@pytest.mark.parametrize("policy", ["fixed", "random", "pct", "dfs"])
+@pytest.mark.parametrize("system_cls", [SwsQueueSystem, SwsV1QueueSystem])
+def test_golden_volumes_under_every_policy(system_cls, policy):
+    cfg = QueueConfig(qsize=512, task_size=16)
+    ctx = ShmemCtx(2, latency=TEST_LAT,
+                   scheduler=make_scheduler(policy, seed=1))
+    system = system_cls(ctx, cfg)
+    victim_q = system.handle(0)
+    thief_q = system.handle(1)
+    volumes = []
+
+    def victim():
+        # 300 enqueued; release exposes half: a 150-task allotment.
+        for i in range(300):
+            victim_q.enqueue(rec(i))
+        yield from victim_q.release()
+
+    def thief():
+        # Start well after the release has landed: a pre-publication
+        # fetch-add would burn a steal attempt against the stale word.
+        yield Delay(50e-6)
+        while True:
+            result = yield from thief_q.steal(0)
+            if result.status is not StealStatus.STOLEN:
+                return result.status
+            volumes.append(result.ntasks)
+
+    _, status = run_procs(ctx, victim(), thief(), names=["victim", "thief"])
+    assert status is StealStatus.EMPTY
+    assert volumes == GOLDEN_150
