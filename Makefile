@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos schedules explore bench experiments experiments-full examples clean
+.PHONY: install test chaos schedules explore bench bench-fast bench-baseline experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -24,7 +24,21 @@ explore:
 	    --out results/schedules
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	mkdir -p results
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+	    --benchmark-json=results/benchmarks.json
+
+# Parallel cached sweep over the bench scenarios; emits BENCH_fabric.json
+# and fails on a >20% events/sec regression vs the committed baseline
+# (see docs/performance.md).
+bench-fast:
+	$(PYTHON) -m repro sweep --out BENCH_fabric.json \
+	    --baseline benchmarks/BENCH_baseline.json
+
+# Refresh the committed baseline (run on a quiet machine, then commit).
+bench-baseline:
+	$(PYTHON) -m repro sweep --refresh --no-cache \
+	    --out benchmarks/BENCH_baseline.json
 
 experiments:
 	$(PYTHON) -m repro.analysis.cli --exp all --scale quick

@@ -8,11 +8,16 @@ Subcommands::
     python -m repro explore [--workload W] [--impl I] [--policy P]
                             [--seeds N] [--dfs-depth D] [--out DIR]
     python -m repro replay TRACE.json [--strict] [--shrink]
+    python -m repro sweep [--scenarios S] [--jobs N] [--out FILE]
+                          [--baseline FILE] [--matrix ...]
 
 ``explore`` sweeps same-timestamp event orderings under the invariant
 oracle and writes every failing schedule as a replayable JSON trace;
 ``replay`` re-executes such a trace bit-identically (the local half of
-the CI-artifact-to-repro workflow; see docs/testing.md).
+the CI-artifact-to-repro workflow; see docs/testing.md); ``sweep`` fans
+deterministic bench scenarios / matrix cells across a process pool with
+an on-disk result cache and emits ``BENCH_fabric.json`` (see
+docs/performance.md).
 """
 
 from __future__ import annotations
@@ -106,6 +111,75 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.sweep import (
+        BENCH_SCENARIOS,
+        ResultCache,
+        SweepJob,
+        bench_report,
+        check_regressions,
+        run_jobs,
+    )
+
+    jobs: list[SweepJob] = []
+    if args.matrix:
+        impls = args.impls.split(",")
+        trees = args.workloads.split(",")
+        npes_list = [int(n) for n in args.npes.split(",")]
+        for tree in trees:
+            for impl in impls:
+                for npes in npes_list:
+                    for seed in range(args.seed_base, args.seed_base + args.seeds):
+                        jobs.append(SweepJob.cell(tree, impl, npes, seed))
+    else:
+        names = (
+            BENCH_SCENARIOS if args.scenarios == "all"
+            else tuple(args.scenarios.split(","))
+        )
+        jobs = [SweepJob.bench(name, args.scale) for name in names]
+
+    cache = None if args.no_cache else ResultCache(args.cache)
+    outcome = run_jobs(
+        jobs,
+        workers=args.jobs,
+        cache=cache,
+        refresh=args.refresh,
+        progress=print if not args.quiet else None,
+    )
+    print(
+        f"\n{len(jobs)} job(s): {outcome.hits} cached, "
+        f"{len(jobs) - outcome.hits} ran ({outcome.mode}, "
+        f"{outcome.workers} worker(s)), {outcome.wall_s:.2f}s wall, "
+        f"code {outcome.code_version}"
+    )
+
+    if not args.matrix:
+        report = bench_report(outcome)
+        for name, s in sorted(report["scenarios"].items()):
+            tag = " (cached)" if s["cached"] else ""
+            print(
+                f"  {name:8s} {s['wall_s']:8.3f}s  {s['events']:>9d} events"
+                f"  {s['events_per_sec']:>12,.0f} ev/s{tag}"
+            )
+        if args.out:
+            Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True))
+            print(f"wrote {args.out}")
+        if args.baseline:
+            baseline = json.loads(Path(args.baseline).read_text())
+            problems = check_regressions(report, baseline, args.gate_threshold)
+            if problems:
+                print(f"\nFAIL: {len(problems)} perf regression(s) "
+                      f"vs {args.baseline}:")
+                for p in problems:
+                    print(f"  {p}")
+                return 1
+            print(f"regression gate clean vs {args.baseline} "
+                  f"(threshold {args.gate_threshold:.0%})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -146,6 +220,44 @@ def main(argv: list[str] | None = None) -> int:
     p_rp.add_argument("--out", default=None,
                       help="write the shrunk trace here")
     p_rp.set_defaults(fn=_cmd_replay)
+
+    p_sw = sub.add_parser(
+        "sweep", help="fan deterministic runs across processes, with caching"
+    )
+    p_sw.add_argument("--scenarios", default="all",
+                      help="comma-separated experiment ids, or 'all' "
+                           "(the bench_fig* set)")
+    p_sw.add_argument("--scale", default="quick", choices=("quick", "full"))
+    p_sw.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: nproc, capped at 2 "
+                           "under CI; REPRO_SWEEP_SERIAL=1 forces serial)")
+    p_sw.add_argument("--cache", default="results/sweep-cache",
+                      help="result-cache directory")
+    p_sw.add_argument("--no-cache", action="store_true",
+                      help="neither read nor write the cache")
+    p_sw.add_argument("--refresh", action="store_true",
+                      help="ignore cached results but still store fresh ones")
+    p_sw.add_argument("--out", default=None, metavar="FILE",
+                      help="write the BENCH_fabric.json report here")
+    p_sw.add_argument("--baseline", default=None, metavar="FILE",
+                      help="committed baseline report to gate against")
+    p_sw.add_argument("--gate-threshold", type=float, default=0.20,
+                      help="relative events/sec drop that fails the gate")
+    p_sw.add_argument("--quiet", action="store_true",
+                      help="suppress per-job progress lines")
+    p_sw.add_argument("--matrix", action="store_true",
+                      help="run a seed×impl×workload matrix instead of "
+                           "bench scenarios")
+    p_sw.add_argument("--workloads", default="test_tiny",
+                      help="matrix: comma-separated named UTS trees")
+    p_sw.add_argument("--impls", default="sdc,sws",
+                      help="matrix: comma-separated queue impls")
+    p_sw.add_argument("--npes", default="4",
+                      help="matrix: comma-separated PE counts")
+    p_sw.add_argument("--seeds", type=int, default=3,
+                      help="matrix: seeds per cell")
+    p_sw.add_argument("--seed-base", type=int, default=100)
+    p_sw.set_defaults(fn=_cmd_sweep)
 
     # main() with no argv is the library entry point (and the historic
     # behaviour): run the demo, never read sys.argv.

@@ -4,11 +4,24 @@ A sweep runs one workload under both queue implementations across a list
 of PE counts, repeating each cell with different seeds (the paper
 averages 10 runs per point; seeds here perturb victim selection, the
 physical source of run-to-run variance on the real cluster).
+
+The second half of this module is the **fan-out runner** behind
+``python -m repro sweep``: every run in this simulator is deterministic
+and independent, so bench scenarios and seed×impl×workload matrix cells
+fan out across a :class:`~concurrent.futures.ProcessPoolExecutor` and
+land in a content-addressed on-disk cache keyed by
+``(job spec, code version)`` — a job re-runs only when its inputs or the
+simulator sources change.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from ..core.config import QueueConfig
@@ -88,3 +101,351 @@ def run_sweep(factory: WorkloadFactory, cfg: SweepConfig | None = None) -> list[
                 stats = run_point(factory, impl, npes, seed, cfg)
                 points.append(SweepPoint(impl, npes, rep, seed, stats))
     return points
+
+
+# ======================================================================
+# Fan-out runner: parallel deterministic jobs + content-addressed cache
+# ======================================================================
+
+#: The bench scenarios ``repro sweep`` measures by default — one per
+#: ``benchmarks/bench_fig*.py`` figure regeneration.
+BENCH_SCENARIOS: tuple[str, ...] = ("fig2", "fig34", "fig5", "fig6", "fig7", "fig8")
+
+#: Default on-disk cache location (relative to the invoking directory).
+DEFAULT_CACHE_DIR = "results/sweep-cache"
+
+#: Environment switch forcing serial execution regardless of ``--jobs``.
+SERIAL_ENV = "REPRO_SWEEP_SERIAL"
+
+
+def code_version() -> str:
+    """Content hash of the simulator sources (12 hex chars).
+
+    Hashes every ``.py`` file under ``src/repro`` (path + bytes), so any
+    source change — even whitespace — invalidates all cached results.
+    Deliberately coarse: correctness over cleverness.
+    """
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One deterministic, independently executable unit of work.
+
+    ``kind`` is ``"bench"`` (regenerate one experiment scenario) or
+    ``"cell"`` (one TaskPool run of a named UTS tree).  The frozen spec
+    is the cache identity — two jobs with equal specs are the same job.
+    """
+
+    kind: str
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def bench(cls, exp_id: str, scale: str = "quick") -> "SweepJob":
+        """A bench scenario: run one registered experiment."""
+        return cls("bench", exp_id, (("scale", scale),))
+
+    @classmethod
+    def cell(cls, tree: str, impl: str, npes: int, seed: int) -> "SweepJob":
+        """One matrix cell: a named UTS tree under one impl/npes/seed."""
+        return cls(
+            "cell", tree, (("impl", impl), ("npes", npes), ("seed", seed))
+        )
+
+    def spec(self) -> dict:
+        """JSON-ready canonical description."""
+        out = {"kind": self.kind, "name": self.name}
+        out.update(self.params)
+        return out
+
+    def key(self, version: str) -> str:
+        """Content address: hash of the canonical spec + code version."""
+        blob = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(f"{version}|{blob}".encode()).hexdigest()[:32]
+
+    def label(self) -> str:
+        """Short human-readable name for progress lines."""
+        if self.kind == "bench":
+            return self.name
+        p = dict(self.params)
+        return f"{self.name}/{p.get('impl')}/n{p.get('npes')}/s{p.get('seed')}"
+
+
+def _json_safe(value):
+    """Coerce experiment row values to JSON-stable primitives."""
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def run_job(spec: dict) -> dict:
+    """Execute one job spec; returns ``{"payload": ..., "meta": ...}``.
+
+    Module-level (picklable) so :class:`ProcessPoolExecutor` workers can
+    run it.  The *payload* is a pure function of the spec and the code
+    version — byte-identical whether the job ran serially, in a pool
+    worker, or was replayed from cache.  Wall time and events/sec live
+    in *meta* and are measurement metadata, not identity.
+    """
+    from ..fabric import engine as fabric_engine
+
+    fabric_engine.reset_event_tally()
+    t0 = time.perf_counter()
+    if spec["kind"] == "bench":
+        from .experiments import run_experiment
+
+        result = run_experiment(spec["name"], spec.get("scale", "quick"))
+        payload = {
+            "exp_id": result.exp_id,
+            "headers": list(result.headers),
+            "rows": [[_json_safe(v) for v in row] for row in result.rows],
+        }
+    elif spec["kind"] == "cell":
+        stats = _run_cell(spec)
+        payload = {
+            "summary": {k: _json_safe(v) for k, v in sorted(stats.summary().items())}
+        }
+    else:
+        raise ValueError(f"unknown job kind {spec['kind']!r}")
+    wall = time.perf_counter() - t0
+    events = fabric_engine.events_tally()
+    return {
+        "payload": payload,
+        "meta": {
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": (events / wall) if wall > 0 else 0.0,
+        },
+    }
+
+
+def _run_cell(spec: dict) -> "RunStats":
+    """One matrix cell: a named UTS tree through :func:`run_point`."""
+    from ..runtime.registry import TaskRegistry
+    from ..workloads.uts import UtsWorkload, get_tree
+
+    tree = get_tree(spec["name"])
+
+    def factory() -> tuple[TaskRegistry, list[Task]]:
+        reg = TaskRegistry()
+        wl = UtsWorkload(reg, tree)
+        return reg, [wl.seed_task()]
+
+    return run_point(
+        factory, spec["impl"], int(spec["npes"]), int(spec["seed"]), SweepConfig()
+    )
+
+
+class ResultCache:
+    """Content-addressed store of completed job records.
+
+    One JSON file per key under ``root``; writes are atomic (tmp file +
+    rename) so a killed run never leaves a truncated record, and corrupt
+    or unreadable entries degrade to cache misses.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, record: dict) -> Path:
+        """Atomically persist one record."""
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True, indent=1))
+        tmp.replace(path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+def resolve_jobs(requested: int | None = None) -> int:
+    """Worker-count policy for the fan-out pool.
+
+    Priority: ``REPRO_SWEEP_SERIAL=1`` forces 1; an explicit request
+    wins next; under ``CI`` default to at most 2 (shared runners); else
+    use the machine's core count.
+    """
+    if os.environ.get(SERIAL_ENV, "") not in ("", "0"):
+        return 1
+    ncpu = os.cpu_count() or 1
+    if requested is not None:
+        return max(1, requested)
+    if os.environ.get("CI", "") not in ("", "0", "false"):
+        return min(2, ncpu)
+    return ncpu
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one fan-out run produced."""
+
+    records: list[dict]      # aligned with the submitted jobs
+    code_version: str
+    mode: str                # "serial" | "pool"
+    workers: int             # workers actually used
+    hits: int                # jobs served from cache
+    wall_s: float            # whole fan-out wall time
+
+
+def run_jobs(
+    jobs: list[SweepJob],
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    refresh: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> SweepOutcome:
+    """Run every job, fanning across processes and consulting the cache.
+
+    Cache hits (matching key *and* code version) are returned without
+    re-execution.  The pool degrades gracefully: if the executor cannot
+    start or dies (sandboxes without semaphores, single-core boxes, a
+    killed worker), remaining jobs fall back to in-process serial
+    execution — the payloads are identical either way.
+    """
+    t_start = time.perf_counter()
+    version = code_version()
+    say = progress or (lambda _msg: None)
+    records: list[dict | None] = [None] * len(jobs)
+    keys = [job.key(version) for job in jobs]
+    hits = 0
+    pending: list[int] = []
+    for i, job in enumerate(jobs):
+        hit = None if (cache is None or refresh) else cache.get(keys[i])
+        if hit is not None and hit.get("code_version") == version:
+            hit = dict(hit)
+            hit["cached"] = True
+            records[i] = hit
+            hits += 1
+            say(f"cached  {job.label()}")
+        else:
+            pending.append(i)
+
+    nworkers = min(resolve_jobs(workers), max(1, len(pending)))
+    mode = "serial"
+    if nworkers > 1 and pending:
+        try:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+
+            with ProcessPoolExecutor(max_workers=nworkers) as pool:
+                futures = {
+                    pool.submit(run_job, jobs[i].spec()): i for i in pending
+                }
+                for fut in as_completed(futures):
+                    i = futures[fut]
+                    records[i] = _finish(jobs[i], keys[i], fut.result(), version)
+                    say(f"ran     {jobs[i].label()} [pool]")
+            mode = "pool"
+        except (ImportError, OSError, PermissionError, RuntimeError) as exc:
+            # Executor unavailable (no sem_open, fork refused, worker
+            # died): finish whatever is left serially.
+            say(f"pool unavailable ({exc.__class__.__name__}); running serially")
+    for i in pending:
+        if records[i] is None:
+            records[i] = _finish(jobs[i], keys[i], run_job(jobs[i].spec()), version)
+            say(f"ran     {jobs[i].label()} [serial]")
+
+    if cache is not None:
+        for i in pending:
+            rec = records[i]
+            if rec is not None and not rec.get("cached"):
+                cache.put(keys[i], {k: v for k, v in rec.items() if k != "cached"})
+
+    return SweepOutcome(
+        records=records,  # type: ignore[arg-type]
+        code_version=version,
+        mode=mode,
+        workers=nworkers if mode == "pool" else 1,
+        hits=hits,
+        wall_s=time.perf_counter() - t_start,
+    )
+
+
+def _finish(job: SweepJob, key: str, result: dict, version: str) -> dict:
+    """Assemble the stored/returned record for one executed job."""
+    return {
+        "key": key,
+        "code_version": version,
+        "spec": job.spec(),
+        "payload": result["payload"],
+        "meta": result["meta"],
+        "cached": False,
+    }
+
+
+# ----------------------------------------------------------------------
+# BENCH_fabric.json: the perf-observability report + regression gate
+# ----------------------------------------------------------------------
+def bench_report(outcome: SweepOutcome) -> dict:
+    """Shape a bench-mode outcome into the ``BENCH_fabric.json`` schema."""
+    scenarios = {}
+    for rec in outcome.records:
+        spec = rec["spec"]
+        if spec["kind"] != "bench":
+            continue
+        meta = rec["meta"]
+        scenarios[spec["name"]] = {
+            "wall_s": round(meta["wall_s"], 4),
+            "events": meta["events"],
+            "events_per_sec": round(meta["events_per_sec"], 1),
+            "cached": bool(rec.get("cached")),
+        }
+    return {
+        "schema": 1,
+        "code_version": outcome.code_version,
+        "mode": outcome.mode,
+        "workers": outcome.workers,
+        "cache_hits": outcome.hits,
+        "total_wall_s": round(outcome.wall_s, 4),
+        "scenarios": scenarios,
+    }
+
+
+def check_regressions(
+    current: dict, baseline: dict, threshold: float = 0.20
+) -> list[str]:
+    """Compare two bench reports; returns one message per regression.
+
+    A scenario regresses when its events/sec drops more than
+    ``threshold`` below the baseline's.  Scenarios present on only one
+    side are reported (coverage must not silently shrink) but a brand
+    new scenario is not a failure.
+    """
+    problems: list[str] = []
+    base = baseline.get("scenarios", {})
+    cur = current.get("scenarios", {})
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            problems.append(f"{name}: present in baseline but not measured")
+            continue
+        floor = b["events_per_sec"] * (1.0 - threshold)
+        if c["events_per_sec"] < floor:
+            problems.append(
+                f"{name}: {c['events_per_sec']:.0f} events/s is more than "
+                f"{threshold:.0%} below baseline {b['events_per_sec']:.0f}"
+            )
+    return problems

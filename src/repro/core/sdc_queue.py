@@ -99,27 +99,37 @@ class SdcQueue:
         self.rseq = 0        # next steal sequence number to reclaim
         #: Expired swap-lock leases this PE broke open (lease mode only).
         self.locks_recovered = 0
-        # Owner-visible cached state is always read from symmetric memory so
-        # that thief updates (TAIL) are observed.
+        # Owner-visible state is always read from symmetric memory so that
+        # thief updates (TAIL) are observed; the direct views below alias
+        # the same live heap rows remote ops mutate, skipping per-access
+        # bounds checks.  Word *writes* still go through ``self.pe`` so
+        # waiter notification semantics are preserved.
+        heap = system.ctx.heap
+        self._meta = heap.word_view(rank, META_REGION)
+        self._comp = heap.word_view(rank, COMP_REGION)
+        self._tasks = heap.byte_view(rank, TASK_REGION)
+        self._qsize = self.cfg.qsize
+        self._tsize = self.cfg.task_size
 
     # ------------------------------------------------------------------
     # owner-local index views
     # ------------------------------------------------------------------
     def _tail(self) -> int:
-        return self.pe.local_load(META_REGION, TAIL)
+        return self._meta[TAIL]
 
     def _split(self) -> int:
-        return self.pe.local_load(META_REGION, SPLIT)
+        return self._meta[SPLIT]
 
     @property
     def local_count(self) -> int:
         """Tasks in the local (owner-only) portion."""
-        return self.head - self._split()
+        return self.head - self._meta[SPLIT]
 
     @property
     def shared_count(self) -> int:
         """Tasks in the shared (stealable) portion."""
-        return self._split() - self._tail()
+        meta = self._meta
+        return meta[SPLIT] - meta[TAIL]
 
     @property
     def in_use(self) -> int:
@@ -142,27 +152,31 @@ class SdcQueue:
     # ------------------------------------------------------------------
     def enqueue(self, record: bytes) -> None:
         """Append one serialized task at the head of the local portion."""
-        if len(record) != self.cfg.task_size:
+        ts = self._tsize
+        if len(record) != ts:
             raise ProtocolError(
-                f"record of {len(record)} bytes; queue expects {self.cfg.task_size}"
+                f"record of {len(record)} bytes; queue expects {ts}"
             )
-        if self.free_slots == 0:
+        qsize = self._qsize
+        if self.head - self.ctail >= qsize:
             self.progress()
-        if self.free_slots == 0:
-            raise ProtocolError(
-                f"PE {self.rank}: SDC queue overflow (qsize={self.cfg.qsize})"
-            )
-        self.pe.local_write_bytes(TASK_REGION, self._record_addr(self.head), record)
+            if self.head - self.ctail >= qsize:
+                raise ProtocolError(
+                    f"PE {self.rank}: SDC queue overflow (qsize={qsize})"
+                )
+        addr = (self.head % qsize) * ts
+        self._tasks[addr : addr + ts] = record
         self.head += 1
 
     def dequeue(self) -> bytes | None:
         """Pop the newest local task (LIFO); ``None`` when local is empty."""
-        if self.local_count <= 0:
+        head = self.head
+        if head <= self._meta[SPLIT]:
             return None
-        self.head -= 1
-        return self.pe.local_read_bytes(
-            TASK_REGION, self._record_addr(self.head), self.cfg.task_size
-        )
+        self.head = head = head - 1
+        ts = self._tsize
+        addr = (head % self._qsize) * ts
+        return bytes(self._tasks[addr : addr + ts])
 
     def release(self) -> int:
         """Expose half of the local portion to thieves (paper §3.1).
@@ -230,16 +244,18 @@ class SdcQueue:
         Returns the number of tasks reclaimed.
         """
         reclaimed = 0
+        comp = self._comp
+        qsize = self._qsize
         while True:
-            slot = self.rseq % self.cfg.qsize
-            n = self.pe.local_load(COMP_REGION, slot)
+            slot = self.rseq % qsize
+            n = comp[slot]
             if n == 0:
                 break
             self.pe.local_store(COMP_REGION, slot, 0)
             self.ctail += n
             self.rseq += 1
             reclaimed += n
-        if self.ctail > self._tail():
+        if self.ctail > self._meta[TAIL]:
             raise ProtocolError(
                 f"PE {self.rank}: reclaim tail {self.ctail} passed claim tail"
             )

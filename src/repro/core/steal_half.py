@@ -22,6 +22,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 
+@lru_cache(maxsize=1 << 15)
 def steal_volume(itasks: int, asteals: int) -> int:
     """Tasks claimed by the ``asteals``-th steal (0-indexed) of an allotment.
 
@@ -40,6 +41,7 @@ def steal_volume(itasks: int, asteals: int) -> int:
     return max(1, rem // 2) if rem > 0 else 0
 
 
+@lru_cache(maxsize=1 << 15)
 def steal_displacement(itasks: int, asteals: int) -> int:
     """Tasks claimed by steals *before* the ``asteals``-th one.
 
@@ -76,15 +78,26 @@ def max_steals(itasks: int) -> int:
     return count
 
 
-def schedule(itasks: int) -> list[int]:
-    """The full claim sequence for an allotment (sums to ``itasks``)."""
+@lru_cache(maxsize=1 << 15)
+def schedule_tuple(itasks: int) -> tuple[int, ...]:
+    """The full claim sequence for an allotment, as a cached tuple.
+
+    Hot consumers (the owner's progress fold, oracle expectations) index
+    this directly; it must never be mutated — use :func:`schedule` for a
+    fresh list.
+    """
     out: list[int] = []
     rem = itasks
     while rem > 0:
         vol = max(1, rem // 2)
         out.append(vol)
         rem -= vol
-    return out
+    return tuple(out)
+
+
+def schedule(itasks: int) -> list[int]:
+    """The full claim sequence for an allotment (sums to ``itasks``)."""
+    return list(schedule_tuple(itasks))
 
 
 def share_half(navailable: int) -> int:

@@ -39,7 +39,14 @@ from ..fabric.errors import FabricTimeoutError, OracleViolation, ProtocolError
 from ..shmem.api import ShmemCtx
 from .config import QueueConfig
 from .results import StealResult, StealStatus
-from .steal_half import max_steals, schedule, share_half, steal_displacement, steal_volume
+from .steal_half import (
+    max_steals,
+    schedule,
+    schedule_tuple,
+    share_half,
+    steal_displacement,
+    steal_volume,
+)
 from .stealval import StealValEpoch, max_initial_tasks
 
 META_REGION = "swsq.meta"
@@ -47,6 +54,15 @@ COMP_REGION = "swsq.comp"
 TASK_REGION = "swsq.tasks"
 
 STEALVAL = 0  # word offset of the stealval within META_REGION
+
+# Stealval field constants, hoisted to module level for the inline decode
+# in ``shared_remaining`` (called once per executed task by the worker's
+# batch loop — the hottest property in the SWS runtime).
+_EPOCH_SHIFT = StealValEpoch.EPOCH_SHIFT
+_ITASK_SHIFT = StealValEpoch.ITASK_SHIFT
+_ASTEAL_SHIFT = StealValEpoch.ASTEAL_SHIFT
+_MAX_ITASKS = StealValEpoch.MAX_ITASKS
+_EPOCH_LOCKED = StealValEpoch.EPOCH_LOCKED
 
 
 @dataclass
@@ -105,12 +121,23 @@ class SwsQueue:
         #: Monotone count of stealval publications (oracle: identifies a
         #: publication uniquely even when epoch/itasks/tail repeat).
         self.publications = 0
+        # Direct heap views for the owner's own rows.  Reads through a view
+        # skip the (pe, region, bounds) checks of the generic heap API; the
+        # task-byte view is also written through (byte regions carry no
+        # waiters).  All word *mutations* still go through ``self.pe`` so
+        # waiter notification semantics are preserved.
+        heap = system.ctx.heap
+        self._meta = heap.word_view(rank, META_REGION)
+        self._comp = heap.word_view(rank, COMP_REGION)
+        self._tasks = heap.byte_view(rank, TASK_REGION)
+        self._qsize = self.cfg.qsize
+        self._tsize = self.cfg.task_size
 
     # ------------------------------------------------------------------
     # owner-local views
     # ------------------------------------------------------------------
     def _load_stealval(self) -> int:
-        return self.pe.local_load(META_REGION, STEALVAL)
+        return self._meta[STEALVAL]
 
     @property
     def local_count(self) -> int:
@@ -120,11 +147,18 @@ class SwsQueue:
     @property
     def shared_remaining(self) -> int:
         """Unclaimed tasks still advertised in the current allotment."""
-        view = StealValEpoch.unpack(self._load_stealval())
-        if view.locked:
+        # Inline stealval decode (equivalent to StealValEpoch.unpack, minus
+        # the dataclass construction) — this property gates every batch of
+        # the worker's execute loop.
+        word = self._meta[STEALVAL]
+        if (word >> _EPOCH_SHIFT) & _EPOCH_LOCKED == _EPOCH_LOCKED:
             return 0
-        claims = min(view.asteals, max_steals(view.itasks))
-        return view.itasks - steal_displacement(view.itasks, claims)
+        itasks = (word >> _ITASK_SHIFT) & _MAX_ITASKS
+        asteals = word >> _ASTEAL_SHIFT
+        claims = max_steals(itasks)
+        if asteals < claims:
+            claims = asteals
+        return itasks - steal_displacement(itasks, claims)
 
     @property
     def in_use(self) -> int:
@@ -150,27 +184,31 @@ class SwsQueue:
     # ------------------------------------------------------------------
     def enqueue(self, record: bytes) -> None:
         """Append one serialized task at the head of the local portion."""
-        if len(record) != self.cfg.task_size:
+        ts = self._tsize
+        if len(record) != ts:
             raise ProtocolError(
-                f"record of {len(record)} bytes; queue expects {self.cfg.task_size}"
+                f"record of {len(record)} bytes; queue expects {ts}"
             )
-        if self.free_slots == 0:
+        qsize = self._qsize
+        if self.head - self.reclaim_tail >= qsize:
             self.progress()
-        if self.free_slots == 0:
-            raise ProtocolError(
-                f"PE {self.rank}: SWS queue overflow (qsize={self.cfg.qsize})"
-            )
-        self.pe.local_write_bytes(TASK_REGION, self._record_addr(self.head), record)
+            if self.head - self.reclaim_tail >= qsize:
+                raise ProtocolError(
+                    f"PE {self.rank}: SWS queue overflow (qsize={qsize})"
+                )
+        addr = (self.head % qsize) * ts
+        self._tasks[addr : addr + ts] = record
         self.head += 1
 
     def dequeue(self) -> bytes | None:
         """Pop the newest local task (LIFO); ``None`` when local is empty."""
-        if self.local_count <= 0:
+        head = self.head
+        if head <= self.split:
             return None
-        self.head -= 1
-        return self.pe.local_read_bytes(
-            TASK_REGION, self._record_addr(self.head), self.cfg.task_size
-        )
+        self.head = head = head - 1
+        ts = self._tsize
+        addr = (head % self._qsize) * ts
+        return bytes(self._tasks[addr : addr + ts])
 
     def seed(self, records: list[bytes]) -> None:
         """Initial task placement before the run starts."""
@@ -268,22 +306,24 @@ class SwsQueue:
         the number of task slots reclaimed.
         """
         reclaimed = 0
+        comp = self._comp
+        comp_slots = self.cfg.comp_slots
         while self.records:
             rec = self.records[0]
             if rec.open:
-                live = StealValEpoch.unpack(self._load_stealval())
-                if live.locked:
+                word = self._meta[STEALVAL]
+                if (word >> _EPOCH_SHIFT) & _EPOCH_LOCKED == _EPOCH_LOCKED:
                     raise ProtocolError(
                         f"PE {self.rank}: open record but stealval locked"
                     )
-                claims = min(live.asteals, max_steals(rec.itasks))
+                claims = min(word >> _ASTEAL_SHIFT, max_steals(rec.itasks))
             else:
                 claims = rec.claims
-            vols = schedule(rec.itasks)
+            vols = schedule_tuple(rec.itasks)
+            base = rec.epoch * comp_slots
             while rec.folded < claims:
                 expected = vols[rec.folded]
-                off = self._comp_offset(rec.epoch, rec.folded)
-                got = self.pe.local_load(COMP_REGION, off)
+                got = comp[base + rec.folded]
                 if got == 0:
                     break
                 if got != expected:

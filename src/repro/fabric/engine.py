@@ -14,6 +14,17 @@ this layer:
     (the NIC layer uses this to implement one-sided operations whose
     completion time depends on remote state).
 
+Virtual time is kept as an **integer tick count** (1 tick = 1 femtosecond,
+:data:`TICKS_PER_SECOND` = 10**15).  Integer ticks give exact event
+ordering — no accumulated float error can reorder two events — and exact
+arithmetic for every latency constant in
+:mod:`~repro.fabric.latency` (the finest of which, ``beta`` per byte, is a
+fraction of a nanosecond).  The public API still speaks seconds
+(:attr:`Engine.now`, :meth:`Engine.schedule`, :meth:`Engine.at`); tick
+variants (:attr:`Engine.now_ticks`, :meth:`Engine.schedule_ticks`,
+:meth:`Engine.at_ticks`) expose the native clock for hot paths such as the
+NIC's serialization arithmetic.
+
 Determinism: events at equal timestamps pop in insertion order (a
 monotonically increasing sequence number breaks ties), so a given seed
 always reproduces the same interleaving — a property the reproduction's
@@ -27,12 +38,20 @@ which runs next, recording the choice so any interleaving can be replayed
 bit-identically.  With no scheduler attached the original fast path runs
 unchanged.  ``observers`` are invoked after every executed event — the
 oracle layer uses them to check cross-PE invariants at each step.
+
+Performance: :meth:`Engine.run` dispatches to one of three loops chosen
+once, up front — a bare fast path (no scheduler, no observers), an
+observed path, and the exploration path.  The fast path pops and fires
+events with everything hot held in locals; it performs **zero** per-event
+instrumentation work (:attr:`Engine.instrumented_events` stays 0).
+Attach schedulers/observers *before* calling :meth:`run`; attachments made
+mid-run by an event are not picked up until the next :meth:`run` call.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 from .errors import DeadlockError, SimulationError
@@ -43,19 +62,58 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Type of a simulated process body.
 ProcessGen = Generator[Any, Any, Any]
 
+#: Virtual-clock resolution: one tick is one femtosecond.  Fine enough
+#: that every latency constant (including per-byte ``beta`` at 12 GB/s,
+#: ~0.083 ns/byte) is an exact integer number of ticks.
+TICKS_PER_SECOND = 10**15
 
-@dataclass(frozen=True)
+#: Cumulative events executed by *all* engines in this process.  The
+#: sweep runner reads this around a run to report events/sec without
+#: needing a handle on the engine buried inside an experiment.
+_event_tally = 0
+
+
+def to_ticks(seconds: float) -> int:
+    """Convert seconds to integer femtosecond ticks (round to nearest)."""
+    return round(seconds * TICKS_PER_SECOND)
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert integer ticks back to float seconds (correctly rounded)."""
+    return ticks / TICKS_PER_SECOND
+
+
+def events_tally() -> int:
+    """Total events executed process-wide since import (or last reset)."""
+    return _event_tally
+
+
+def reset_event_tally() -> None:
+    """Zero the process-wide event tally (sweep runner bookkeeping)."""
+    global _event_tally
+    _event_tally = 0
+
+
 class Delay:
-    """Request: advance virtual time by ``duration`` seconds."""
+    """Request: advance virtual time by ``duration`` seconds.
 
-    duration: float
+    The tick conversion happens once at construction, so a Delay object
+    may be cached and re-yielded (workers reuse one per constant
+    overhead).  Instances render as ``delay(...)`` in deadlock reports.
+    """
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise ValueError(f"negative delay: {self.duration}")
+    __slots__ = ("duration", "ticks")
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration}")
+        self.duration = duration
+        self.ticks = round(duration * TICKS_PER_SECOND)
+
+    def __repr__(self) -> str:
+        return f"delay({self.duration:.3g}s)"
 
 
-@dataclass(frozen=True)
 class Call:
     """Request: hand control to ``handler(engine, process, *args)``.
 
@@ -63,8 +121,14 @@ class Call:
     :meth:`Engine.resume` on the process (possibly immediately).
     """
 
-    handler: Callable[..., None]
-    args: tuple = ()
+    __slots__ = ("handler", "args")
+
+    def __init__(self, handler: Callable[..., None], args: tuple = ()) -> None:
+        self.handler = handler
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"call({getattr(self.handler, '__name__', self.handler)!r})"
 
 
 class Process:
@@ -85,11 +149,13 @@ class Process:
         self.waiting = False
         #: True once the process was fail-stopped by :meth:`Engine.kill`.
         self.killed = False
-        #: Human-readable description of the request currently blocking
-        #: this process (set by request handlers, shown on deadlock).
-        self.blocked_on: str | None = None
+        #: Description of the request currently blocking this process
+        #: (set by request handlers, rendered in deadlock reports; may be
+        #: any object whose ``str`` describes the wait — Delay instances
+        #: are stored as-is to keep the hot dispatch allocation-free).
+        self.blocked_on: Any = None
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         state = "done" if self.finished else ("waiting" if self.waiting else "ready")
         return f"<Process {self.name} {state}>"
 
@@ -98,13 +164,18 @@ class Engine:
     """Deterministic discrete-event simulation engine."""
 
     def __init__(self, scheduler: "Scheduler | None" = None) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None], str | None]] = []
+        #: Event heap; entries are ``(when_ticks, seq, fn, actor)``.
+        self._heap: list[tuple[int, int, Callable[[], None], str | None]] = []
         self._seq = 0
-        self._now = 0.0
+        self._now = 0  # integer ticks
         self.processes: list[Process] = []
         self._live = 0
         #: Events executed so far — the simulation-cost metric.
         self.events_processed = 0
+        #: Events that went through an instrumented loop (observers or
+        #: scheduler attached).  Stays 0 on the bare fast path — tests
+        #: assert on this to prove the fast path really ran.
+        self.instrumented_events = 0
         #: Callbacks returning extra context lines for deadlock reports
         #: (the NIC registers one describing outstanding ops / waiters).
         self.diagnostics: list[Callable[[], str]] = []
@@ -121,6 +192,11 @@ class Engine:
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
+        return self._now / TICKS_PER_SECOND
+
+    @property
+    def now_ticks(self) -> int:
+        """Current virtual time in integer ticks (1 tick = 1 fs)."""
         return self._now
 
     def schedule(self, delay: float, fn: Callable[[], None],
@@ -128,21 +204,52 @@ class Engine:
         """Run ``fn()`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        self.at(self._now + delay, fn, actor=actor)
+        # Relative scheduling is exact integer arithmetic on the current
+        # tick — immune to float round-trip loss at large virtual times.
+        heapq.heappush(
+            self._heap,
+            (self._now + round(delay * TICKS_PER_SECOND), self._seq, fn, actor),
+        )
+        self._seq += 1
+
+    def schedule_ticks(self, dticks: int, fn: Callable[[], None],
+                       actor: str | None = None) -> None:
+        """Run ``fn()`` ``dticks`` ticks from now (tick-native hot path)."""
+        if dticks < 0:
+            raise SimulationError(f"cannot schedule into the past: {dticks} ticks")
+        heapq.heappush(self._heap, (self._now + dticks, self._seq, fn, actor))
+        self._seq += 1
 
     def at(self, when: float, fn: Callable[[], None],
            actor: str | None = None) -> None:
-        """Run ``fn()`` at absolute virtual time ``when``.
+        """Run ``fn()`` at absolute virtual time ``when`` seconds.
 
         ``actor`` names the logical owner of the event (a process or a
         NIC unit) for schedule-exploration policies that prioritize by
         actor; it never affects the default insertion-order tie-break.
         """
-        if when < self._now:
+        ticks = round(when * TICKS_PER_SECOND)
+        if ticks < self._now:
+            # Tolerate sub-tick float fuzz: a caller that computed
+            # ``engine.now + x`` may round a hair below the integer
+            # clock; clamp to now.  Anything truly in the past raises.
+            if when >= self._now / TICKS_PER_SECOND:
+                ticks = self._now
+            else:
+                raise SimulationError(
+                    f"cannot schedule at {when} before now={self.now}"
+                )
+        heapq.heappush(self._heap, (ticks, self._seq, fn, actor))
+        self._seq += 1
+
+    def at_ticks(self, when_ticks: int, fn: Callable[[], None],
+                 actor: str | None = None) -> None:
+        """Run ``fn()`` at absolute tick ``when_ticks`` (tick-native)."""
+        if when_ticks < self._now:
             raise SimulationError(
-                f"cannot schedule at {when} before now={self._now}"
+                f"cannot schedule at tick {when_ticks} before now={self._now}"
             )
-        heapq.heappush(self._heap, (when, self._seq, fn, actor))
+        heapq.heappush(self._heap, (when_ticks, self._seq, fn, actor))
         self._seq += 1
 
     # ------------------------------------------------------------------
@@ -158,7 +265,7 @@ class Engine:
         self.processes.append(proc)
         self._live += 1
         proc.waiting = True
-        self.at(self._now, lambda: self._step(proc, None), actor=proc.name)
+        self.at_ticks(self._now, partial(self._step, proc, None), actor=name)
         return proc
 
     def resume(self, proc: Process, value: Any = None, delay: float = 0.0) -> None:
@@ -167,7 +274,16 @@ class Engine:
             if proc.killed:
                 return  # stale wakeup for a fail-stopped process
             raise SimulationError(f"resume of finished process {proc.name}")
-        self.schedule(delay, lambda: self._step(proc, value), actor=proc.name)
+        self.schedule(delay, partial(self._step, proc, value), actor=proc.name)
+
+    def resume_ticks(self, proc: Process, value: Any, dticks: int) -> None:
+        """Resume ``proc`` with ``value`` after ``dticks`` ticks."""
+        if proc.finished:
+            if proc.killed:
+                return
+            raise SimulationError(f"resume of finished process {proc.name}")
+        self.schedule_ticks(dticks, partial(self._step, proc, value),
+                            actor=proc.name)
 
     def throw(self, proc: Process, exc: BaseException, delay: float = 0.0) -> None:
         """Raise ``exc`` inside ``proc`` after ``delay`` seconds."""
@@ -221,10 +337,23 @@ class Engine:
 
     def _dispatch(self, proc: Process, req: Any) -> None:
         proc.waiting = True
-        if isinstance(req, Delay):
-            proc.blocked_on = f"delay({req.duration:.3g}s)"
+        cls = req.__class__
+        if cls is Delay:
+            # Store the request itself as the blocking description — its
+            # repr renders lazily, only if a deadlock report needs it.
+            proc.blocked_on = req
+            heapq.heappush(
+                self._heap,
+                (self._now + req.ticks, self._seq,
+                 partial(self._step, proc, None), proc.name),
+            )
+            self._seq += 1
+        elif cls is Call:
+            req.handler(self, proc, *req.args)
+        elif isinstance(req, Delay):  # pragma: no cover - subclass escape hatch
+            proc.blocked_on = req
             self.resume(proc, None, delay=req.duration)
-        elif isinstance(req, Call):
+        elif isinstance(req, Call):  # pragma: no cover - subclass escape hatch
             req.handler(self, proc, *req.args)
         else:
             raise SimulationError(
@@ -247,28 +376,73 @@ class Engine:
         means every live process is waiting on a resume nobody will send.
 
         With a :attr:`scheduler` attached, same-timestamp events run in
-        the order the policy chooses (see :meth:`_run_scheduled`);
-        otherwise the insertion-order fast path below runs — byte for
-        byte the pre-exploration engine loop.
+        the order the policy chooses (see :meth:`_run_scheduled`); with
+        observers attached, the observed loop notifies them per event.
+        Otherwise the bare fast path runs: same event order, same final
+        stats, no per-event instrumentation.
         """
         if self.scheduler is not None:
             return self._run_scheduled(until)
-        observers = self.observers
-        while self._heap:
-            when, _, fn, _actor = self._heap[0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            self._now = when
-            self.events_processed += 1
-            fn()
-            if observers:
-                for obs in observers:
-                    obs()
+        if self.observers:
+            return self._run_observed(until)
+        global _event_tally
+        heap = self._heap
+        pop = heapq.heappop
+        until_ticks = None if until is None else round(until * TICKS_PER_SECOND)
+        events = 0
+        try:
+            if until_ticks is None:
+                while heap:
+                    when, _seq, fn, _actor = pop(heap)
+                    self._now = when
+                    events += 1
+                    fn()
+            else:
+                while heap:
+                    if heap[0][0] > until_ticks:
+                        self._now = until_ticks
+                        break
+                    when, _seq, fn, _actor = pop(heap)
+                    self._now = when
+                    events += 1
+                    fn()
+                else:
+                    if self._live > 0:
+                        raise DeadlockError(self._deadlock_report())
+                return self._now / TICKS_PER_SECOND
+        finally:
+            self.events_processed += events
+            _event_tally += events
         if self._live > 0:
             raise DeadlockError(self._deadlock_report())
-        return self._now
+        return self._now / TICKS_PER_SECOND
+
+    def _run_observed(self, until: float | None) -> float:
+        """Default-order loop with per-event observer notification."""
+        global _event_tally
+        observers = self.observers
+        heap = self._heap
+        pop = heapq.heappop
+        until_ticks = None if until is None else round(until * TICKS_PER_SECOND)
+        events = 0
+        try:
+            while heap:
+                if until_ticks is not None and heap[0][0] > until_ticks:
+                    self._now = until_ticks
+                    return self._now / TICKS_PER_SECOND
+                when, _seq, fn, _actor = pop(heap)
+                self._now = when
+                events += 1
+                fn()
+                for obs in observers:
+                    obs()
+        finally:
+            self.events_processed += events
+            self.instrumented_events += events
+            _event_tally += events
+        if self._live > 0:
+            raise DeadlockError(self._deadlock_report())
+        return self._now / TICKS_PER_SECOND
 
     def _run_scheduled(self, until: float | None) -> float:
         """Exploration loop: the scheduler breaks same-timestamp ties.
@@ -281,37 +455,45 @@ class Engine:
         can interleave a fresh resume ahead of older pending events —
         exactly the freedom a real unordered fabric has.
         """
+        global _event_tally
         sched = self.scheduler
         observers = self.observers
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            ready = [heapq.heappop(self._heap)]
-            while self._heap and self._heap[0][0] == when:
-                ready.append(heapq.heappop(self._heap))
-            if len(ready) == 1:
-                entry = ready[0]
-            else:
-                idx = sched.choose(when, ready)
-                entry = ready.pop(idx)
-                for other in ready:
-                    heapq.heappush(self._heap, other)
-            self._now = when
-            self.events_processed += 1
-            entry[2]()
-            if observers:
+        heap = self._heap
+        until_ticks = None if until is None else round(until * TICKS_PER_SECOND)
+        events = 0
+        try:
+            while heap:
+                when = heap[0][0]
+                if until_ticks is not None and when > until_ticks:
+                    self._now = until_ticks
+                    return self._now / TICKS_PER_SECOND
+                ready = [heapq.heappop(heap)]
+                while heap and heap[0][0] == when:
+                    ready.append(heapq.heappop(heap))
+                if len(ready) == 1:
+                    entry = ready[0]
+                else:
+                    idx = sched.choose(when, ready)
+                    entry = ready.pop(idx)
+                    for other in ready:
+                        heapq.heappush(heap, other)
+                self._now = when
+                events += 1
+                entry[2]()
                 for obs in observers:
                     obs()
+        finally:
+            self.events_processed += events
+            self.instrumented_events += events
+            _event_tally += events
         if self._live > 0:
             raise DeadlockError(self._deadlock_report())
-        return self._now
+        return self._now / TICKS_PER_SECOND
 
     def _deadlock_report(self) -> str:
         """Describe every stuck process and attached diagnostics."""
         lines = [
-            f"event queue empty at t={self._now:.6g}s with "
+            f"event queue empty at t={self.now:.6g}s with "
             f"{self._live} live processes:"
         ]
         for p in self.processes:

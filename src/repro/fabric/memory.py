@@ -2,24 +2,34 @@
 
 OpenSHMEM exposes a *symmetric heap*: every PE allocates the same regions
 at the same offsets, so a remote address is fully described by
-``(pe, region, offset)``.  This module implements that heap with
-numpy-backed storage:
+``(pe, region, offset)``.  This module implements that heap with plain
+Python storage chosen for scalar access speed:
 
-* **word regions** — arrays of unsigned 64-bit words, the unit of atomic
-  operations (OpenSHMEM atomics operate on values up to 64 bits, which is
-  exactly the constraint the stealval design lives within);
-* **byte regions** — raw ``uint8`` buffers used for task payload storage.
+* **word regions** — per-PE ``list[int]`` of unsigned 64-bit words, the
+  unit of atomic operations (OpenSHMEM atomics operate on values up to 64
+  bits, which is exactly the constraint the stealval design lives within);
+* **byte regions** — per-PE ``bytearray`` buffers used for task payload
+  storage.
+
+Plain lists beat a numpy matrix here because every access is a single
+scalar: ``int(arr[pe, off])`` costs a numpy scalar box + unbox per call,
+while ``row[off]`` is one C-level list index.  (The heap is the hottest
+data structure in the simulator — every queue operation, steal, and
+termination probe lands here.)
 
 All mutation goes through methods on :class:`SymmetricHeap`; the NIC layer
 invokes these *at message-arrival virtual time*, so the heap itself needs
-no locking — event ordering is the serialization.
+no locking — event ordering is the serialization.  Hot *local* readers may
+take a direct :meth:`word_view`/:meth:`byte_view` on their own PE's row;
+views must be treated as read-only by general code because writes through
+a view bypass both bounds checks and ``shmem_wait_until`` waiter
+notification (the queue layer writes task payload bytes through views —
+byte regions never carry waiters).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
 
 from typing import Callable
 
@@ -54,8 +64,10 @@ class SymmetricHeap:
         if npes <= 0:
             raise PEIndexError(f"npes must be positive, got {npes}")
         self.npes = npes
-        self._words: dict[str, np.ndarray] = {}
-        self._bytes: dict[str, np.ndarray] = {}
+        #: region name -> per-PE rows of 64-bit words.
+        self._words: dict[str, list[list[int]]] = {}
+        #: region name -> per-PE byte buffers.
+        self._bytes: dict[str, list[bytearray]] = {}
         self._specs: dict[str, RegionSpec] = {}
         # Waiters for shmem_wait_until: (pe, region, offset) -> callbacks.
         self._waiters: dict[tuple[int, str, int], list[WordWaiter]] = {}
@@ -67,15 +79,15 @@ class SymmetricHeap:
         """Allocate a symmetric array of ``nwords`` 64-bit words on every PE."""
         spec = RegionSpec(name, "words", nwords)
         self._register(spec)
-        arr = np.full((self.npes, nwords), fill & _U64_MASK, dtype=np.uint64)
-        self._words[name] = arr
+        fill &= _U64_MASK
+        self._words[name] = [[fill] * nwords for _ in range(self.npes)]
         return spec
 
     def alloc_bytes(self, name: str, nbytes: int) -> RegionSpec:
         """Allocate a symmetric byte buffer of ``nbytes`` on every PE."""
         spec = RegionSpec(name, "bytes", nbytes)
         self._register(spec)
-        self._bytes[name] = np.zeros((self.npes, nbytes), dtype=np.uint8)
+        self._bytes[name] = [bytearray(nbytes) for _ in range(self.npes)]
         return spec
 
     def _register(self, spec: RegionSpec) -> None:
@@ -97,87 +109,123 @@ class SymmetricHeap:
         if not 0 <= pe < self.npes:
             raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
 
-    def _word_region(self, pe: int, region: str, offset: int, count: int = 1) -> np.ndarray:
-        self._check_pe(pe)
+    def _word_row(self, pe: int, region: str, offset: int, count: int = 1) -> list[int]:
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
         try:
-            arr = self._words[region]
+            row = self._words[region][pe]
         except KeyError:
             raise RegionError(f"no word region {region!r}") from None
-        if not (0 <= offset and offset + count <= arr.shape[1]):
+        if not (0 <= offset and offset + count <= len(row)):
             raise AddressError(
                 f"word access [{offset}, {offset + count}) exceeds region "
-                f"{region!r} of {arr.shape[1]} words"
+                f"{region!r} of {len(row)} words"
             )
-        return arr
+        return row
 
-    def _byte_region(self, pe: int, region: str, offset: int, count: int) -> np.ndarray:
-        self._check_pe(pe)
+    def _byte_row(self, pe: int, region: str, offset: int, count: int) -> bytearray:
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
         try:
-            arr = self._bytes[region]
+            buf = self._bytes[region][pe]
         except KeyError:
             raise RegionError(f"no byte region {region!r}") from None
-        if not (0 <= offset and offset + count <= arr.shape[1]):
+        if not (0 <= offset and offset + count <= len(buf)):
             raise AddressError(
                 f"byte access [{offset}, {offset + count}) exceeds region "
-                f"{region!r} of {arr.shape[1]} bytes"
+                f"{region!r} of {len(buf)} bytes"
             )
-        return arr
+        return buf
+
+    # ------------------------------------------------------------------
+    # direct views (hot local fast path)
+    # ------------------------------------------------------------------
+    def word_view(self, pe: int, region: str) -> list[int]:
+        """The live word row for ``(pe, region)`` — read-only by contract.
+
+        Local hot paths (queue owners reading their own metadata) index
+        this list directly, skipping per-access bounds checks.  Writing
+        through the view would bypass waiter notification; mutate via
+        :meth:`store`/:meth:`fetch_add` instead.
+        """
+        self._check_pe(pe)
+        try:
+            return self._words[region][pe]
+        except KeyError:
+            raise RegionError(f"no word region {region!r}") from None
+
+    def byte_view(self, pe: int, region: str) -> bytearray:
+        """The live byte buffer for ``(pe, region)``.
+
+        Byte regions carry no waiters, so the queue layer both reads and
+        writes task payload slots through this view (slot arithmetic
+        guarantees bounds).
+        """
+        self._check_pe(pe)
+        try:
+            return self._bytes[region][pe]
+        except KeyError:
+            raise RegionError(f"no byte region {region!r}") from None
 
     # ------------------------------------------------------------------
     # word operations (atomic unit)
     # ------------------------------------------------------------------
     def load(self, pe: int, region: str, offset: int) -> int:
         """Read one 64-bit word."""
-        arr = self._word_region(pe, region, offset)
-        return int(arr[pe, offset])
+        return self._word_row(pe, region, offset)[offset]
 
     def store(self, pe: int, region: str, offset: int, value: int) -> None:
         """Write one 64-bit word (value is masked to 64 bits)."""
-        arr = self._word_region(pe, region, offset)
-        arr[pe, offset] = value & _U64_MASK
-        self._notify(pe, region, offset, value & _U64_MASK)
+        value &= _U64_MASK
+        self._word_row(pe, region, offset)[offset] = value
+        if self._waiters:
+            self._notify(pe, region, offset, value)
 
     def fetch_add(self, pe: int, region: str, offset: int, delta: int) -> int:
         """Atomic fetch-and-add; returns the *old* value.  Wraps mod 2^64."""
-        arr = self._word_region(pe, region, offset)
-        old = int(arr[pe, offset])
-        new = (old + delta) & _U64_MASK
-        arr[pe, offset] = new
-        self._notify(pe, region, offset, new)
+        row = self._word_row(pe, region, offset)
+        old = row[offset]
+        row[offset] = new = (old + delta) & _U64_MASK
+        if self._waiters:
+            self._notify(pe, region, offset, new)
         return old
 
     def swap(self, pe: int, region: str, offset: int, value: int) -> int:
         """Atomic swap; returns the old value."""
-        arr = self._word_region(pe, region, offset)
-        old = int(arr[pe, offset])
-        arr[pe, offset] = value & _U64_MASK
-        self._notify(pe, region, offset, value & _U64_MASK)
+        value &= _U64_MASK
+        row = self._word_row(pe, region, offset)
+        old = row[offset]
+        row[offset] = value
+        if self._waiters:
+            self._notify(pe, region, offset, value)
         return old
 
     def compare_swap(
         self, pe: int, region: str, offset: int, expected: int, desired: int
     ) -> int:
         """Atomic compare-and-swap; returns the old value (match ⇒ stored)."""
-        arr = self._word_region(pe, region, offset)
-        old = int(arr[pe, offset])
+        row = self._word_row(pe, region, offset)
+        old = row[offset]
         if old == (expected & _U64_MASK):
-            arr[pe, offset] = desired & _U64_MASK
-            self._notify(pe, region, offset, desired & _U64_MASK)
+            desired &= _U64_MASK
+            row[offset] = desired
+            if self._waiters:
+                self._notify(pe, region, offset, desired)
         return old
 
     def load_words(self, pe: int, region: str, offset: int, count: int) -> list[int]:
         """Read ``count`` consecutive words (one get on the wire)."""
-        arr = self._word_region(pe, region, offset, count)
-        return [int(v) for v in arr[pe, offset : offset + count]]
+        row = self._word_row(pe, region, offset, count)
+        return row[offset : offset + count]
 
     def store_words(self, pe: int, region: str, offset: int, values: list[int]) -> None:
         """Write consecutive words."""
-        arr = self._word_region(pe, region, offset, len(values))
-        arr[pe, offset : offset + len(values)] = np.array(
-            [v & _U64_MASK for v in values], dtype=np.uint64
-        )
-        for i, v in enumerate(values):
-            self._notify(pe, region, offset + i, v & _U64_MASK)
+        row = self._word_row(pe, region, offset, len(values))
+        masked = [v & _U64_MASK for v in values]
+        row[offset : offset + len(masked)] = masked
+        if self._waiters:
+            for i, v in enumerate(masked):
+                self._notify(pe, region, offset + i, v)
 
     # ------------------------------------------------------------------
     # word waiters (shmem_wait_until support)
@@ -190,7 +238,7 @@ class SymmetricHeap:
         ``shmem_wait_until`` — hardware wakes the waiter on a remote
         write instead of the waiter burning poll cycles.
         """
-        self._word_region(pe, region, offset)  # validate the address
+        self._word_row(pe, region, offset)  # validate the address
         self._waiters.setdefault((pe, region, offset), []).append(waiter)
 
     def _notify(self, pe: int, region: str, offset: int, new_value: int) -> None:
@@ -209,10 +257,10 @@ class SymmetricHeap:
     # ------------------------------------------------------------------
     def read_bytes(self, pe: int, region: str, offset: int, count: int) -> bytes:
         """Read ``count`` bytes."""
-        arr = self._byte_region(pe, region, offset, count)
-        return bytes(arr[pe, offset : offset + count].tobytes())
+        buf = self._byte_row(pe, region, offset, count)
+        return bytes(buf[offset : offset + count])
 
     def write_bytes(self, pe: int, region: str, offset: int, data: bytes) -> None:
         """Write a byte string."""
-        arr = self._byte_region(pe, region, offset, len(data))
-        arr[pe, offset : offset + len(data)] = np.frombuffer(data, dtype=np.uint8)
+        buf = self._byte_row(pe, region, offset, len(data))
+        buf[offset : offset + len(data)] = data

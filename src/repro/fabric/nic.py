@@ -25,6 +25,12 @@ Timing model (see :mod:`repro.fabric.latency`):
   the injection overhead only; :meth:`quiet` blocks until every
   outstanding non-blocking op from that PE has been applied remotely.
 
+All internal time arithmetic is in the engine's integer ticks: the latency
+constants are converted once at construction, per-op completion times are
+exact integer sums, and the per-target busy-until arrays hold ticks.  With
+jitter enabled the jittered one-way latency is computed in float and
+rounded to the nearest tick per hop.
+
 Fault model (see :mod:`repro.fabric.faults`): when a
 :class:`~repro.fabric.faults.FaultInjector` is attached, every op may be
 dropped, delayed, or lost against a dead PE's memory.  Blocking calls
@@ -44,7 +50,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from .engine import Call, Engine, Process
+from .engine import TICKS_PER_SECOND, Call, Engine, Process
 from .errors import FabricTimeoutError, SimulationError
 from .faults import FaultInjector
 from .latency import LatencyModel
@@ -53,6 +59,8 @@ from .metrics import FabricMetrics
 from .topology import Topology
 
 WORD_BYTES = 8
+
+_U64 = (1 << 64) - 1
 
 
 class _QuietWait:
@@ -95,44 +103,82 @@ class Nic:
         self.op_timeout = op_timeout
         #: Timeouts fired so far (descriptors cancelled).
         self.timeouts = 0
-        # Per-target serialization points for the NIC atomic and read units.
-        self._amo_busy_until = [0.0] * heap.npes
-        self._get_busy_until = [0.0] * heap.npes
+        npes = heap.npes
+        # Per-target serialization points for the NIC atomic and read
+        # units, in integer ticks.
+        self._amo_busy_until = [0] * npes
+        self._get_busy_until = [0] * npes
         # Per-PE link (DMA engine) occupancy, used when link_serialize is on.
-        self._link_busy_until = [0.0] * heap.npes
+        self._link_busy_until = [0] * npes
         # Outstanding non-blocking ops per initiator, for quiet().
-        self._outstanding = [0] * heap.npes
+        self._outstanding = [0] * npes
         self._quiet_waiters: dict[int, list[_QuietWait]] = {}
         # Deterministic jitter stream: counter hashed with the seed, so a
         # given (seed, op sequence) always reproduces the same delays.
         self._jitter_seed = jitter_seed
         self._jitter_counter = 0
+        # Latency constants in ticks, converted once: per-op arithmetic
+        # is pure integer addition after this.
+        lat = latency
+        self._alpha_ticks = round(lat.alpha_sw * TICKS_PER_SECOND)
+        self._amo_ticks = round(lat.amo_process * TICKS_PER_SECOND)
+        self._get_ticks = round(lat.get_process * TICKS_PER_SECOND)
+        self._ow_self_ticks = round(
+            lat.half_rtt_intra * lat.local_penalty * TICKS_PER_SECOND
+        )
+        self._ow_intra_ticks = round(lat.one_way(True) * TICKS_PER_SECOND)
+        self._ow_inter_ticks = round(lat.one_way(False) * TICKS_PER_SECOND)
+        self._beta_fs = lat.beta * TICKS_PER_SECOND  # payload fs per byte
+        self._jitter_on = bool(lat.jitter)
+        self._link_serialize = lat.link_serialize
+        self._timeout_ticks = (
+            None if op_timeout is None
+            else round(op_timeout * TICKS_PER_SECOND)
+        )
+        self._ppn = topology.pes_per_node
+        # Pre-rendered actor names (schedule-exploration tags); building
+        # these per op would be an f-string on every message.
+        self._amo_actors = [f"nic.amo:pe{p}" for p in range(npes)]
+        self._get_actors = [f"nic.get:pe{p}" for p in range(npes)]
+        self._put_actors = [f"nic.put:pe{p}" for p in range(npes)]
+        self._timer_actors = [f"timer:pe{p}" for p in range(npes)]
         engine.diagnostics.append(self._deadlock_diagnostic)
 
     # ------------------------------------------------------------------
     # latency helpers
     # ------------------------------------------------------------------
-    def _one_way(self, a: int, b: int) -> float:
+    def _one_way_ticks(self, a: int, b: int) -> int:
+        if not self._jitter_on:
+            if a == b:
+                return self._ow_self_ticks
+            ppn = self._ppn
+            if a // ppn == b // ppn:
+                return self._ow_intra_ticks
+            return self._ow_inter_ticks
         lat = self.latency
         if a == b:
             base = lat.half_rtt_intra * lat.local_penalty
         else:
-            base = lat.one_way(self.topology.same_node(a, b))
-        if lat.jitter:
-            # splitmix64-style hash of (seed, counter) -> u in [0, 1).
-            self._jitter_counter += 1
-            z = (self._jitter_seed * 0x9E3779B97F4A7C15 + self._jitter_counter
-                 * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
-            z ^= z >> 31
-            z = (z * 0x94D049BB133111EB) & ((1 << 64) - 1)
-            z ^= z >> 29
-            u = z / float(1 << 64)
-            base *= 1.0 + lat.jitter * u
-        return base
+            base = lat.one_way(a // self._ppn == b // self._ppn)
+        # splitmix64-style hash of (seed, counter) -> u in [0, 1).
+        self._jitter_counter += 1
+        z = (self._jitter_seed * 0x9E3779B97F4A7C15 + self._jitter_counter
+             * 0xBF58476D1CE4E5B9) & _U64
+        z ^= z >> 31
+        z = (z * 0x94D049BB133111EB) & _U64
+        z ^= z >> 29
+        u = z / float(1 << 64)
+        base *= 1.0 + lat.jitter * u
+        return round(base * TICKS_PER_SECOND)
 
-    def _serialize(self, busy: list[float], target: int, arrival: float, cost: float) -> float:
-        """Queue behind the target NIC unit; return completion time there."""
-        start = max(arrival, busy[target])
+    def _payload_ticks(self, nbytes: int) -> int:
+        return round(nbytes * self._beta_fs)
+
+    def _serialize(self, busy: list[int], target: int, arrival: int, cost: int) -> int:
+        """Queue behind the target NIC unit; return completion tick there."""
+        start = busy[target]
+        if start < arrival:
+            start = arrival
         done = start + cost
         busy[target] = done
         return done
@@ -140,18 +186,18 @@ class Nic:
     # ------------------------------------------------------------------
     # fault helpers
     # ------------------------------------------------------------------
-    def _fault_route(self, target: int, kind: str, arrival: float) -> tuple[float, bool]:
-        """Consult the injector for one op; returns (arrival, lost).
+    def _fault_route(self, target: int, kind: str, arrival: int) -> tuple[int, bool]:
+        """Consult the injector for one op; returns (arrival_ticks, lost).
 
         A lost op never executes at the target: either the wire dropped
         it or the target PE is dead when it would arrive (the failure
         schedule is static, so arrival-time death is decided now).
         """
         faults = self.faults
-        arrival += faults.extra_delay()
+        arrival += round(faults.extra_delay() * TICKS_PER_SECOND)
         if faults.should_drop(kind):
             return arrival, True
-        if faults.is_dead(target, arrival):
+        if faults.is_dead(target, arrival / TICKS_PER_SECOND):
             faults.note_dead_target(kind)
             return arrival, True
         return arrival, False
@@ -161,7 +207,7 @@ class Nic:
         initiator: int, target: int, kind: str,
     ) -> None:
         """Schedule the descriptor-cancel timer for one blocking op."""
-        deadline = engine.now + self.op_timeout
+        deadline = engine.now_ticks + self._timeout_ticks
 
         def fire() -> None:
             if proc.finished or state["applied"] or state["dead"]:
@@ -179,7 +225,7 @@ class Nic:
                 ),
             )
 
-        engine.at(deadline, fire, actor=f"timer:pe{initiator}")
+        engine.at_ticks(deadline, fire, actor=self._timer_actors[initiator])
 
     def _deadlock_diagnostic(self) -> str:
         """Extra context for DeadlockError: outstanding ops per PE."""
@@ -222,7 +268,8 @@ class Nic:
         def handler(engine: Engine, proc: Process) -> None:
             self.metrics.record(engine.now, initiator, target, kind, WORD_BYTES)
             proc.blocked_on = f"{kind} -> pe{target} {region}[{offset}]"
-            arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+            arrival = (engine.now_ticks + self._alpha_ticks
+                       + self._one_way_ticks(initiator, target))
             guarded = self.faults is not None or self.op_timeout is not None
             state = {"applied": False, "dead": False} if guarded else None
             lost = False
@@ -235,15 +282,15 @@ class Nic:
                         return  # descriptor cancelled by the timeout
                     state["applied"] = True
                 done = self._serialize(
-                    self._amo_busy_until, target, engine.now, self.latency.amo_process
+                    self._amo_busy_until, target, engine.now_ticks, self._amo_ticks
                 )
                 value = apply()
-                back = self._one_way(target, initiator)
-                engine.at(done + back, lambda: engine._step(proc, value),
-                          actor=proc.name)
+                back = self._one_way_ticks(target, initiator)
+                engine.at_ticks(done + back, lambda: engine._step(proc, value),
+                                actor=proc.name)
 
             if not lost:
-                engine.at(arrival, at_target, actor=f"nic.amo:pe{target}")
+                engine.at_ticks(arrival, at_target, actor=self._amo_actors[target])
             if self.op_timeout is not None:
                 self._arm_timeout(engine, proc, state, initiator, target, kind)
 
@@ -257,14 +304,15 @@ class Nic:
         def handler(engine: Engine, proc: Process) -> None:
             self.metrics.record(engine.now, initiator, target, "amo_add_nb", WORD_BYTES)
             self._outstanding[initiator] += 1
-            arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+            arrival = (engine.now_ticks + self._alpha_ticks
+                       + self._one_way_ticks(initiator, target))
             lost = False
             if self.faults is not None:
                 arrival, lost = self._fault_route(target, "amo_add_nb", arrival)
 
             def at_target() -> None:
                 self._serialize(
-                    self._amo_busy_until, target, engine.now, self.latency.amo_process
+                    self._amo_busy_until, target, engine.now_ticks, self._amo_ticks
                 )
                 self.heap.fetch_add(target, region, offset, delta)
                 self._complete_nb(initiator)
@@ -272,11 +320,11 @@ class Nic:
             if lost:
                 # The descriptor still retires locally (in error), so
                 # quiet() completes; the remote word never changes.
-                engine.at(arrival, lambda: self._complete_nb(initiator),
-                          actor=f"nic.amo:pe{target}")
+                engine.at_ticks(arrival, lambda: self._complete_nb(initiator),
+                                actor=self._amo_actors[target])
             else:
-                engine.at(arrival, at_target, actor=f"nic.amo:pe{target}")
-            engine.resume(proc, None, delay=self.latency.alpha_sw)
+                engine.at_ticks(arrival, at_target, actor=self._amo_actors[target])
+            engine.resume_ticks(proc, None, self._alpha_ticks)
 
         return Call(handler)
 
@@ -306,7 +354,8 @@ class Nic:
         def handler(engine: Engine, proc: Process) -> None:
             self.metrics.record(engine.now, initiator, target, "get", nbytes)
             proc.blocked_on = desc or f"get -> pe{target} ({nbytes}B)"
-            arrival = engine.now + self.latency.alpha_sw + self._one_way(initiator, target)
+            arrival = (engine.now_ticks + self._alpha_ticks
+                       + self._one_way_ticks(initiator, target))
             guarded = self.faults is not None or self.op_timeout is not None
             state = {"applied": False, "dead": False} if guarded else None
             lost = False
@@ -319,24 +368,24 @@ class Nic:
                         return
                     state["applied"] = True
                 done = self._serialize(
-                    self._get_busy_until, target, engine.now, self.latency.get_process
+                    self._get_busy_until, target, engine.now_ticks, self._get_ticks
                 )
                 value = read()
-                stream = self.latency.payload_time(nbytes)
-                if self.latency.link_serialize:
+                stream = self._payload_ticks(nbytes)
+                if self._link_serialize:
                     # The response payload occupies the target's egress
                     # link; concurrent bulk reads of one victim serialize.
                     done = self._serialize(
                         self._link_busy_until, target, done, stream
                     )
-                    back = self._one_way(target, initiator)
+                    back = self._one_way_ticks(target, initiator)
                 else:
-                    back = self._one_way(target, initiator) + stream
-                engine.at(done + back, lambda: engine._step(proc, value),
-                          actor=proc.name)
+                    back = self._one_way_ticks(target, initiator) + stream
+                engine.at_ticks(done + back, lambda: engine._step(proc, value),
+                                actor=proc.name)
 
             if not lost:
-                engine.at(arrival, at_target, actor=f"nic.get:pe{target}")
+                engine.at_ticks(arrival, at_target, actor=self._get_actors[target])
             if self.op_timeout is not None:
                 self._arm_timeout(engine, proc, state, initiator, target, "get")
 
@@ -371,24 +420,25 @@ class Nic:
 
         def handler(engine: Engine, proc: Process) -> None:
             self.metrics.record(engine.now, initiator, target, kind, nbytes)
-            inject = self.latency.alpha_sw + self.latency.payload_time(nbytes)
-            arrival = engine.now + inject + self._one_way(initiator, target)
+            stream = self._payload_ticks(nbytes)
+            inject = self._alpha_ticks + stream
+            arrival = (engine.now_ticks + inject
+                       + self._one_way_ticks(initiator, target))
             lost = False
             if self.faults is not None:
                 arrival, lost = self._fault_route(target, kind, arrival)
 
-            stream = self.latency.payload_time(nbytes)
-
-            def apply_write() -> float:
+            def apply_write() -> int:
                 """Write at the target, honouring link occupancy."""
-                if self.latency.link_serialize and stream > 0:
+                now = engine.now_ticks
+                if self._link_serialize and stream > 0:
                     done = self._serialize(
-                        self._link_busy_until, target, engine.now, stream
+                        self._link_busy_until, target, now, stream
                     )
                 else:
-                    done = engine.now
-                if done > engine.now:
-                    engine.at(done, write, actor=f"nic.put:pe{target}")
+                    done = now
+                if done > now:
+                    engine.at_ticks(done, write, actor=self._put_actors[target])
                 else:
                     write()
                 return done
@@ -404,12 +454,13 @@ class Nic:
                             return
                         state["applied"] = True
                     done = apply_write()
-                    back = self._one_way(target, initiator)
-                    engine.at(done + back, lambda: engine._step(proc, None),
-                              actor=proc.name)
+                    back = self._one_way_ticks(target, initiator)
+                    engine.at_ticks(done + back, lambda: engine._step(proc, None),
+                                    actor=proc.name)
 
                 if not lost:
-                    engine.at(arrival, at_target, actor=f"nic.put:pe{target}")
+                    engine.at_ticks(arrival, at_target,
+                                    actor=self._put_actors[target])
                 if self.op_timeout is not None:
                     self._arm_timeout(engine, proc, state, initiator, target, kind)
             else:
@@ -417,19 +468,19 @@ class Nic:
 
                 def at_target_nb() -> None:
                     done = apply_write()
-                    if done > engine.now:
-                        engine.at(done, lambda: self._complete_nb(initiator),
-                                  actor=f"nic.put:pe{target}")
+                    if done > engine.now_ticks:
+                        engine.at_ticks(done, lambda: self._complete_nb(initiator),
+                                        actor=self._put_actors[target])
                     else:
                         self._complete_nb(initiator)
 
                 if lost:
-                    engine.at(arrival, lambda: self._complete_nb(initiator),
-                              actor=f"nic.put:pe{target}")
+                    engine.at_ticks(arrival, lambda: self._complete_nb(initiator),
+                                    actor=self._put_actors[target])
                 else:
-                    engine.at(arrival, at_target_nb,
-                              actor=f"nic.put:pe{target}")
-                engine.resume(proc, None, delay=inject)
+                    engine.at_ticks(arrival, at_target_nb,
+                                    actor=self._put_actors[target])
+                engine.resume_ticks(proc, None, inject)
 
         return Call(handler)
 
@@ -460,52 +511,56 @@ class Nic:
             nbytes = len(data) + WORD_BYTES
             self.metrics.record(engine.now, initiator, target, "put_signal", nbytes)
             self._outstanding[initiator] += 1
-            inject = self.latency.alpha_sw + self.latency.payload_time(nbytes)
-            arrival = engine.now + inject + self._one_way(initiator, target)
+            inject = self._alpha_ticks + self._payload_ticks(nbytes)
+            arrival = (engine.now_ticks + inject
+                       + self._one_way_ticks(initiator, target))
             lost = False
             if self.faults is not None:
                 arrival, lost = self._fault_route(target, "put_signal", arrival)
 
-            stream = self.latency.payload_time(len(data))
+            stream = self._payload_ticks(len(data))
 
             def at_target() -> None:
-                if self.latency.link_serialize and stream > 0:
+                now = engine.now_ticks
+                if self._link_serialize and stream > 0:
                     data_done = self._serialize(
-                        self._link_busy_until, target, engine.now, stream
+                        self._link_busy_until, target, now, stream
                     )
                 else:
-                    data_done = engine.now
+                    data_done = now
 
                 def apply_data() -> None:
                     self.heap.write_bytes(target, region, offset, data)
 
-                if data_done > engine.now:
-                    engine.at(data_done, apply_data, actor=f"nic.put:pe{target}")
+                if data_done > now:
+                    engine.at_ticks(data_done, apply_data,
+                                    actor=self._put_actors[target])
                 else:
                     apply_data()
                 # The signal queues behind the payload in the atomic unit;
                 # _serialize guarantees sig_done >= data_done, and equal
                 # times fire in insertion order — data always first.
                 sig_done = self._serialize(
-                    self._amo_busy_until, target, data_done, self.latency.amo_process
+                    self._amo_busy_until, target, data_done, self._amo_ticks
                 )
 
                 def apply_signal() -> None:
                     self.heap.store(target, sig_region, sig_offset, sig_value)
                     self._complete_nb(initiator)
 
-                if sig_done > engine.now:
-                    engine.at(sig_done, apply_signal,
-                              actor=f"nic.amo:pe{target}")
+                if sig_done > engine.now_ticks:
+                    engine.at_ticks(sig_done, apply_signal,
+                                    actor=self._amo_actors[target])
                 else:
                     apply_signal()
 
             if lost:
-                engine.at(arrival, lambda: self._complete_nb(initiator),
-                          actor=f"nic.put:pe{target}")
+                engine.at_ticks(arrival, lambda: self._complete_nb(initiator),
+                                actor=self._put_actors[target])
             else:
-                engine.at(arrival, at_target, actor=f"nic.put:pe{target}")
-            engine.resume(proc, None, delay=inject)
+                engine.at_ticks(arrival, at_target,
+                                actor=self._put_actors[target])
+            engine.resume_ticks(proc, None, inject)
 
         return Call(handler)
 
@@ -526,7 +581,7 @@ class Nic:
             proc.blocked_on = f"quiet({self._outstanding[pe]} outstanding)"
             entry = _QuietWait(proc)
             self._quiet_waiters.setdefault(pe, []).append(entry)
-            if self.op_timeout is not None:
+            if self._timeout_ticks is not None:
                 def fire() -> None:
                     waiters = self._quiet_waiters.get(pe)
                     if not waiters or entry not in waiters or proc.finished:
@@ -546,16 +601,17 @@ class Nic:
                         ),
                     )
 
-                engine.at(engine.now + self.op_timeout, fire,
-                          actor=f"timer:pe{pe}")
+                engine.at_ticks(engine.now_ticks + self._timeout_ticks, fire,
+                                actor=self._timer_actors[pe])
 
         return Call(handler)
 
     def _complete_nb(self, initiator: int) -> None:
-        self._outstanding[initiator] -= 1
-        if self._outstanding[initiator] < 0:
+        outstanding = self._outstanding
+        outstanding[initiator] -= 1
+        if outstanding[initiator] < 0:
             raise SimulationError("non-blocking completion underflow")
-        if self._outstanding[initiator] == 0:
+        if outstanding[initiator] == 0 and self._quiet_waiters:
             for entry in self._quiet_waiters.pop(initiator, []):
                 self.engine.resume(entry.proc, None)
 

@@ -17,7 +17,7 @@ giving the depth-first traversal the Scioto model prescribes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..fabric.errors import ProtocolError
@@ -32,7 +32,6 @@ class TaskContext:
     npes: int
 
 
-@dataclass
 class TaskOutcome:
     """What executing one task produced.
 
@@ -40,15 +39,30 @@ class TaskOutcome:
     ``remote_children`` entry ``(target_pe, task)`` is deposited into the
     target's inbox instead (requires the pool's remote-spawn support;
     paper §2.1: spawning onto remote queues costs extra communication).
+
+    A ``__slots__`` class: one outcome is built per executed task, which
+    makes construction cost part of the simulator's per-task overhead.
     """
 
-    duration: float
-    children: list[Task] = field(default_factory=list)
-    remote_children: list[tuple[int, Task]] = field(default_factory=list)
+    __slots__ = ("duration", "children", "remote_children")
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise ValueError(f"negative task duration: {self.duration}")
+    def __init__(
+        self,
+        duration: float,
+        children: list[Task] | None = None,
+        remote_children: list[tuple[int, Task]] | None = None,
+    ) -> None:
+        if duration < 0:
+            raise ValueError(f"negative task duration: {duration}")
+        self.duration = duration
+        self.children = [] if children is None else children
+        self.remote_children = [] if remote_children is None else remote_children
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskOutcome(duration={self.duration!r}, "
+            f"children={self.children!r}, remote_children={self.remote_children!r})"
+        )
 
 
 TaskFn = Callable[[bytes, TaskContext], TaskOutcome]
@@ -84,6 +98,13 @@ class TaskRegistry:
         if not 0 <= task.fn_id < len(self._fns):
             raise ProtocolError(f"task references unregistered fn_id {task.fn_id}")
         return self._fns[task.fn_id](task.payload, tc)
+
+    def dispatch_table(self) -> list[TaskFn]:
+        """The live fn_id-indexed function list (read-only by contract).
+
+        Hot executors index this directly — with their own bounds check —
+        instead of paying a method call per task."""
+        return self._fns
 
     def __len__(self) -> int:
         return len(self._fns)

@@ -16,35 +16,53 @@ matching the Scioto execution model's portability requirement.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 
 from ..fabric.errors import ProtocolError
 
 _HEADER = struct.Struct("<HH")
+_unpack_header = _HEADER.unpack_from
 HEADER_BYTES = _HEADER.size
 
 
-@dataclass(frozen=True)
 class Task:
-    """One unit of work: a function id and its serialized arguments."""
+    """One unit of work: a function id and its serialized arguments.
 
-    fn_id: int
-    payload: bytes = b""
+    A ``__slots__`` value class (tasks are created per spawn and per
+    dequeue — the hottest object in the runtime layer).  Instances are
+    immutable by convention; equality and hashing follow the
+    ``(fn_id, payload)`` pair.
+    """
 
-    def __post_init__(self) -> None:
-        if not 0 <= self.fn_id < (1 << 16):
-            raise ProtocolError(f"fn_id {self.fn_id} does not fit in 16 bits")
-        if len(self.payload) >= (1 << 16):
-            raise ProtocolError(f"payload of {len(self.payload)} bytes too large")
+    __slots__ = ("fn_id", "payload")
+
+    def __init__(self, fn_id: int, payload: bytes = b"") -> None:
+        if not 0 <= fn_id < (1 << 16):
+            raise ProtocolError(f"fn_id {fn_id} does not fit in 16 bits")
+        if len(payload) >= (1 << 16):
+            raise ProtocolError(f"payload of {len(payload)} bytes too large")
+        self.fn_id = fn_id
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Task(fn_id={self.fn_id}, payload={self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Task):
+            return NotImplemented
+        return self.fn_id == other.fn_id and self.payload == other.payload
+
+    def __hash__(self) -> int:
+        return hash((self.fn_id, self.payload))
 
     def serialize(self, task_size: int) -> bytes:
         """Encode to a fixed-size record of ``task_size`` bytes."""
-        if HEADER_BYTES + len(self.payload) > task_size:
+        payload = self.payload
+        if HEADER_BYTES + len(payload) > task_size:
             raise ProtocolError(
-                f"task needs {HEADER_BYTES + len(self.payload)} bytes; "
+                f"task needs {HEADER_BYTES + len(payload)} bytes; "
                 f"record size is {task_size}"
             )
-        body = _HEADER.pack(self.fn_id, len(self.payload)) + self.payload
+        body = _HEADER.pack(self.fn_id, len(payload)) + payload
         return body.ljust(task_size, b"\0")
 
     @classmethod
@@ -52,14 +70,48 @@ class Task:
         """Decode a fixed-size record back into a task."""
         if len(record) < HEADER_BYTES:
             raise ProtocolError(f"record of {len(record)} bytes has no header")
-        fn_id, plen = _HEADER.unpack_from(record)
+        fn_id, plen = _unpack_header(record)
         if HEADER_BYTES + plen > len(record):
             raise ProtocolError(
                 f"record declares {plen} payload bytes but holds "
                 f"{len(record) - HEADER_BYTES}"
             )
-        return cls(fn_id, bytes(record[HEADER_BYTES : HEADER_BYTES + plen]))
+        # Field ranges are guaranteed by the u16 header — skip __init__'s
+        # re-validation on this hot path.
+        task = cls.__new__(cls)
+        task.fn_id = fn_id
+        task.payload = bytes(record[HEADER_BYTES : HEADER_BYTES + plen])
+        return task
 
     def size_on_wire(self, task_size: int) -> int:
         """Bytes this task occupies in a queue of the given record size."""
         return task_size
+
+
+def parse_record(record: bytes) -> tuple[int, bytes]:
+    """Decode a record to ``(fn_id, payload)`` without building a Task.
+
+    Same validation as :meth:`Task.deserialize`; used by the worker's
+    batch loop, which only needs the two fields.
+    """
+    if len(record) < HEADER_BYTES:
+        raise ProtocolError(f"record of {len(record)} bytes has no header")
+    fn_id, plen = _unpack_header(record)
+    if HEADER_BYTES + plen > len(record):
+        raise ProtocolError(
+            f"record declares {plen} payload bytes but holds "
+            f"{len(record) - HEADER_BYTES}"
+        )
+    return fn_id, bytes(record[HEADER_BYTES : HEADER_BYTES + plen])
+
+
+def make_task(fn_id: int, payload: bytes) -> Task:
+    """Unvalidated fast constructor for hot spawn loops.
+
+    The caller must guarantee ``fn_id`` fits in 16 bits (e.g. a registry
+    id) and ``len(payload) < 65536`` (e.g. a fixed-width struct field).
+    """
+    task = Task.__new__(Task)
+    task.fn_id = fn_id
+    task.payload = payload
+    return task

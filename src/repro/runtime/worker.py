@@ -34,7 +34,7 @@ from .inbox import Inbox
 from .lifeline import LifelineManager
 from .registry import TaskContext, TaskRegistry
 from .stats import WorkerStats
-from .task import Task
+from .task import Task, parse_record
 from .termination import TerminationDetector
 from .victim import VictimSelector
 
@@ -410,19 +410,42 @@ class Worker:
     def _execute_batch(self) -> Generator:
         """Run up to ``batch_max`` local tasks as one compute segment."""
         drv = self.driver
-        budget = min(self.cfg.batch_max, drv.local_count)
-        if self.stats.tasks_executed == 0 and budget > 0:
-            self.stats.first_task_time = self.now
+        queue = drv.queue
+        stats = self.stats
+        budget = min(self.cfg.batch_max, queue.local_count)
+        if stats.tasks_executed == 0 and budget > 0:
+            stats.first_task_time = self.now
+        # Loop-invariant hoists.  The loop body never yields, so no engine
+        # event can interleave with it: the advertised shared portion —
+        # mutated only by remote atomics (fabric events) or the owner's
+        # own release/acquire (not called here) — is constant for the
+        # whole batch, so its emptiness check is evaluated once.
+        dequeue = queue.dequeue
+        enqueue = queue.enqueue
+        fns = self.registry.dispatch_table()
+        nfns = len(fns)
+        tc = self.tc
+        task_size = self.task_size
+        overhead = self.cfg.task_overhead
+        help_first = self.cfg.spawn_policy == "help_first"
+        multi = self.npes > 1
+        release_min = self.cfg.release_min_local
+        shared_empty = multi and drv.stealable_remaining == 0
         executed = 0
         duration = 0.0
+        spawned = 0
+        task_time = 0.0
         while executed < budget:
-            rec = drv.dequeue()
+            rec = dequeue()
             if rec is None:
                 break
-            task = Task.deserialize(rec)
-            outcome = self.registry.execute(task, self.tc)
-            for child in outcome.children:
-                drv.enqueue(child.serialize(self.task_size))
+            fn_id, payload = parse_record(rec)
+            if fn_id >= nfns:
+                raise ProtocolError(f"task references unregistered fn_id {fn_id}")
+            outcome = fns[fn_id](payload, tc)
+            children = outcome.children
+            for child in children:
+                enqueue(child.serialize(task_size))
             if outcome.remote_children:
                 if self.inbox is None:
                     raise ProtocolError(
@@ -431,22 +454,21 @@ class Worker:
                 # Counted as spawned now (before any receiver can run
                 # them), sent after the batch's compute segment.
                 self._remote_spawns.extend(outcome.remote_children)
-                self.stats.tasks_spawned += len(outcome.remote_children)
-            self.stats.tasks_spawned += len(outcome.children)
-            self.stats.task_time += outcome.duration
-            duration += outcome.duration + self.cfg.task_overhead
+                spawned += len(outcome.remote_children)
+            spawned += len(children)
+            task_time += outcome.duration
+            duration += outcome.duration + overhead
             executed += 1
-            help_first_break = (
-                self.cfg.spawn_policy == "help_first" and outcome.children
-            )
             if (
-                self.npes > 1
-                and (help_first_break or drv.stealable_remaining == 0)
-                and drv.local_count >= self.cfg.release_min_local
+                multi
+                and ((help_first and children) or shared_empty)
+                and queue.local_count >= release_min
             ):
                 # Break the batch so _manage can release promptly.
                 break
-        self.stats.tasks_executed += executed
+        stats.tasks_spawned += spawned
+        stats.task_time += task_time
+        stats.tasks_executed += executed
         if duration > 0:
             yield Delay(duration)
         if self._remote_spawns:

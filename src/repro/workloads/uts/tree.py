@@ -16,11 +16,17 @@ depth, so the tree is identical no matter which PE expands which node:
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
-from .sha1_rng import root_state, spawn, to_prob
+from .sha1_rng import root_state, to_prob
+
+_CHILD_PACK = struct.Struct(">I").pack
+_SHA1 = hashlib.sha1
 
 
 class TreeType(Enum):
@@ -92,18 +98,31 @@ def branching_factor(params: UtsParams, depth: int) -> float:
     return params.b0 * (1.0 - depth / params.gen_mx)
 
 
+@lru_cache(maxsize=4096)
+def _geo_log1mp(params: UtsParams, depth: int) -> float:
+    """``log(1 - p)`` of the geometric draw at ``depth``; 0.0 = no children.
+
+    The branching factor — and thus ``p`` — is a pure function of
+    ``(params, depth)``, so the log is computed once per depth instead of
+    once per node (every node at a depth shares it).
+    """
+    b = branching_factor(params, depth)
+    if b <= 0.0:
+        return 0.0
+    return math.log(1.0 - 1.0 / (1.0 + b))
+
+
 def num_children(params: UtsParams, state: bytes, depth: int, is_root: bool) -> int:
     """Deterministic child count of one node (the UTS expansion rule)."""
     if params.tree_type is TreeType.GEO:
-        b = branching_factor(params, depth)
-        if b <= 0.0:
-            return 0
         # Geometric draw with mean b: reference implementation formula.
-        p = 1.0 / (1.0 + b)
+        log1mp = _geo_log1mp(params, depth)
+        if log1mp == 0.0:
+            return 0
         u = to_prob(state)
         if u >= 1.0:  # pragma: no cover - to_prob is < 1 by construction
             u = math.nextafter(1.0, 0.0)
-        return int(math.floor(math.log(1.0 - u) / math.log(1.0 - p)))
+        return int(math.log(1.0 - u) / log1mp)
     # BIN
     if is_root:
         return int(params.b0)
@@ -113,4 +132,11 @@ def num_children(params: UtsParams, state: bytes, depth: int, is_root: bool) -> 
 def expand(params: UtsParams, state: bytes, depth: int, is_root: bool = False) -> list[bytes]:
     """Child states of one node."""
     n = num_children(params, state, depth, is_root)
-    return [spawn(state, i) for i in range(n)]
+    if n <= 0:
+        return []
+    # Inlined spawn() loop: num_children already drew from ``state``
+    # through the validating rand31 path, so the per-child length check
+    # is redundant here.
+    sha1 = _SHA1
+    pack = _CHILD_PACK
+    return [sha1(state + pack(i)).digest() for i in range(n)]

@@ -12,14 +12,20 @@ per child node.  Payload layout (little-endian)::
 
 from __future__ import annotations
 
+import hashlib
+import math
 import struct
 from dataclasses import dataclass
 
 from ...runtime.registry import TaskContext, TaskOutcome, TaskRegistry
-from ...runtime.task import Task
-from .tree import UtsParams, expand
+from ...runtime.task import Task, make_task
+from .sha1_rng import _TWO31
+from .tree import GeoShape, TreeType, UtsParams, _geo_log1mp, expand
 
 _NODE = struct.Struct("<II20s")
+_CHILD_PACK = struct.Struct(">I").pack
+_SHA1 = hashlib.sha1
+_LOG = math.log
 
 #: Task record size used by the paper for UTS (Table 2).
 PAPER_TASK_SIZE = 48
@@ -55,6 +61,20 @@ class UtsWorkload:
         self.params = params or UtsWorkloadParams()
         self.registry = registry
         self.node_id = registry.register("uts.node", self._node)
+        # Hot-loop hoists: _node runs once per tree node.
+        self._node_time = self.params.node_time
+        self._per_child = self.params.per_child_time
+        # GEO trees: the geometric draw's log(1 - p) is a pure function of
+        # depth, so table it once here instead of re-deriving (and hashing
+        # the params dataclass through an lru_cache) per node.  Depths past
+        # the table are leaves by construction.
+        if tree.tree_type is TreeType.GEO:
+            horizon = 5 * tree.gen_mx if tree.shape is GeoShape.CYCLIC else tree.gen_mx
+            self._log1mp: tuple[float, ...] | None = tuple(
+                _geo_log1mp(tree, d) for d in range(horizon + 1)
+            )
+        else:
+            self._log1mp = None
 
     def seed_task(self) -> Task:
         """The root node's task."""
@@ -64,9 +84,27 @@ class UtsWorkload:
 
     def _node(self, payload: bytes, tc: TaskContext) -> TaskOutcome:
         depth, flags, state = _NODE.unpack(payload)
-        children = expand(self.tree, state, depth, is_root=bool(flags & _ROOT_FLAG))
-        tasks = [
-            Task(self.node_id, _NODE.pack(depth + 1, 0, c)) for c in children
-        ]
-        duration = self.params.node_time + self.params.per_child_time * len(tasks)
+        table = self._log1mp
+        if table is not None:
+            # Inlined GEO expansion (bit-identical to tree.num_children):
+            # the state is a fixed-width struct field, so the validating
+            # to_prob/spawn wrappers are skipped.
+            log1mp = table[depth] if depth < len(table) else 0.0
+            if log1mp == 0.0:
+                n = 0
+            else:
+                u = (int.from_bytes(state[:4], "big") & 0x7FFFFFFF) / _TWO31
+                n = int(_LOG(1.0 - u) / log1mp)
+            sha1 = _SHA1
+            cpack = _CHILD_PACK
+            children = [sha1(state + cpack(i)).digest() for i in range(n)]
+        else:
+            children = expand(self.tree, state, depth, bool(flags & _ROOT_FLAG))
+        pack = _NODE.pack
+        nid = self.node_id
+        d1 = depth + 1
+        # make_task: nid is a registry id and the payload a fixed-width
+        # struct, so Task's range validation is statically satisfied.
+        tasks = [make_task(nid, pack(d1, 0, c)) for c in children]
+        duration = self._node_time + self._per_child * len(tasks)
         return TaskOutcome(duration=duration, children=tasks)

@@ -1,0 +1,203 @@
+"""Fast-path and integer-clock tests for the DES engine.
+
+Covers the performance-sensitive contracts documented in
+docs/performance.md:
+
+* ``Engine.run`` with no scheduler and no observers takes the literal
+  bare loop — zero per-event instrumentation
+  (``engine.instrumented_events`` stays 0);
+* equal-timestamp events pop in insertion order, and that order is
+  identical across the bare path, the observed path, and a
+  ``FixedScheduler`` exploration run (the policy that *is* insertion
+  order);
+* tick↔seconds conversion round-trips exactly over the simulated time
+  range (hypothesis, plus hand-picked boundaries);
+* ``Process.__repr__`` renders every lifecycle state.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fabric.engine import (
+    TICKS_PER_SECOND,
+    Call,
+    Delay,
+    Engine,
+    Process,
+    events_tally,
+    reset_event_tally,
+    to_seconds,
+    to_ticks,
+)
+from repro.fabric.scheduler import FixedScheduler
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _ticker(log, name, engine, rounds=3, step=1e-6):
+    """A process that logs (name, now_ticks) then sleeps a fixed step."""
+    for _ in range(rounds):
+        log.append((name, engine.now_ticks))
+        yield Delay(step)
+
+
+def _run_workload(scheduler=None, observer=None):
+    """Run three same-phase tickers; return (engine, event log)."""
+    eng = Engine(scheduler=scheduler)
+    if observer is not None:
+        eng.observers.append(observer)
+    log: list[tuple[str, int]] = []
+    for name in ("a", "b", "c"):
+        eng.spawn(_ticker(log, name, eng), name)
+    eng.run()
+    return eng, log
+
+
+# ----------------------------------------------------------------------
+# the bare fast path really runs
+# ----------------------------------------------------------------------
+def test_bare_run_has_zero_instrumentation():
+    eng, log = _run_workload()
+    assert eng.events_processed > 0
+    assert len(log) == 9
+    # The contract the perf work rests on: no scheduler, no observers
+    # => the uninstrumented loop ran for every single event.
+    assert eng.instrumented_events == 0
+
+
+def test_observed_run_instruments_every_event():
+    hits = []
+    eng, _log = _run_workload(observer=lambda: hits.append(None))
+    assert eng.events_processed > 0
+    assert eng.instrumented_events == eng.events_processed
+    assert len(hits) == eng.events_processed
+
+
+def test_scheduled_run_instruments_every_event():
+    eng, _log = _run_workload(scheduler=FixedScheduler())
+    assert eng.events_processed > 0
+    assert eng.instrumented_events == eng.events_processed
+
+
+def test_module_tally_counts_fast_path_events():
+    reset_event_tally()
+    eng, _log = _run_workload()
+    assert events_tally() == eng.events_processed
+    reset_event_tally()
+    assert events_tally() == 0
+
+
+# ----------------------------------------------------------------------
+# equal-timestamp tie-break: identical across all three loops
+# ----------------------------------------------------------------------
+def test_tie_break_order_identical_across_paths():
+    eng_bare, log_bare = _run_workload()
+    eng_obs, log_obs = _run_workload(observer=lambda: None)
+    eng_fix, log_fix = _run_workload(scheduler=FixedScheduler())
+
+    # All three tickers collide at t=0, 1us, 2us; insertion order must
+    # decide every collision, on every loop variant, identically.
+    assert log_bare == log_obs == log_fix
+    assert [n for n, _t in log_bare[:3]] == ["a", "b", "c"]
+    assert (
+        eng_bare.events_processed
+        == eng_obs.events_processed
+        == eng_fix.events_processed
+    )
+    assert eng_bare.now_ticks == eng_obs.now_ticks == eng_fix.now_ticks
+
+
+def test_equal_timestamp_events_pop_in_schedule_order():
+    eng = Engine()
+    order = []
+    when = 3.7e-6
+    for i in range(8):
+        eng.at(when, lambda i=i: order.append(i))
+    eng.run()
+    assert order == list(range(8))
+    assert eng.now_ticks == to_ticks(when)
+
+
+# ----------------------------------------------------------------------
+# tick <-> seconds conversion
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "ticks",
+    [0, 1, 2, 999, 10**15 - 1, 10**15, 10**15 + 1, 2**50, 2**50 - 1],
+)
+def test_tick_round_trip_boundaries(ticks):
+    assert to_ticks(to_seconds(ticks)) == ticks
+
+
+@given(st.integers(min_value=0, max_value=2**50))
+def test_tick_round_trip_exact(ticks):
+    # Up to 2**50 ticks (~1.1 simulated seconds) the float detour
+    # carries absolute error < 0.5 ticks, so round() recovers the
+    # integer exactly — every engine timestamp survives a seconds
+    # round trip bit-identically.
+    assert to_ticks(to_seconds(ticks)) == ticks
+
+
+@given(st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+def test_seconds_round_trip_within_half_tick(seconds):
+    # Seconds are quantized to the nearest tick: the round trip may
+    # move a value by at most ~half a femtosecond.
+    assert abs(to_seconds(to_ticks(seconds)) - seconds) <= 1e-15
+
+
+def test_sub_tick_rounding():
+    assert to_ticks(0.4e-15) == 0
+    assert to_ticks(0.6e-15) == 1
+    assert to_ticks(0.0) == 0
+    assert to_seconds(0) == 0.0
+
+
+def test_relative_schedule_is_exact_at_large_times():
+    # The historic float-clock failure mode: at a large `now`, adding a
+    # small delay loses precision.  The integer clock must land the
+    # event exactly `delay` ticks later.
+    eng = Engine()
+    fired = []
+    eng.schedule(1000.0, lambda: eng.schedule(1e-9, lambda: fired.append(eng.now_ticks)))
+    eng.run()
+    assert fired == [to_ticks(1000.0) + to_ticks(1e-9)]
+
+
+# ----------------------------------------------------------------------
+# Process / request reprs
+# ----------------------------------------------------------------------
+def test_process_repr_lifecycle():
+    eng = Engine()
+
+    handle: list[Process] = []
+    seen: list[str] = []
+
+    def body():
+        # Inside a step the process is neither waiting nor finished.
+        seen.append(repr(handle[0]))
+        yield Delay(1e-9)
+
+    fresh = Process("raw", iter(()), eng)
+    assert repr(fresh) == "<Process raw ready>"
+
+    proc = eng.spawn(body(), "alpha")
+    handle.append(proc)
+    # Spawned-but-not-yet-run processes sit waiting on their first resume.
+    assert repr(proc) == "<Process alpha waiting>"
+
+    eng.run()
+    assert seen == ["<Process alpha ready>"]
+    assert repr(proc) == "<Process alpha done>"
+
+
+def test_request_reprs():
+    assert repr(Delay(1e-6)) == "delay(1e-06s)"
+
+    def handler(engine, proc):  # pragma: no cover - never invoked
+        raise AssertionError
+
+    assert repr(Call(handler)) == "call('handler')"
