@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos schedules explore bench bench-fast bench-baseline experiments experiments-full examples clean
+.PHONY: install test chaos schedules mp conformance explore bench bench-fast bench-baseline experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -15,6 +15,17 @@ chaos:
 
 schedules:
 	$(PYTHON) -m pytest -m schedules tests/schedules/
+
+# Multiprocess-substrate tests: real OS processes over shared memory
+# (see docs/backends.md).
+mp:
+	$(PYTHON) -m pytest tests/test_mp_atomics.py tests/test_mp_queue.py \
+	    tests/test_mp_driver.py
+
+# Cross-backend agreement: fabric ≡ threads ≡ mp on the golden schedule,
+# task conservation and completion accounting.
+conformance:
+	$(PYTHON) -m pytest -m conformance tests/conformance/
 
 # Deeper interleaving sweep than the pytest suite (see docs/testing.md);
 # failing schedules land in results/schedules/ as replayable traces.

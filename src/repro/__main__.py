@@ -10,6 +10,8 @@ Subcommands::
     python -m repro replay TRACE.json [--strict] [--shrink]
     python -m repro sweep [--scenarios S] [--jobs N] [--out FILE]
                           [--baseline FILE] [--matrix ...]
+    python -m repro mp [--workload synthetic|uts] [--impl sws|sdc]
+                       [--npes N] [--ntasks N | --tree NAME] [--verify]
 
 ``explore`` sweeps same-timestamp event orderings under the invariant
 oracle and writes every failing schedule as a replayable JSON trace;
@@ -17,7 +19,9 @@ oracle and writes every failing schedule as a replayable JSON trace;
 the CI-artifact-to-repro workflow; see docs/testing.md); ``sweep`` fans
 deterministic bench scenarios / matrix cells across a process pool with
 an on-disk result cache and emits ``BENCH_fabric.json`` (see
-docs/performance.md).
+docs/performance.md); ``mp`` runs a workload end-to-end on the
+multiprocess substrate — real OS processes over shared memory (see
+docs/backends.md).
 """
 
 from __future__ import annotations
@@ -116,6 +120,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     from .analysis.sweep import (
         BENCH_SCENARIOS,
+        MP_SCENARIOS,
         ResultCache,
         SweepJob,
         bench_report,
@@ -139,6 +144,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             else tuple(args.scenarios.split(","))
         )
         jobs = [SweepJob.bench(name, args.scale) for name in names]
+        if args.scenarios == "all":
+            # Multiprocess-substrate scenarios ride along in the report
+            # (observability only: no baseline entry, so no gating).
+            jobs += [SweepJob.mp(*mp) for mp in MP_SCENARIOS]
 
     cache = None if args.no_cache else ResultCache(args.cache)
     outcome = run_jobs(
@@ -177,6 +186,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 return 1
             print(f"regression gate clean vs {args.baseline} "
                   f"(threshold {args.gate_threshold:.0%})")
+    return 0
+
+
+def _cmd_mp(args: argparse.Namespace) -> int:
+    from .core.results import StealStatus
+    from .mp.driver import run_mp
+
+    result = run_mp(
+        args.workload,
+        args.impl,
+        args.npes,
+        ntasks=args.ntasks,
+        tree=args.tree,
+        seed=args.seed,
+        damping=not args.no_damping,
+        verify=args.verify,
+    )
+    s = result.summary()
+    print(
+        f"mp/{s['impl']} {s['workload']} on {s['npes']} processes: "
+        f"{s['executed']} tasks in {s['wall_s']:.3f}s wall"
+    )
+    print(
+        f"  created={s['created']} completed={s['completed']} "
+        f"steals={s['steals']} tasks_stolen={s['tasks_stolen']}"
+    )
+    hist = result.steal_volume_histogram()
+    if hist:
+        print("  steal volumes: "
+              + ", ".join(f"{v}x{n}" for v, n in hist.items()))
+    for p in result.pes:
+        stolen = p.steals.get(StealStatus.STOLEN.value, 0)
+        print(
+            f"  PE {p.rank}: executed={p.executed} steals={stolen} "
+            f"releases={p.releases} probes={p.probes} "
+            f"demotions={p.demotions}"
+        )
+    if args.verify:
+        if not result.conserved:
+            print(
+                f"FAIL: conservation violated — executed {s['executed']} "
+                f"(expected {result.expected_executed}), checksum "
+                f"{result.checksum:#x} (expected "
+                f"{result.expected_checksum:#x})"
+            )
+            return 1
+        print(
+            f"verified: {result.expected_executed} tasks, zero "
+            f"lost/duplicated (checksum {result.checksum:#018x})"
+        )
     return 0
 
 
@@ -258,6 +317,26 @@ def main(argv: list[str] | None = None) -> int:
                       help="matrix: seeds per cell")
     p_sw.add_argument("--seed-base", type=int, default=100)
     p_sw.set_defaults(fn=_cmd_sweep)
+
+    p_mp = sub.add_parser(
+        "mp", help="run a workload on the multiprocess shared-memory substrate"
+    )
+    p_mp.add_argument("--workload", default="synthetic",
+                      choices=("synthetic", "uts"))
+    p_mp.add_argument("--impl", default="sws", choices=("sws", "sdc"))
+    p_mp.add_argument("--npes", type=int, default=4,
+                      help="worker processes (PEs)")
+    p_mp.add_argument("--ntasks", type=int, default=2000,
+                      help="synthetic: tasks seeded on PE 0")
+    p_mp.add_argument("--tree", default="test_tiny",
+                      help="uts: named tree (test_tiny, test_small, ...)")
+    p_mp.add_argument("--seed", type=int, default=0)
+    p_mp.add_argument("--no-damping", action="store_true",
+                      help="disable the §4.3 damping state machine")
+    p_mp.add_argument("--verify", action="store_true",
+                      help="check count + checksum against the sequential "
+                           "oracle; nonzero exit on mismatch")
+    p_mp.set_defaults(fn=_cmd_mp)
 
     # main() with no argv is the library entry point (and the historic
     # behaviour): run the demo, never read sys.argv.

@@ -111,6 +111,14 @@ def run_sweep(factory: WorkloadFactory, cfg: SweepConfig | None = None) -> list[
 #: ``benchmarks/bench_fig*.py`` figure regeneration.
 BENCH_SCENARIOS: tuple[str, ...] = ("fig2", "fig34", "fig5", "fig6", "fig7", "fig8")
 
+#: Multiprocess-substrate scenarios measured alongside the bench set:
+#: (workload, impl, npes, size) — size is ntasks for synthetic, a named
+#: UTS tree otherwise.  Small on purpose: CI runners have 2 cores.
+MP_SCENARIOS: tuple[tuple[str, str, int, object], ...] = (
+    ("synthetic", "sws", 4, 1200),
+    ("uts", "sws", 4, "test_tiny"),
+)
+
 #: Default on-disk cache location (relative to the invoking directory).
 DEFAULT_CACHE_DIR = "results/sweep-cache"
 
@@ -139,9 +147,11 @@ def code_version() -> str:
 class SweepJob:
     """One deterministic, independently executable unit of work.
 
-    ``kind`` is ``"bench"`` (regenerate one experiment scenario) or
-    ``"cell"`` (one TaskPool run of a named UTS tree).  The frozen spec
-    is the cache identity — two jobs with equal specs are the same job.
+    ``kind`` is ``"bench"`` (regenerate one experiment scenario),
+    ``"cell"`` (one TaskPool run of a named UTS tree) or ``"mp"`` (one
+    end-to-end run on the multiprocess shared-memory substrate).  The
+    frozen spec is the cache identity — two jobs with equal specs are
+    the same job.
     """
 
     kind: str
@@ -160,6 +170,16 @@ class SweepJob:
             "cell", tree, (("impl", impl), ("npes", npes), ("seed", seed))
         )
 
+    @classmethod
+    def mp(cls, workload: str, impl: str, npes: int, size) -> "SweepJob":
+        """One multiprocess-substrate run (``size``: ntasks or tree)."""
+        name = f"mp_{workload}_{impl}_n{npes}"
+        return cls(
+            "mp", name,
+            (("workload", workload), ("impl", impl), ("npes", npes),
+             ("size", size)),
+        )
+
     def spec(self) -> dict:
         """JSON-ready canonical description."""
         out = {"kind": self.kind, "name": self.name}
@@ -173,7 +193,7 @@ class SweepJob:
 
     def label(self) -> str:
         """Short human-readable name for progress lines."""
-        if self.kind == "bench":
+        if self.kind in ("bench", "mp"):
             return self.name
         p = dict(self.params)
         return f"{self.name}/{p.get('impl')}/n{p.get('npes')}/s{p.get('seed')}"
@@ -200,6 +220,7 @@ def run_job(spec: dict) -> dict:
     from ..fabric import engine as fabric_engine
 
     fabric_engine.reset_event_tally()
+    events = None
     t0 = time.perf_counter()
     if spec["kind"] == "bench":
         from .experiments import run_experiment
@@ -215,10 +236,13 @@ def run_job(spec: dict) -> dict:
         payload = {
             "summary": {k: _json_safe(v) for k, v in sorted(stats.summary().items())}
         }
+    elif spec["kind"] == "mp":
+        payload, events = _run_mp_job(spec)
     else:
         raise ValueError(f"unknown job kind {spec['kind']!r}")
     wall = time.perf_counter() - t0
-    events = fabric_engine.events_tally()
+    if events is None:
+        events = fabric_engine.events_tally()
     return {
         "payload": payload,
         "meta": {
@@ -244,6 +268,38 @@ def _run_cell(spec: dict) -> "RunStats":
     return run_point(
         factory, spec["impl"], int(spec["npes"]), int(spec["seed"]), SweepConfig()
     )
+
+
+def _run_mp_job(spec: dict) -> tuple[dict, int]:
+    """One multiprocess-substrate run → (payload, events).
+
+    The payload keeps only fields that are a pure function of the spec
+    (task counts and conservation) so the content-addressed cache stays
+    honest; racy per-run observables (steal counts, volumes) are
+    measurement metadata and live in the bench report's meta instead.
+    ``events`` is the completed-task count, so the report's events/sec
+    column reads as tasks/sec for mp scenarios.
+    """
+    from ..mp.driver import run_mp
+
+    workload, size = spec["workload"], spec["size"]
+    kwargs = {"verify": True}
+    if workload == "synthetic":
+        kwargs["ntasks"] = int(size)
+    else:
+        kwargs["tree"] = str(size)
+    result = run_mp(workload, spec["impl"], int(spec["npes"]), **kwargs)
+    s = result.summary()
+    payload = {
+        "workload": workload,
+        "impl": spec["impl"],
+        "npes": int(spec["npes"]),
+        "created": s["created"],
+        "completed": s["completed"],
+        "executed": s["executed"],
+        "conserved": bool(result.conserved),
+    }
+    return payload, s["completed"]
 
 
 class ResultCache:
@@ -404,15 +460,20 @@ def bench_report(outcome: SweepOutcome) -> dict:
     scenarios = {}
     for rec in outcome.records:
         spec = rec["spec"]
-        if spec["kind"] != "bench":
+        if spec["kind"] not in ("bench", "mp"):
             continue
         meta = rec["meta"]
-        scenarios[spec["name"]] = {
+        entry = {
             "wall_s": round(meta["wall_s"], 4),
             "events": meta["events"],
             "events_per_sec": round(meta["events_per_sec"], 1),
             "cached": bool(rec.get("cached")),
         }
+        if spec["kind"] == "mp":
+            # events == completed tasks here; conservation rides along
+            # for observability but does not gate (no baseline entry).
+            entry["conserved"] = bool(rec["payload"].get("conserved"))
+        scenarios[spec["name"]] = entry
     return {
         "schema": 1,
         "code_version": outcome.code_version,

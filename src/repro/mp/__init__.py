@@ -1,0 +1,47 @@
+"""Multiprocess substrate: the SWS protocol across real OS processes.
+
+The third execution substrate of the reproduction (after the simulated
+fabric and the in-process thread shims): shared-memory 64-bit words with
+cross-process atomic operations, the same shim protocol cores as the
+thread substrate (:mod:`repro.threads.protocol`), and a process-pool PE
+driver that runs the synthetic and UTS workloads end-to-end.  See
+``docs/backends.md`` for what each substrate can and cannot falsify.
+"""
+
+from .atomics import ShmWords, WordRef, WordSlice
+from .driver import (
+    MpPeStats,
+    MpRunResult,
+    run_mp,
+    synthetic_expected,
+    uts_expected,
+)
+from .heap import MpHeap
+from .queue import (
+    MpSdcQueue,
+    MpSdcThief,
+    MpSwsQueue,
+    MpSwsThief,
+    SdcQueueLayout,
+    SwsQueueLayout,
+    hammer_mp,
+)
+
+__all__ = [
+    "ShmWords",
+    "WordRef",
+    "WordSlice",
+    "MpHeap",
+    "SwsQueueLayout",
+    "SdcQueueLayout",
+    "MpSwsQueue",
+    "MpSwsThief",
+    "MpSdcQueue",
+    "MpSdcThief",
+    "hammer_mp",
+    "run_mp",
+    "MpRunResult",
+    "MpPeStats",
+    "synthetic_expected",
+    "uts_expected",
+]

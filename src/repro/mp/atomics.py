@@ -1,0 +1,203 @@
+"""Cross-process atomic 64-bit words over ``multiprocessing.shared_memory``.
+
+THE atomic seam of the multiprocess substrate: every access to shared
+words goes through :class:`ShmWords` — no other module in ``repro.mp``
+touches the raw ``SharedMemory`` buffer (grep for ``_shm.buf`` to audit;
+it appears only here).  Semantics first: each operation holds one of a
+*striped* set of ``multiprocessing.Lock``\\ s, so operations on the same
+word serialize (real atomicity across address spaces) while contended
+victims on different stripes don't serialize the whole world.
+
+Like :class:`repro.threads.atomics.AtomicWord64`, this trades raw speed
+for honest cross-process mutual exclusion — CPython has no shared-memory
+CAS — but unlike the threads shim the preemption here is the OS kernel
+scheduling *separate processes*, GIL nowhere in sight.
+
+:class:`WordRef` / :class:`WordSlice` adapt word indices to the
+object-per-word interface (``load``/``store``/``swap``/``fetch_add``/
+``compare_swap``) the shared shim protocol cores expect, so
+:mod:`repro.threads.protocol` runs unchanged on either substrate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import struct
+
+_U64_MASK = (1 << 64) - 1
+_WORD = struct.Struct("<Q")
+WORD_BYTES = _WORD.size
+
+#: Default lock-stripe count; power of two so ``index % nstripes`` mixes.
+DEFAULT_STRIPES = 16
+
+
+def _preferred_context():
+    """A fork context when the platform has one (cheap, inherits the
+    mapping), else the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class ShmWords:
+    """A fixed array of 64-bit words in one shared-memory segment.
+
+    All word accesses are atomic with respect to every process attached
+    to the segment.  The creating process should call :meth:`unlink`
+    exactly once when the run is over (children only :meth:`close`).
+
+    Picklable: sending an instance to a ``spawn``-started process
+    re-attaches by segment name (the stripe locks travel through
+    multiprocessing's own reduction).  Under ``fork`` children simply
+    inherit the mapping.
+    """
+
+    def __init__(
+        self,
+        nwords: int,
+        nstripes: int = DEFAULT_STRIPES,
+        ctx=None,
+    ) -> None:
+        if nwords <= 0:
+            raise ValueError(f"nwords must be positive, got {nwords}")
+        if nstripes <= 0:
+            raise ValueError(f"nstripes must be positive, got {nstripes}")
+        from multiprocessing import shared_memory
+
+        ctx = ctx or _preferred_context()
+        self.nwords = nwords
+        self._locks = tuple(ctx.Lock() for _ in range(nstripes))
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=nwords * WORD_BYTES
+        )
+        self._shm.buf[:] = bytes(nwords * WORD_BYTES)
+        self._owner = True
+
+    # -- pickling (spawn-method portability) ---------------------------
+    def __getstate__(self):
+        return {
+            "nwords": self.nwords,
+            "_locks": self._locks,
+            "_name": self._shm.name,
+        }
+
+    def __setstate__(self, state):
+        from multiprocessing import shared_memory
+
+        self.nwords = state["nwords"]
+        self._locks = state["_locks"]
+        self._shm = shared_memory.SharedMemory(name=state["_name"])
+        self._owner = False
+
+    # -- the atomic API ------------------------------------------------
+    def _check(self, index: int) -> int:
+        if not 0 <= index < self.nwords:
+            raise IndexError(f"word {index} out of range [0, {self.nwords})")
+        return index * WORD_BYTES
+
+    def load(self, index: int) -> int:
+        """Atomic read of word ``index``."""
+        off = self._check(index)
+        with self._locks[index % len(self._locks)]:
+            return _WORD.unpack_from(self._shm.buf, off)[0]
+
+    def store(self, index: int, value: int) -> None:
+        """Atomic write of word ``index``."""
+        off = self._check(index)
+        with self._locks[index % len(self._locks)]:
+            _WORD.pack_into(self._shm.buf, off, value & _U64_MASK)
+
+    def swap(self, index: int, value: int) -> int:
+        """Atomic swap; returns the old value."""
+        off = self._check(index)
+        with self._locks[index % len(self._locks)]:
+            old = _WORD.unpack_from(self._shm.buf, off)[0]
+            _WORD.pack_into(self._shm.buf, off, value & _U64_MASK)
+            return old
+
+    def fetch_add(self, index: int, delta: int) -> int:
+        """Atomic fetch-and-add (wraps mod 2^64); returns the old value."""
+        off = self._check(index)
+        with self._locks[index % len(self._locks)]:
+            old = _WORD.unpack_from(self._shm.buf, off)[0]
+            _WORD.pack_into(self._shm.buf, off, (old + delta) & _U64_MASK)
+            return old
+
+    def compare_swap(self, index: int, expected: int, desired: int) -> int:
+        """Atomic compare-and-swap; returns the old value."""
+        off = self._check(index)
+        with self._locks[index % len(self._locks)]:
+            old = _WORD.unpack_from(self._shm.buf, off)[0]
+            if old == (expected & _U64_MASK):
+                _WORD.pack_into(self._shm.buf, off, desired & _U64_MASK)
+            return old
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Detach this process's mapping."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only, after every child exited)."""
+        if self._owner:
+            self._shm.unlink()
+
+    def ref(self, index: int) -> "WordRef":
+        """An :class:`AtomicWord64`-shaped handle on one word."""
+        self._check(index)
+        return WordRef(self, index)
+
+    def slice(self, start: int, length: int) -> "WordSlice":
+        """An :class:`AtomicArray64`-shaped handle on a word range."""
+        self._check(start)
+        if length > 0:
+            self._check(start + length - 1)
+        return WordSlice(self, start, length)
+
+
+class WordRef:
+    """One shared word behind the :class:`AtomicWord64` interface."""
+
+    __slots__ = ("_words", "_index")
+
+    def __init__(self, words: ShmWords, index: int) -> None:
+        self._words = words
+        self._index = index
+
+    def load(self) -> int:
+        return self._words.load(self._index)
+
+    def store(self, value: int) -> None:
+        self._words.store(self._index, value)
+
+    def swap(self, value: int) -> int:
+        return self._words.swap(self._index, value)
+
+    def fetch_add(self, delta: int) -> int:
+        return self._words.fetch_add(self._index, delta)
+
+    def compare_swap(self, expected: int, desired: int) -> int:
+        return self._words.compare_swap(self._index, expected, desired)
+
+
+class WordSlice:
+    """A shared word range behind the :class:`AtomicArray64` interface."""
+
+    __slots__ = ("_words", "_start", "_length")
+
+    def __init__(self, words: ShmWords, start: int, length: int) -> None:
+        self._words = words
+        self._start = start
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> WordRef:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range [0, {self._length})")
+        return WordRef(self._words, self._start + index)
+
+    def snapshot(self) -> list[int]:
+        """Non-atomic-across-words read of all values."""
+        return [self._words.load(self._start + i) for i in range(self._length)]

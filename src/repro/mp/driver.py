@@ -1,0 +1,461 @@
+"""Process-pool PE driver: end-to-end workloads across real processes.
+
+Each PE is a real OS process owning one mp stealval queue in the shared
+symmetric heap; idle PEs steal from victims with steal-half volumes and
+(for SWS) the paper's §4.3 damping state machine, exactly as the
+simulated runtime does — but here the interleavings come from the
+kernel scheduler across address spaces, not from a discrete-event loop.
+
+Workloads:
+
+* ``synthetic`` — a flat bag of ``ntasks`` independent tasks seeded on
+  PE 0; every other PE starts empty, so all load balance comes from
+  stealing.
+* ``uts`` — an Unbalanced Tree Search over a named SHA-1 tree
+  (:mod:`repro.workloads.uts`); tasks are 20-byte node states packed
+  into 4 shared words, children are enqueued locally and shared on
+  demand.
+
+Termination uses two global counters (``created`` / ``completed``) with
+the monotone argument: ``completed <= created`` always, and reading
+``completed`` *before* ``created`` makes an observed equality stable —
+every created task has executed, nothing is in flight.
+
+Steal attempts are classified with the simulator's own
+:class:`repro.core.results.StealStatus`, and per-PE stats aggregate into
+:class:`MpRunResult` whose ``summary()`` feeds the sweep runner and the
+``python -m repro mp`` subcommand.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.damping import DampingTracker, TargetMode
+from ..core.results import StealStatus
+from ..core.stealval import StealValEpoch
+from ..shmem.heap import SymmetricAllocator
+from ..workloads.uts import UtsParams, expand, get_tree
+from .atomics import _preferred_context
+from .heap import MpHeap
+from .queue import SdcQueueLayout, SwsQueueLayout
+
+_U64 = (1 << 64) - 1
+
+#: Local-queue size below which a PE does not bother sharing.
+RELEASE_MIN = 4
+
+
+def _mix64(x: int) -> int:
+    """Splitmix64 finalizer: an order-independent task fingerprint."""
+    x = (x + 0x9E3779B97F4A7C15) & _U64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _U64
+    return (x ^ (x >> 31)) & _U64
+
+
+# ----------------------------------------------------------------------
+# Task codecs: workload payloads <-> tuples of 64-bit words
+# ----------------------------------------------------------------------
+
+def encode_uts(state: bytes, depth: int, is_root: bool) -> tuple[int, int, int, int]:
+    """Pack a UTS node (20-byte SHA-1 state + depth + root flag) into 4 words."""
+    return (
+        int.from_bytes(state[0:8], "little"),
+        int.from_bytes(state[8:16], "little"),
+        int.from_bytes(state[16:20], "little"),
+        depth | (int(is_root) << 32),
+    )
+
+
+def decode_uts(words) -> tuple[bytes, int, bool]:
+    """Inverse of :func:`encode_uts`."""
+    w0, w1, w2, w3 = words
+    state = (
+        w0.to_bytes(8, "little")
+        + w1.to_bytes(8, "little")
+        + (w2 & 0xFFFFFFFF).to_bytes(4, "little")
+    )
+    return state, w3 & 0xFFFFFFFF, bool(w3 >> 32)
+
+
+def _fp_uts(words) -> int:
+    return _mix64(words[0] ^ words[2])
+
+
+def synthetic_expected(ntasks: int) -> tuple[int, int]:
+    """(node count, xor-of-fingerprints) for the flat synthetic bag."""
+    chk = 0
+    for i in range(ntasks):
+        chk ^= _mix64(i)
+    return ntasks, chk
+
+
+def uts_expected(params: UtsParams, max_nodes: int | None = 2_000_000) -> tuple[int, int]:
+    """(node count, xor-of-fingerprints) via a sequential DFS oracle."""
+    count = 0
+    chk = 0
+    stack: list[tuple[bytes, int, bool]] = [(params.root(), 0, True)]
+    while stack:
+        state, depth, is_root = stack.pop()
+        count += 1
+        if max_nodes is not None and count > max_nodes:
+            raise RuntimeError(f"tree exceeded max_nodes={max_nodes}")
+        chk ^= _fp_uts(encode_uts(state, depth, is_root))
+        for c in expand(params, state, depth, is_root):
+            stack.append((c, depth + 1, False))
+    return count, chk
+
+
+# ----------------------------------------------------------------------
+# Result records
+# ----------------------------------------------------------------------
+
+@dataclass
+class MpPeStats:
+    """One PE process's accounting for a run."""
+
+    rank: int
+    executed: int = 0
+    checksum: int = 0
+    steals: dict = field(default_factory=dict)      # StealStatus.value -> count
+    steal_volumes: list = field(default_factory=list)
+    probes: int = 0
+    probe_aborts: int = 0
+    demotions: int = 0
+    promotions: int = 0
+    releases: int = 0
+    acquires: int = 0
+
+    @property
+    def tasks_stolen(self) -> int:
+        return sum(self.steal_volumes)
+
+
+@dataclass
+class MpRunResult:
+    """Aggregate outcome of one multiprocess run."""
+
+    workload: str
+    impl: str
+    npes: int
+    seed: int
+    created: int
+    completed: int
+    wall_s: float
+    pes: list[MpPeStats] = field(default_factory=list)
+    expected_executed: int | None = None
+    expected_checksum: int | None = None
+
+    @property
+    def total_executed(self) -> int:
+        return sum(p.executed for p in self.pes)
+
+    @property
+    def checksum(self) -> int:
+        chk = 0
+        for p in self.pes:
+            chk ^= p.checksum
+        return chk
+
+    @property
+    def total_steals(self) -> int:
+        return sum(
+            p.steals.get(StealStatus.STOLEN.value, 0) for p in self.pes
+        )
+
+    @property
+    def conserved(self) -> bool:
+        """Zero lost / duplicated tasks, as far as the books can tell."""
+        ok = self.created == self.completed == self.total_executed
+        if self.expected_executed is not None:
+            ok = ok and self.total_executed == self.expected_executed
+        if self.expected_checksum is not None:
+            ok = ok and self.checksum == self.expected_checksum
+        return ok
+
+    def steal_volume_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for p in self.pes:
+            for v in p.steal_volumes:
+                hist[v] = hist.get(v, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def summary(self) -> dict:
+        """Flat JSON-ready record (sweep payload / CLI output)."""
+        return {
+            "workload": self.workload,
+            "impl": self.impl,
+            "npes": self.npes,
+            "seed": self.seed,
+            "created": self.created,
+            "completed": self.completed,
+            "executed": self.total_executed,
+            "conserved": self.conserved,
+            "steals": self.total_steals,
+            "tasks_stolen": sum(p.tasks_stolen for p in self.pes),
+            "wall_s": round(self.wall_s, 4),
+        }
+
+
+# ----------------------------------------------------------------------
+# The PE process body
+# ----------------------------------------------------------------------
+
+def _pe_main(
+    rank, npes, heap, layouts, impl, wl, ctl, seed, damping, outq
+) -> None:
+    """One PE: execute local tasks, share on demand, steal when starved."""
+    try:
+        stats = _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping)
+        outq.put(("ok", rank, stats))
+    except BaseException:
+        import traceback
+
+        outq.put(("error", rank, traceback.format_exc()))
+
+
+def _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping) -> dict:
+    kind, arg = wl
+    created = heap.ref(ctl["created"])
+    completed = heap.ref(ctl["completed"])
+    owner = layouts[rank].owner(heap)
+    thieves = {
+        v: layouts[v].thief(heap) for v in range(npes) if v != rank
+    }
+    rng = random.Random((seed * 1_000_003) ^ rank)
+    tracker = DampingTracker(npes, enabled=damping and impl == "sws")
+    stats = MpPeStats(rank=rank)
+    local: deque = deque()
+
+    if kind == "synthetic":
+        if rank == 0:
+            local.extend(range(arg))
+        execute = lambda payload: ()          # independent leaf tasks
+        fingerprint = _mix64
+    elif kind == "uts":
+        params = arg
+        if rank == 0:
+            local.append(encode_uts(params.root(), 0, True))
+
+        def execute(payload):
+            state, depth, is_root = decode_uts(payload)
+            return [
+                encode_uts(c, depth + 1, False)
+                for c in expand(params, state, depth, is_root)
+            ]
+
+        fingerprint = _fp_uts
+    else:
+        raise ValueError(f"unknown workload {kind!r}")
+
+    def shared_has_work() -> bool:
+        if impl == "sws":
+            view = StealValEpoch.unpack(owner.stealval.load())
+            return DampingTracker.view_has_work(view)
+        return owner.split.load() - owner.tail.load() > 0
+
+    def reclaim() -> int:
+        kept = owner.take_kept()
+        local.extend(kept)
+        return len(kept)
+
+    def try_share() -> None:
+        if (
+            len(local) < RELEASE_MIN
+            or owner.nfilled >= owner.capacity
+            or shared_has_work()
+        ):
+            return
+        n = len(local) // 2
+        batch = [local.popleft() for _ in range(n)]
+        pushed = owner.push_all(batch)
+        for payload in reversed(batch[pushed:]):
+            local.appendleft(payload)        # buffer full: keep the rest
+        if pushed:
+            owner.release(pushed)
+            stats.releases += 1
+            reclaim()                        # absorbed previous remainder
+
+    def try_steal_from(victim: int) -> bool:
+        thief = thieves[victim]
+        if impl == "sws":
+            if tracker.mode(victim) is TargetMode.EMPTY:
+                view = StealValEpoch.unpack(thief.probe())
+                tracker.note_probe(victim, DampingTracker.view_has_work(view))
+                if tracker.mode(victim) is TargetMode.EMPTY:
+                    return False             # probe said empty: no AMO spent
+            res = thief.steal()
+            if res.claimed:
+                status = StealStatus.STOLEN
+                tracker.note_success(victim)
+            elif res.aborted_locked:
+                status = StealStatus.DISABLED
+            else:
+                status = StealStatus.EMPTY
+                tracker.note_failed_claim(victim, res.view)
+        else:
+            res = thief.steal(max_spins=200)
+            if res.claimed:
+                status = StealStatus.STOLEN
+            elif res.empty:
+                status = StealStatus.EMPTY
+            else:
+                status = StealStatus.LOCKED_ABORT
+        stats.steals[status.value] = stats.steals.get(status.value, 0) + 1
+        if res.claimed:
+            stats.steal_volumes.append(len(res.claimed))
+            local.extend(res.claimed)
+            return True
+        return False
+
+    while True:
+        if local:
+            payload = local.pop()
+            children = execute(payload)
+            if children:
+                created.fetch_add(len(children))
+                local.extend(children)
+            completed.fetch_add(1)
+            stats.executed += 1
+            stats.checksum ^= fingerprint(payload)
+            try_share()
+            continue
+        # Local deque empty: reclaim our own shared remainder first.
+        owner.acquire()
+        stats.acquires += 1
+        if reclaim():
+            continue
+        # Steal sweep over victims in a fresh random order.
+        order = rng.sample(sorted(thieves), len(thieves))
+        if any(try_steal_from(v) for v in order):
+            continue
+        # Nothing anywhere: are the books balanced?  (completed first!)
+        done = completed.load()
+        if done == created.load():
+            break
+        time.sleep(1e-4)
+
+    stats.probes = tracker.stats.probes
+    stats.probe_aborts = tracker.stats.probe_aborts
+    stats.demotions = tracker.stats.demotions
+    stats.promotions = tracker.stats.promotions
+    return stats.__dict__
+
+
+# ----------------------------------------------------------------------
+# The parent-side runner
+# ----------------------------------------------------------------------
+
+def run_mp(
+    workload: str = "synthetic",
+    impl: str = "sws",
+    npes: int = 4,
+    *,
+    ntasks: int = 2000,
+    tree: str | UtsParams = "test_tiny",
+    seed: int = 0,
+    damping: bool = True,
+    capacity: int | None = None,
+    verify: bool = False,
+    join_timeout: float = 120.0,
+) -> MpRunResult:
+    """Run one workload end-to-end across ``npes`` real processes.
+
+    With ``verify=True`` the expected node count and checksum are
+    computed by a sequential oracle and attached to the result, making
+    ``result.conserved`` a zero-lost / zero-duplicated proof.
+    """
+    if impl not in ("sws", "sdc"):
+        raise ValueError(f"impl must be sws|sdc, got {impl!r}")
+    if workload not in ("synthetic", "uts"):
+        raise ValueError(f"workload must be synthetic|uts, got {workload!r}")
+    if npes < 2:
+        raise ValueError(f"npes must be >= 2, got {npes}")
+
+    if workload == "synthetic":
+        wl = ("synthetic", ntasks)
+        wpt = 1
+        capacity = capacity or max(256, 2 * ntasks)
+        nseed = ntasks
+    else:
+        params = tree if isinstance(tree, UtsParams) else get_tree(tree)
+        wl = ("uts", params)
+        wpt = 4
+        capacity = capacity or (1 << 14)
+        nseed = 1
+
+    ctx = _preferred_context()
+    heap = MpHeap(ctx=ctx)
+    layout_cls = SwsQueueLayout if impl == "sws" else SdcQueueLayout
+    layouts = [
+        layout_cls.reserve(heap, f"pe{r}", capacity, words_per_task=wpt)
+        for r in range(npes)
+    ]
+    alloc = SymmetricAllocator(heap, "ctl")
+    ctl = {"created": alloc.word("created"), "completed": alloc.word("completed")}
+    alloc.commit()
+    heap.freeze()
+    try:
+        heap.ref(ctl["created"]).store(nseed)
+        outq = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_pe_main,
+                args=(r, npes, heap, layouts, impl, wl, ctl, seed, damping, outq),
+                daemon=True,
+            )
+            for r in range(npes)
+        ]
+        t0 = time.perf_counter()
+        for p in procs:
+            p.start()
+
+        pes: list[MpPeStats] = []
+        errors: list[str] = []
+        try:
+            for _ in range(npes):
+                status, rank, payload = outq.get(timeout=join_timeout)
+                if status == "ok":
+                    pes.append(MpPeStats(**payload))
+                else:
+                    errors.append(f"PE {rank}:\n{payload}")
+        except BaseException:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            raise
+        wall = time.perf_counter() - t0
+        for p in procs:
+            p.join(timeout=join_timeout)
+            if p.is_alive():
+                p.terminate()
+                errors.append("PE process failed to exit after reporting")
+        if errors:
+            raise RuntimeError("mp run failed:\n" + "\n".join(errors))
+
+        pes.sort(key=lambda s: s.rank)
+        result = MpRunResult(
+            workload=workload,
+            impl=impl,
+            npes=npes,
+            seed=seed,
+            created=heap.ref(ctl["created"]).load(),
+            completed=heap.ref(ctl["completed"]).load(),
+            wall_s=wall,
+            pes=pes,
+        )
+        if verify:
+            if workload == "synthetic":
+                exp_n, exp_chk = synthetic_expected(ntasks)
+            else:
+                exp_n, exp_chk = uts_expected(wl[1])
+            result.expected_executed = exp_n
+            result.expected_checksum = exp_chk
+        return result
+    finally:
+        heap.close()
+        heap.unlink()

@@ -1,0 +1,325 @@
+"""SWS and SDC stealval queues across real OS processes.
+
+These bind the substrate-independent shim protocol cores
+(:mod:`repro.threads.protocol` — the *same* release / acquire / claim /
+completion logic the thread shims run, reusing
+:class:`repro.core.stealval.StealValEpoch` verbatim) to shared-memory
+words from :class:`~repro.mp.heap.MpHeap`.  The owner-side objects live
+in the process that plays the PE owning the queue; thief-side views
+(:class:`MpSwsThief`, :class:`MpSdcThief`) are cheap picklable handles
+any other process can steal through.
+
+Task payloads are tuples of 64-bit words (``words_per_task``), or bare
+ints when ``words_per_task == 1``; every buffer access goes through the
+striped-lock atomic seam — claimed blocks are exclusively owned by the
+claiming thief, so per-word atomic loads reconstruct records exactly.
+
+:func:`hammer_mp` mirrors :func:`repro.threads.queue_shim.hammer` with
+thief *processes*: the owner runs in the calling process, N children
+race claims against it, and the returned loot/kept partition must equal
+the original task set exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..shmem.heap import SymArray, SymWord, SymmetricAllocator
+from ..threads.protocol import (
+    SdcShimCore,
+    SdcShimResult,
+    ShimStealResult,
+    SwsShimCore,
+    sdc_steal_once,
+    sws_steal_once,
+)
+from .heap import MpHeap
+
+#: Default completion-array slots per epoch (covers allotments < 2^24).
+DEFAULT_COMP_SLOTS = 24
+
+
+class _MpTaskBuffer:
+    """Word-backed task buffer shared by owner and thief views."""
+
+    def _bind_buffer(self, heap: MpHeap, buffer: SymArray, capacity: int,
+                     words_per_task: int) -> None:
+        self._buf = heap.slice(buffer)
+        self.capacity = capacity
+        self.words_per_task = words_per_task
+
+    def _read_tasks(self, start: int, count: int) -> list:
+        if count <= 0:
+            return []
+        buf, wpt = self._buf, self.words_per_task
+        if wpt == 1:
+            return [buf[i].load() for i in range(start, start + count)]
+        return [
+            tuple(buf[t * wpt + j].load() for j in range(wpt))
+            for t in range(start, start + count)
+        ]
+
+
+@dataclass(frozen=True)
+class SwsQueueLayout:
+    """Picklable symmetric-heap footprint of one mp SWS queue."""
+
+    stealval: SymWord
+    comp: SymArray
+    buffer: SymArray
+    capacity: int
+    words_per_task: int = 1
+    max_epochs: int = 2
+    comp_slots: int = DEFAULT_COMP_SLOTS
+
+    @classmethod
+    def reserve(
+        cls,
+        heap: MpHeap,
+        prefix: str,
+        capacity: int,
+        words_per_task: int = 1,
+        max_epochs: int = 2,
+        comp_slots: int = DEFAULT_COMP_SLOTS,
+    ) -> "SwsQueueLayout":
+        """Lay the queue out on an unfrozen heap via the shmem allocator."""
+        if capacity >= 1 << 19:
+            # The stealval tail field stores start % 2^19; shim buffers
+            # must stay below that so the raw value is the buffer index.
+            raise ValueError(f"capacity must be < 2^19, got {capacity}")
+        alloc = SymmetricAllocator(heap, prefix)
+        stealval = alloc.word("stealval")
+        comp = alloc.array("comp", max_epochs * comp_slots)
+        buffer = alloc.array("buffer", capacity * words_per_task)
+        alloc.commit()
+        return cls(stealval, comp, buffer, capacity, words_per_task,
+                   max_epochs, comp_slots)
+
+    def owner(self, heap: MpHeap) -> "MpSwsQueue":
+        """Owner-side queue object (construct in the owning process)."""
+        return MpSwsQueue(heap, self)
+
+    def thief(self, heap: MpHeap) -> "MpSwsThief":
+        """Thief-side view (construct in any process)."""
+        return MpSwsThief(heap, self)
+
+
+class MpSwsQueue(_MpTaskBuffer, SwsShimCore):
+    """Owner-side SWS queue state over cross-process atomics."""
+
+    def __init__(self, heap: MpHeap, layout: SwsQueueLayout) -> None:
+        self._bind_buffer(heap, layout.buffer, layout.capacity,
+                          layout.words_per_task)
+        self.nfilled = 0
+        self.stealval = heap.ref(layout.stealval)
+        self.comp = heap.slice(layout.comp)
+        self._init_protocol(layout.max_epochs, layout.comp_slots)
+
+    def push(self, task) -> bool:
+        """Append one task's words at the fill cursor; False when full."""
+        if self.nfilled >= self.capacity:
+            return False
+        wpt = self.words_per_task
+        base = self.nfilled * wpt
+        if wpt == 1:
+            self._buf[base].store(task)
+        else:
+            if len(task) != wpt:
+                raise ValueError(
+                    f"task must be {wpt} words, got {len(task)}"
+                )
+            for j, word in enumerate(task):
+                self._buf[base + j].store(word)
+        self.nfilled += 1
+        return True
+
+    def push_all(self, tasks) -> int:
+        """Append many tasks; returns how many fit."""
+        pushed = 0
+        for task in tasks:
+            if not self.push(task):
+                break
+            pushed += 1
+        return pushed
+
+
+class MpSwsThief(_MpTaskBuffer):
+    """Thief-side view: just enough shared words to claim blocks."""
+
+    def __init__(self, heap: MpHeap, layout: SwsQueueLayout) -> None:
+        self._bind_buffer(heap, layout.buffer, layout.capacity,
+                          layout.words_per_task)
+        self.stealval = heap.ref(layout.stealval)
+        self.comp = heap.slice(layout.comp)
+        self.comp_slots = layout.comp_slots
+
+    def steal(self) -> ShimStealResult:
+        """One fused discover+claim attempt (single remote fetch-add)."""
+        return sws_steal_once(
+            self.stealval, self.comp, self.comp_slots, self._read_tasks
+        )
+
+    def probe(self) -> int:
+        """Read-only stealval fetch (damping's empty-mode probe)."""
+        return self.stealval.load()
+
+
+@dataclass(frozen=True)
+class SdcQueueLayout:
+    """Picklable symmetric-heap footprint of one mp SDC queue."""
+
+    lock: SymWord
+    tail: SymWord
+    split: SymWord
+    buffer: SymArray
+    capacity: int
+    words_per_task: int = 1
+
+    @classmethod
+    def reserve(
+        cls,
+        heap: MpHeap,
+        prefix: str,
+        capacity: int,
+        words_per_task: int = 1,
+    ) -> "SdcQueueLayout":
+        """Lay the queue out on an unfrozen heap via the shmem allocator."""
+        alloc = SymmetricAllocator(heap, prefix)
+        lock = alloc.word("lock")
+        tail = alloc.word("tail")
+        split = alloc.word("split")
+        buffer = alloc.array("buffer", capacity * words_per_task)
+        alloc.commit()
+        return cls(lock, tail, split, buffer, capacity, words_per_task)
+
+    def owner(self, heap: MpHeap) -> "MpSdcQueue":
+        """Owner-side queue object (construct in the owning process)."""
+        return MpSdcQueue(heap, self)
+
+    def thief(self, heap: MpHeap) -> "MpSdcThief":
+        """Thief-side view (construct in any process)."""
+        return MpSdcThief(heap, self)
+
+
+class MpSdcQueue(_MpTaskBuffer, SdcShimCore):
+    """Owner-side SDC (lock-based) queue over cross-process atomics."""
+
+    def __init__(self, heap: MpHeap, layout: SdcQueueLayout) -> None:
+        self._bind_buffer(heap, layout.buffer, layout.capacity,
+                          layout.words_per_task)
+        self.nfilled = 0
+        self.lock = heap.ref(layout.lock)
+        self.tail = heap.ref(layout.tail)
+        self.split = heap.ref(layout.split)
+        self._init_protocol()
+
+    push = MpSwsQueue.push
+    push_all = MpSwsQueue.push_all
+
+
+class MpSdcThief(_MpTaskBuffer):
+    """Thief-side view of an mp SDC queue."""
+
+    def __init__(self, heap: MpHeap, layout: SdcQueueLayout) -> None:
+        self._bind_buffer(heap, layout.buffer, layout.capacity,
+                          layout.words_per_task)
+        self.lock = heap.ref(layout.lock)
+        self.tail = heap.ref(layout.tail)
+        self.split = heap.ref(layout.split)
+
+    def steal(self, max_spins: int = 10_000) -> SdcShimResult:
+        """One lock-protected steal-half attempt."""
+        return sdc_steal_once(
+            self.lock, self.tail, self.split, self._read_tasks, max_spins
+        )
+
+
+# ======================================================================
+# The cross-process hammer (mirror of repro.threads.queue_shim.hammer)
+# ======================================================================
+
+def _hammer_thief(heap, layout, stop_addr, idx, outq, impl):
+    """Thief child: race claims until the owner raises the stop flag."""
+    import time
+
+    stop = heap.ref(stop_addr)
+    thief = layout.thief(heap)
+    loot: list = []
+    volumes: list[int] = []
+    while not stop.load():
+        res = thief.steal() if impl == "sws" else thief.steal(max_spins=100)
+        if res.claimed:
+            loot.extend(res.claimed)
+            volumes.append(len(res.claimed))
+        else:
+            time.sleep(1e-6)
+    outq.put((idx, loot, volumes))
+
+
+def hammer_mp(
+    tasks: list[int],
+    nthieves: int = 4,
+    releases: int = 8,
+    acquires: int = 3,
+    impl: str = "sws",
+    join_timeout: float = 30.0,
+) -> tuple[list[list[int]], list[int]]:
+    """Race harness: owner in this process, N thief *processes*.
+
+    Returns ``(per-thief loot, owner-kept tasks)``; their disjoint union
+    must equal ``tasks`` exactly — the shim conservation contract, now
+    under genuine hardware preemption across address spaces.
+    """
+    import time
+
+    from .atomics import _preferred_context
+
+    if impl not in ("sws", "sdc"):
+        raise ValueError(f"impl must be sws|sdc, got {impl!r}")
+    ctx = _preferred_context()
+    heap = MpHeap(ctx=ctx)
+    layout_cls = SwsQueueLayout if impl == "sws" else SdcQueueLayout
+    layout = layout_cls.reserve(heap, "q0", capacity=len(tasks))
+    ctl = SymmetricAllocator(heap, "ctl")
+    stop_addr = ctl.word("stop")
+    ctl.commit()
+    heap.freeze()
+    try:
+        queue = layout.owner(heap)
+        queue.push_all(tasks)
+        outq = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_hammer_thief,
+                args=(heap, layout, stop_addr, i, outq, impl),
+                daemon=True,
+            )
+            for i in range(nthieves)
+        ]
+        for p in procs:
+            p.start()
+
+        chunk = max(1, len(tasks) // releases)
+        done_acquires = 0
+        while queue.cursor < len(tasks):
+            queue.release(chunk)
+            time.sleep(2e-5)
+            if done_acquires < acquires:
+                queue.acquire()
+                done_acquires += 1
+        queue.drain()
+        heap.ref(stop_addr).store(1)
+
+        loot: list[list[int]] = [[] for _ in range(nthieves)]
+        for _ in range(nthieves):
+            idx, claimed, _volumes = outq.get(timeout=join_timeout)
+            loot[idx] = claimed
+        for p in procs:
+            p.join(timeout=join_timeout)
+            if p.is_alive():
+                p.terminate()
+                raise RuntimeError("mp hammer thief failed to exit")
+        return loot, queue.owner_kept
+    finally:
+        heap.close()
+        heap.unlink()

@@ -2,11 +2,12 @@
 
 from .api import Pe, ShmemCtx
 from .collectives import Collectives, CollectiveSystem, REDUCERS
-from .heap import SymArray, SymBytes, SymWord, SymmetricAllocator
+from .heap import HeapBackend, SymArray, SymBytes, SymWord, SymmetricAllocator
 
 __all__ = [
     "Pe",
     "ShmemCtx",
+    "HeapBackend",
     "SymWord",
     "SymArray",
     "SymBytes",

@@ -6,13 +6,38 @@ allocator that packs named 64-bit variables and arrays into one shared
 word region, returning :class:`SymWord` / :class:`SymArray` handles that
 carry their ``(region, offset)`` address — the currency the NIC layer
 understands.
+
+The allocator is deliberately backend-agnostic: anything satisfying
+:class:`HeapBackend` can host the regions.  Two substrates implement it
+today — the discrete-event fabric's
+:class:`~repro.fabric.memory.SymmetricHeap` (simulated NIC atomics) and
+the multiprocess :class:`~repro.mp.heap.MpHeap`
+(``multiprocessing.shared_memory`` words behind striped-lock atomics) —
+so the same layout code describes a queue's symmetric footprint on
+either substrate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
-from ..fabric.memory import SymmetricHeap
+
+@runtime_checkable
+class HeapBackend(Protocol):
+    """The seam a symmetric-heap substrate must provide.
+
+    ``alloc_words`` / ``alloc_bytes`` create a named region sized in
+    64-bit words / raw bytes respectively; the allocator addresses into
+    regions with plain ``(region, offset)`` pairs afterwards.  A
+    word-only backend may raise ``NotImplementedError`` from
+    ``alloc_bytes`` — callers that never reserve byte buffers (the mp
+    substrate's queues) never trigger it.
+    """
+
+    def alloc_words(self, name: str, nwords: int): ...
+
+    def alloc_bytes(self, name: str, nbytes: int): ...
 
 
 @dataclass(frozen=True)
@@ -58,9 +83,12 @@ class SymmetricAllocator:
         alloc.commit()          # actually allocates the backing region
 
     ``commit`` must be called exactly once, after all reservations.
+
+    ``heap`` is any :class:`HeapBackend` — the fabric's simulated
+    symmetric heap or the multiprocess shared-memory heap.
     """
 
-    def __init__(self, heap: SymmetricHeap, prefix: str) -> None:
+    def __init__(self, heap: HeapBackend, prefix: str) -> None:
         self.heap = heap
         self.prefix = prefix
         self._word_cursor = 0

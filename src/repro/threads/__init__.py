@@ -1,12 +1,26 @@
 """Real-thread substrate: the SWS protocol under genuine preemption."""
 
 from .atomics import AtomicArray64, AtomicWord64
+from .protocol import (
+    SdcShimCore,
+    SdcShimResult,
+    ShimStealResult,
+    SwsShimCore,
+    sdc_steal_once,
+    sws_steal_once,
+)
 from .queue_shim import ThreadStealResult, ThreadSwsQueue, hammer
 from .sdc_shim import SdcThreadResult, ThreadSdcQueue, hammer_sdc
 
 __all__ = [
     "AtomicWord64",
     "AtomicArray64",
+    "SwsShimCore",
+    "SdcShimCore",
+    "ShimStealResult",
+    "SdcShimResult",
+    "sws_steal_once",
+    "sdc_steal_once",
     "ThreadSwsQueue",
     "ThreadStealResult",
     "hammer",

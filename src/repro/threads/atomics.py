@@ -3,9 +3,10 @@
 The discrete-event fabric serializes atomics by event order; this module
 provides the same primitive operations under *true preemption* so the
 stealval protocol can be cross-checked against genuine races
-(``tests/threads``).  CPython has no public CAS on shared integers, so
-each word carries a mutex — the semantics, not the performance, are the
-point.
+(``tests/test_threads.py``, ``tests/test_threads_sdc.py``).  CPython has
+no public CAS on shared integers, so each word carries a mutex — the
+semantics, not the performance, are the point.  For the cross-*process*
+equivalent see :mod:`repro.mp.atomics`.
 """
 
 from __future__ import annotations

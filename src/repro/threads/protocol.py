@@ -1,0 +1,311 @@
+"""Backend-agnostic SWS / SDC shim protocol cores.
+
+The stealval claim protocol validated under real threads
+(:mod:`repro.threads.queue_shim`) and under real OS processes
+(:mod:`repro.mp.queue`) is *the same algorithm*; only the atomic
+substrate differs — :class:`~repro.threads.atomics.AtomicWord64` for
+threads, striped-lock shared-memory words for processes.  This module
+holds the substrate-independent halves so neither backend carries a
+copy:
+
+* :class:`SwsShimCore` — the owner's release / acquire / close / reopen
+  / settle bookkeeping and the epoch-array completion discipline;
+* :func:`sws_steal_once` — the thief's 3-step fused discover+claim
+  (one ``fetch_add``, local schedule arithmetic, completion signal);
+* :class:`SdcShimCore` / :func:`sdc_steal_once` — the lock-based SDC
+  baseline (spinlock, read metadata, advance tail, unlock).
+
+A substrate plugs in by providing word objects exposing atomic
+``load`` / ``store`` / ``swap`` / ``fetch_add`` (and ``compare_swap``
+for SDC's spinlock) plus a ``_read_tasks(start, count)`` accessor for
+its task buffer.  The stealval encode/decode is
+:class:`repro.core.stealval.StealValEpoch` — reused, never copied.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.steal_half import max_steals, schedule, steal_displacement, steal_volume
+from ..core.stealval import StealValEpoch
+
+
+@dataclass
+class ShimStealResult:
+    """One thief attempt's outcome (shared by every shim substrate).
+
+    ``view`` is the decoded stealval the claiming fetch-add observed —
+    the damping state machine (paper §4.3) feeds on it.
+    """
+
+    claimed: list = field(default_factory=list)
+    aborted_locked: bool = False
+    empty: bool = False
+    view: object = None
+
+
+def sws_steal_once(stealval, comp, comp_slots: int, read_tasks) -> ShimStealResult:
+    """One claiming attempt — exactly the simulator's 3-step protocol.
+
+    ``stealval`` is an atomic word, ``comp`` an indexable of atomic
+    words (the per-epoch completion array), ``read_tasks(start, count)``
+    the substrate's task-buffer accessor.  The single ``fetch_add``
+    both discovers and claims; everything after it is local arithmetic
+    plus the completion signal.
+    """
+    old = stealval.fetch_add(StealValEpoch.ASTEAL_UNIT)
+    view = StealValEpoch.unpack(old)
+    if view.locked:
+        return ShimStealResult(aborted_locked=True, view=view)
+    vol = steal_volume(view.itasks, view.asteals)
+    if vol == 0:
+        return ShimStealResult(empty=True, view=view)
+    disp = steal_displacement(view.itasks, view.asteals)
+    # The tail field stores start % 2^19; shim buffers stay smaller
+    # than that, so the raw value is the buffer index.
+    start = view.tail + disp
+    claimed = read_tasks(start, vol)
+    # Simulate copy latency so completion really lags the claim.
+    time.sleep(0)
+    comp[view.epoch * comp_slots + view.asteals].fetch_add(vol)
+    return ShimStealResult(claimed=claimed, view=view)
+
+
+class SwsShimCore:
+    """Owner-side SWS shim state over any atomic-word substrate.
+
+    Subclasses provide ``self.stealval`` (atomic word), ``self.comp``
+    (atomic word array of ``max_epochs * comp_slots``), ``self.nfilled``
+    (tasks written to the buffer so far) and :meth:`_read_tasks` before
+    calling :meth:`_init_protocol`.
+    """
+
+    #: Seconds slept per poll while waiting on in-flight completions.
+    POLL_S = 1e-5
+
+    def _init_protocol(self, max_epochs: int, comp_slots: int) -> None:
+        self.max_epochs = max_epochs
+        self.comp_slots = comp_slots
+        self.epoch = 0
+        # Owner bookkeeping: [start, start+itasks) is the live allotment.
+        self._records: list[dict] = [
+            {"epoch": 0, "start": 0, "itasks": 0, "claims": 0}
+        ]
+        self.cursor = 0                      # next unshared buffer index
+        self.owner_kept: list = []           # tasks re-acquired by the owner
+        self.stealval.store(StealValEpoch.pack(0, 0, 0, 0))
+
+    def _read_tasks(self, start: int, count: int) -> list:
+        raise NotImplementedError
+
+    def _keep(self, start: int, count: int) -> None:
+        if count:
+            self.owner_kept.extend(self._read_tasks(start, count))
+
+    # -- owner ---------------------------------------------------------
+    def release(self, count: int) -> None:
+        """Publish the next ``count`` buffer tasks as a new allotment.
+
+        Unlike the simulator's split queue — where the unclaimed
+        remainder stays physically contiguous with newly exposed tasks —
+        this flat-buffer shim cannot re-share a remainder across the hole
+        an ``acquire`` leaves, so any unclaimed remainder is absorbed by
+        the owner first (acquire-all-then-release).  The claim/lock/
+        completion races being validated are unaffected.
+        """
+        rem_start, rem = self._close()
+        self._keep(rem_start, rem)
+        count = min(count, self.nfilled - self.cursor)
+        start = self.cursor
+        self.cursor += count
+        self._reopen(start, count)
+
+    def acquire(self) -> list:
+        """Lock, pull back half the unclaimed remainder, re-publish."""
+        rem_start, rem = self._close()
+        ntake = (rem + 1) // 2
+        taken = self._read_tasks(rem_start + (rem - ntake), ntake) if ntake else []
+        self.owner_kept.extend(taken)
+        self._reopen(rem_start, rem - ntake)
+        return taken
+
+    def _close(self) -> tuple[int, int]:
+        old = self.stealval.swap(StealValEpoch.locked_word())
+        view = StealValEpoch.unpack(old)
+        rec = self._records[-1]
+        assert view.epoch == rec["epoch"] and view.itasks == rec["itasks"]
+        claims = min(view.asteals, max_steals(view.itasks))
+        rec["claims"] = claims
+        disp = steal_displacement(rec["itasks"], claims)
+        return rec["start"] + disp, rec["itasks"] - disp
+
+    def _reopen(self, start: int, itasks: int) -> None:
+        next_epoch = (self.epoch + 1) % self.max_epochs
+        # Wait until the epoch's previous record fully completed, then
+        # prune settled records and zero the epoch's completion row.
+        while any(
+            r["epoch"] == next_epoch and not self._settled(r)
+            for r in self._records
+        ):
+            time.sleep(self.POLL_S)
+        self._records = [r for r in self._records if not self._settled(r)]
+        base = next_epoch * self.comp_slots
+        for i in range(self.comp_slots):
+            self.comp[base + i].store(0)
+        self.epoch = next_epoch
+        self._records.append({"epoch": next_epoch, "start": start, "itasks": itasks})
+        self.stealval.store(StealValEpoch.pack(0, next_epoch, itasks, start % (1 << 19)))
+
+    def _settled(self, rec: dict) -> bool:
+        claims = rec.get("claims")
+        if claims is None:
+            return False
+        vols = schedule(rec["itasks"])
+        base = rec["epoch"] * self.comp_slots
+        return all(self.comp[base + i].load() == vols[i] for i in range(claims))
+
+    def drain(self) -> None:
+        """Wait for every claimed steal to complete, absorb the rest.
+
+        Leaves the stealval locked: post-drain claim attempts abort.
+        """
+        rem_start, rem = self._close()
+        self._keep(rem_start, rem)
+        while not all(self._settled(r) for r in self._records):
+            time.sleep(self.POLL_S)
+        self._keep(self.cursor, self.nfilled - self.cursor)
+        self.cursor = self.nfilled
+
+    def take_kept(self) -> list:
+        """Hand back (and clear) the owner-reabsorbed tasks."""
+        kept, self.owner_kept = self.owner_kept, []
+        return kept
+
+    # -- thief ---------------------------------------------------------
+    def steal(self) -> ShimStealResult:
+        """One claiming attempt against this queue's own words."""
+        return sws_steal_once(
+            self.stealval, self.comp, self.comp_slots, self._read_tasks
+        )
+
+
+# ======================================================================
+# SDC: the lock-based baseline protocol
+# ======================================================================
+
+def sdc_steal_once(
+    lock, tail, split, read_tasks, max_spins: int = 10_000
+) -> "SdcShimResult":
+    """One lock-protected steal-half attempt (the six-step SDC shape)."""
+    res = SdcShimResult()
+    while lock.compare_swap(0, 1) != 0:
+        res.lock_spins += 1
+        if res.lock_spins >= max_spins:
+            return res
+        time.sleep(0)
+    try:
+        t, s = tail.load(), split.load()
+        avail = s - t
+        if avail <= 0:
+            res.empty = True
+            return res
+        n = max(1, avail // 2)
+        res.claimed = read_tasks(t, n)
+        tail.store(t + n)
+        return res
+    finally:
+        lock.store(0)
+
+
+@dataclass
+class SdcShimResult:
+    """One SDC thief attempt's outcome."""
+
+    claimed: list = field(default_factory=list)
+    lock_spins: int = 0
+    empty: bool = False
+
+
+class SdcShimCore:
+    """Owner-side SDC shim state over any atomic-word substrate.
+
+    Subclasses provide ``self.lock`` / ``self.tail`` / ``self.split``
+    (atomic words), ``self.nfilled`` and :meth:`_read_tasks` before
+    calling :meth:`_init_protocol`.
+    """
+
+    def _init_protocol(self) -> None:
+        self.lock.store(0)
+        self.tail.store(0)
+        self.split.store(0)
+        self.cursor = 0
+        self.owner_kept: list = []
+
+    def _read_tasks(self, start: int, count: int) -> list:
+        raise NotImplementedError
+
+    # -- owner ---------------------------------------------------------
+    def release(self, count: int) -> None:
+        """Expose the next ``count`` buffer tasks (requires empty shared,
+        like the real protocol; surplus shared is absorbed first)."""
+        self._lock()
+        try:
+            tail, split = self.tail.load(), self.split.load()
+            if split > tail:
+                # Absorb the remainder (acquire-all) before re-exposing.
+                self.owner_kept.extend(self._read_tasks(tail, split - tail))
+                self.tail.store(split)
+            count = min(count, self.nfilled - self.cursor)
+            self.cursor += count
+            self.split.store(self.cursor)
+            self.tail.store(self.cursor - count)
+        finally:
+            self._unlock()
+
+    def acquire(self) -> list:
+        """Pull back half of the shared portion under the lock."""
+        self._lock()
+        try:
+            tail, split = self.tail.load(), self.split.load()
+            avail = split - tail
+            ntake = (avail + 1) // 2
+            taken = self._read_tasks(split - ntake, ntake) if ntake else []
+            self.owner_kept.extend(taken)
+            self.split.store(split - ntake)
+            return taken
+        finally:
+            self._unlock()
+
+    def drain(self) -> None:
+        """Absorb everything left (shared remainder + unshared)."""
+        self._lock()
+        try:
+            tail, split = self.tail.load(), self.split.load()
+            self.owner_kept.extend(self._read_tasks(tail, split - tail))
+            self.tail.store(split)
+            self.owner_kept.extend(
+                self._read_tasks(self.cursor, self.nfilled - self.cursor)
+            )
+            self.cursor = self.nfilled
+        finally:
+            self._unlock()
+
+    def take_kept(self) -> list:
+        """Hand back (and clear) the owner-reabsorbed tasks."""
+        kept, self.owner_kept = self.owner_kept, []
+        return kept
+
+    def _lock(self) -> None:
+        while self.lock.compare_swap(0, 1) != 0:
+            time.sleep(0)
+
+    def _unlock(self) -> None:
+        self.lock.store(0)
+
+    # -- thief ---------------------------------------------------------
+    def steal(self, max_spins: int = 10_000) -> SdcShimResult:
+        """One lock-protected steal-half attempt."""
+        return sdc_steal_once(
+            self.lock, self.tail, self.split, self._read_tasks, max_spins
+        )

@@ -1,9 +1,10 @@
 """SWS stealval protocol over real threads — the race-test harness.
 
-This is a deliberately compact re-implementation of the SWS claim
-protocol using :class:`~repro.threads.atomics.AtomicWord64` instead of
-simulated NIC atomics, so genuine thread preemption exercises the same
-invariants the simulator's event ordering guarantees:
+This binds the substrate-independent SWS shim protocol
+(:class:`~repro.threads.protocol.SwsShimCore`) to
+:class:`~repro.threads.atomics.AtomicWord64`, so genuine thread
+preemption exercises the same invariants the simulator's event ordering
+guarantees:
 
 * a claiming ``fetch_add`` partitions the allotment — no task is claimed
   twice, none is skipped;
@@ -17,139 +18,34 @@ invariants the simulator's event ordering guarantees:
 Tasks are plain integers; the "queue" is a Python list indexed like the
 circular buffer.  Thieves record which tasks they stole; tests assert the
 union of all thieves' loot plus the owner's leftovers equals the original
-task set exactly.
+task set exactly.  The same core also drives the multiprocess substrate
+(:mod:`repro.mp.queue`) — protocol logic lives in exactly one place.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-
-from ..core.steal_half import max_steals, schedule, steal_displacement, steal_volume
-from ..core.stealval import StealValEpoch
 
 from .atomics import AtomicArray64, AtomicWord64
+from .protocol import ShimStealResult, SwsShimCore
+
+#: Historic name: thread tests match on these fields.
+ThreadStealResult = ShimStealResult
 
 
-@dataclass
-class ThreadStealResult:
-    """One thief attempt's outcome."""
-
-    claimed: list[int] = field(default_factory=list)
-    aborted_locked: bool = False
-    empty: bool = False
-
-
-class ThreadSwsQueue:
+class ThreadSwsQueue(SwsShimCore):
     """Owner-side SWS queue state over real atomics."""
 
     def __init__(self, tasks: list[int], max_epochs: int = 2, comp_slots: int = 24) -> None:
         self.buffer = list(tasks)            # immutable backing store
-        self.max_epochs = max_epochs
-        self.comp_slots = comp_slots
-        self.stealval = AtomicWord64(StealValEpoch.pack(0, 0, 0, 0))
+        self.nfilled = len(self.buffer)
+        self.stealval = AtomicWord64(0)
         self.comp = AtomicArray64(max_epochs * comp_slots)
-        self.epoch = 0
-        # Owner bookkeeping: [start, start+itasks) is the live allotment.
-        self._records: list[dict] = [
-            {"epoch": 0, "start": 0, "itasks": 0, "claims": 0}
-        ]
-        self.cursor = 0                      # next unshared buffer index
-        self.owner_kept: list[int] = []      # tasks re-acquired by the owner
+        self._init_protocol(max_epochs, comp_slots)
 
-    # -- owner ---------------------------------------------------------
-    def release(self, count: int) -> None:
-        """Publish the next ``count`` buffer tasks as a new allotment.
-
-        Unlike the simulator's split queue — where the unclaimed
-        remainder stays physically contiguous with newly exposed tasks —
-        this flat-buffer shim cannot re-share a remainder across the hole
-        an ``acquire`` leaves, so any unclaimed remainder is absorbed by
-        the owner first (acquire-all-then-release).  The claim/lock/
-        completion races being validated are unaffected.
-        """
-        rem_start, rem = self._close()
-        if rem:
-            self.owner_kept.extend(self.buffer[rem_start : rem_start + rem])
-        count = min(count, len(self.buffer) - self.cursor)
-        start = self.cursor
-        self.cursor += count
-        self._reopen(start, count)
-
-    def acquire(self) -> list[int]:
-        """Lock, pull back half the unclaimed remainder, re-publish."""
-        rem_start, rem = self._close()
-        ntake = (rem + 1) // 2
-        taken = self.buffer[rem_start + (rem - ntake) : rem_start + rem]
-        self.owner_kept.extend(taken)
-        self._reopen(rem_start, rem - ntake)
-        return taken
-
-    def _close(self) -> tuple[int, int]:
-        old = self.stealval.swap(StealValEpoch.locked_word())
-        view = StealValEpoch.unpack(old)
-        rec = self._records[-1]
-        assert view.epoch == rec["epoch"] and view.itasks == rec["itasks"]
-        claims = min(view.asteals, max_steals(view.itasks))
-        rec["claims"] = claims
-        disp = steal_displacement(rec["itasks"], claims)
-        return rec["start"] + disp, rec["itasks"] - disp
-
-    def _reopen(self, start: int, itasks: int) -> None:
-        next_epoch = (self.epoch + 1) % self.max_epochs
-        # Wait until the epoch's previous record fully completed, then
-        # prune settled records and zero the epoch's completion row.
-        while any(
-            r["epoch"] == next_epoch and not self._settled(r)
-            for r in self._records
-        ):
-            time.sleep(1e-5)
-        self._records = [r for r in self._records if not self._settled(r)]
-        base = next_epoch * self.comp_slots
-        for i in range(self.comp_slots):
-            self.comp[base + i].store(0)
-        self.epoch = next_epoch
-        self._records.append({"epoch": next_epoch, "start": start, "itasks": itasks})
-        self.stealval.store(StealValEpoch.pack(0, next_epoch, itasks, start % (1 << 19)))
-
-    def _settled(self, rec: dict) -> bool:
-        claims = rec.get("claims")
-        if claims is None:
-            return False
-        vols = schedule(rec["itasks"])
-        base = rec["epoch"] * self.comp_slots
-        return all(self.comp[base + i].load() == vols[i] for i in range(claims))
-
-    def drain(self) -> None:
-        """Wait for every claimed steal to signal completion."""
-        rem_start, rem = self._close()
-        self.owner_kept.extend(self.buffer[rem_start : rem_start + rem])
-        while not all(self._settled(r) for r in self._records):
-            time.sleep(1e-5)
-        unshared = self.buffer[self.cursor :]
-        self.owner_kept.extend(unshared)
-        self.cursor = len(self.buffer)
-
-    # -- thief ---------------------------------------------------------
-    def steal(self) -> ThreadStealResult:
-        """One claiming attempt, exactly the simulator's 3-step protocol."""
-        old = self.stealval.fetch_add(StealValEpoch.ASTEAL_UNIT)
-        view = StealValEpoch.unpack(old)
-        if view.locked:
-            return ThreadStealResult(aborted_locked=True)
-        vol = steal_volume(view.itasks, view.asteals)
-        if vol == 0:
-            return ThreadStealResult(empty=True)
-        disp = steal_displacement(view.itasks, view.asteals)
-        # The tail field stores start % 2^19; tests keep buffers smaller
-        # than that, so the raw value is the buffer index.
-        start = view.tail + disp
-        claimed = self.buffer[start : start + vol]
-        # Simulate copy latency so completion really lags the claim.
-        time.sleep(0)
-        self.comp[view.epoch * self.comp_slots + view.asteals].fetch_add(vol)
-        return ThreadStealResult(claimed=claimed)
+    def _read_tasks(self, start: int, count: int) -> list[int]:
+        return self.buffer[start : start + count]
 
 
 def hammer(

@@ -1,116 +1,43 @@
 """SDC steal protocol over real threads — the baseline race harness.
 
 Counterpart of :class:`~repro.threads.queue_shim.ThreadSwsQueue`: the
-lock-based SDC protocol re-run under genuine preemption.  Thieves acquire
-a spinlock word, read the (tail, split) metadata, advance the tail, and
+lock-based SDC protocol re-run under genuine preemption, by binding the
+substrate-independent core (:class:`~repro.threads.protocol.SdcShimCore`)
+to :class:`~repro.threads.atomics.AtomicWord64`.  Thieves acquire a
+spinlock word, read the (tail, split) metadata, advance the tail, and
 unlock — exactly the simulator's six-step structure minus the wire.
 
 Comparing the two shims under the same hammer shows the behavioural
 difference the paper measures: SDC thieves serialize on the lock while
-SWS claims proceed concurrently.
+SWS claims proceed concurrently.  The same core also drives the
+multiprocess substrate (:mod:`repro.mp.queue`).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
 
 from .atomics import AtomicWord64
+from .protocol import SdcShimCore, SdcShimResult
+
+#: Historic name: thread tests match on these fields.
+SdcThreadResult = SdcShimResult
 
 
-@dataclass
-class SdcThreadResult:
-    """One thief attempt's outcome."""
-
-    claimed: list[int] = field(default_factory=list)
-    lock_spins: int = 0
-    empty: bool = False
-
-
-class ThreadSdcQueue:
+class ThreadSdcQueue(SdcShimCore):
     """Owner-side SDC queue state over real atomics."""
 
     def __init__(self, tasks: list[int]) -> None:
         self.buffer = list(tasks)
+        self.nfilled = len(self.buffer)
         self.lock = AtomicWord64(0)
         self.tail = AtomicWord64(0)
         self.split = AtomicWord64(0)
-        self.cursor = 0
-        self.owner_kept: list[int] = []
+        self._init_protocol()
 
-    # -- owner ---------------------------------------------------------
-    def release(self, count: int) -> None:
-        """Expose the next ``count`` buffer tasks (requires empty shared,
-        like the real protocol; surplus shared is absorbed first)."""
-        self._lock()
-        try:
-            tail, split = self.tail.load(), self.split.load()
-            if split > tail:
-                # Absorb the remainder (acquire-all) before re-exposing.
-                self.owner_kept.extend(self.buffer[tail:split])
-                self.tail.store(split)
-            count = min(count, len(self.buffer) - self.cursor)
-            self.cursor += count
-            self.split.store(self.cursor)
-            self.tail.store(self.cursor - count)
-        finally:
-            self._unlock()
-
-    def acquire(self) -> list[int]:
-        """Pull back half of the shared portion under the lock."""
-        self._lock()
-        try:
-            tail, split = self.tail.load(), self.split.load()
-            avail = split - tail
-            ntake = (avail + 1) // 2
-            taken = self.buffer[split - ntake : split]
-            self.owner_kept.extend(taken)
-            self.split.store(split - ntake)
-            return taken
-        finally:
-            self._unlock()
-
-    def drain(self) -> None:
-        """Absorb everything left (shared remainder + unshared)."""
-        self._lock()
-        try:
-            tail, split = self.tail.load(), self.split.load()
-            self.owner_kept.extend(self.buffer[tail:split])
-            self.tail.store(split)
-            self.owner_kept.extend(self.buffer[self.cursor :])
-            self.cursor = len(self.buffer)
-        finally:
-            self._unlock()
-
-    def _lock(self) -> None:
-        while self.lock.compare_swap(0, 1) != 0:
-            time.sleep(0)
-
-    def _unlock(self) -> None:
-        self.lock.store(0)
-
-    # -- thief ---------------------------------------------------------
-    def steal(self, max_spins: int = 10_000) -> SdcThreadResult:
-        """One lock-protected steal-half attempt."""
-        res = SdcThreadResult()
-        while self.lock.compare_swap(0, 1) != 0:
-            res.lock_spins += 1
-            if res.lock_spins >= max_spins:
-                return res
-            time.sleep(0)
-        try:
-            tail, split = self.tail.load(), self.split.load()
-            avail = split - tail
-            if avail <= 0:
-                res.empty = True
-                return res
-            n = max(1, avail // 2)
-            res.claimed = self.buffer[tail : tail + n]
-            self.tail.store(tail + n)
-            return res
-        finally:
-            self._unlock()
+    def _read_tasks(self, start: int, count: int) -> list[int]:
+        return self.buffer[start : start + count]
 
 
 def hammer_sdc(

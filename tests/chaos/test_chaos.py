@@ -25,7 +25,7 @@ from repro.runtime.pool import TaskPool
 from repro.runtime.registry import TaskOutcome, TaskRegistry
 from repro.runtime.task import Task
 
-pytestmark = pytest.mark.chaos
+pytestmark = [pytest.mark.chaos, pytest.mark.timeout(300)]
 
 NPES = 8
 NTASKS = 400

@@ -1,0 +1,1 @@
+"""Cross-backend conformance: fabric ≡ threads ≡ mp on observables."""

@@ -1,0 +1,73 @@
+"""Cross-backend conformance: fabric ≡ threads ≡ mp.
+
+Three execution substrates run the same SWS protocol — the simulated
+RDMA fabric, the thread shim, the multiprocess shared-memory backend —
+and these tests pin the observables that must be *identical* across
+them: the §4 golden steal-volume schedule, exact task conservation, and
+the asteals / completion accounting.  Run alone with::
+
+    pytest -m conformance tests/conformance/
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.steal_half import max_steals, schedule
+
+from .backends import BACKENDS, GOLDEN_150, NTOTAL
+
+pytestmark = [pytest.mark.conformance, pytest.mark.timeout(120)]
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One golden-allotment run per backend, shared across the module."""
+    return {name: run() for name, run in BACKENDS.items()}
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_golden_volume_schedule(results, backend):
+    """Every backend claims the §4 golden volumes, in order."""
+    assert results[backend]["volumes"] == GOLDEN_150
+
+
+def test_volume_multisets_agree(results):
+    """The steal-volume multisets are pairwise identical."""
+    multisets = {
+        name: sorted(r["volumes"]) for name, r in results.items()
+    }
+    reference = sorted(GOLDEN_150)
+    assert all(m == reference for m in multisets.values()), multisets
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_task_conservation(results, backend):
+    """Stolen ⊎ kept is exactly the enqueued task set — no loss, no dup."""
+    r = results[backend]
+    combined = r["stolen"] + r["kept"]
+    assert len(combined) == NTOTAL
+    assert sorted(combined) == list(range(NTOTAL))
+
+
+def test_steal_partition_agrees(results):
+    """All backends hand thieves the same 150-task half of the queue."""
+    stolen_sets = {
+        name: frozenset(r["stolen"]) for name, r in results.items()
+    }
+    assert len(set(stolen_sets.values())) == 1, stolen_sets
+
+
+def test_asteals_accounting_agrees(results):
+    """Successful-claim counts match max_steals and agree pairwise."""
+    expected = max_steals(NTOTAL // 2)
+    for name, r in results.items():
+        assert r["claims"] == expected, (name, r["claims"])
+
+
+def test_completion_accounting_agrees(results):
+    """Per-epoch completion slots account every claimed task on every
+    backend: the row total equals the allotment size."""
+    assert sum(schedule(NTOTAL // 2)) == NTOTAL // 2
+    for name, r in results.items():
+        assert r["completed"] == NTOTAL // 2, (name, r["completed"])

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.core.config import QueueConfig
@@ -65,3 +67,46 @@ def rec_id(record: bytes) -> int:
 def impl(request):
     """Parametrize a test over both queue implementations."""
     return request.param
+
+
+# ----------------------------------------------------------------------
+# @pytest.mark.timeout fallback when pytest-timeout is not installed
+# ----------------------------------------------------------------------
+# Race / chaos / mp tests all carry ``@pytest.mark.timeout(N)`` so a
+# wedged thread or child process fails the test instead of hanging the
+# whole suite.  CI installs pytest-timeout (see pyproject's test
+# extras); environments without it get this best-effort SIGALRM
+# enforcement — same marker, coarser mechanics (1s granularity, main
+# thread only, no effect on platforms without SIGALRM).
+
+def _has_timeout_plugin(config) -> bool:
+    pm = config.pluginmanager
+    return pm.hasplugin("timeout") or pm.hasplugin("pytest_timeout")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    use_alarm = (
+        marker is not None
+        and marker.args
+        and not _has_timeout_plugin(item.config)
+        and hasattr(signal, "SIGALRM")
+    )
+    if not use_alarm:
+        yield
+        return
+
+    budget = max(1, int(marker.args[0]))
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded {budget}s timeout (SIGALRM fallback)",
+                    pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(budget)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

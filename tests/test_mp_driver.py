@@ -1,0 +1,98 @@
+"""End-to-end runs on the multiprocess substrate.
+
+The acceptance bar for the backend: synthetic and UTS workloads run to
+completion across ≥ 4 real OS processes with zero lost or duplicated
+tasks.  ``verify=True`` checks both the task *count* and an
+order-independent execution checksum against a sequential oracle, so a
+double-executed or dropped task cannot hide behind a matching total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mp.driver import run_mp, synthetic_expected, uts_expected
+from repro.workloads.uts import get_tree
+
+pytestmark = [pytest.mark.mp, pytest.mark.timeout(180)]
+
+
+def test_synthetic_sws_four_processes_conserves():
+    result = run_mp("synthetic", "sws", 4, ntasks=1200, verify=True)
+    assert result.conserved
+    assert result.total_executed == 1200
+    assert result.created == result.completed == 1200
+    n, chk = synthetic_expected(1200)
+    assert (result.total_executed, result.checksum) == (n, chk)
+    # Four real processes participated (stats row per PE).
+    assert len(result.pes) == 4
+
+
+def test_synthetic_sdc_four_processes_conserves():
+    result = run_mp("synthetic", "sdc", 4, ntasks=1000, verify=True)
+    assert result.conserved
+    assert result.total_executed == 1000
+
+
+def test_uts_sws_four_processes_conserves():
+    result = run_mp("uts", "sws", 4, tree="test_tiny", verify=True)
+    assert result.conserved
+    n, chk = uts_expected(get_tree("test_tiny"))
+    assert result.total_executed == n
+    assert result.checksum == chk
+
+
+def test_uts_sdc_four_processes_conserves():
+    result = run_mp("uts", "sdc", 4, tree="test_tiny", verify=True)
+    assert result.conserved
+
+
+def test_steal_volumes_follow_steal_half():
+    """Observed claim volumes are steal-half values: for a shared block
+    of B tasks the volumes come from schedule(B), so no single claim may
+    exceed half the largest allotment ever published."""
+    result = run_mp("synthetic", "sws", 4, ntasks=1500, verify=True)
+    assert result.conserved
+    volumes = [v for p in result.pes for v in p.steal_volumes]
+    assert all(v >= 1 for v in volumes)
+    assert sum(volumes) <= 1500
+    assert max(volumes, default=0) <= 1500 // 2 + 1
+
+    summary = result.summary()
+    assert summary["tasks_stolen"] == sum(volumes)
+    assert summary["steals"] == len(volumes)
+
+
+def test_damping_toggle_controls_probes():
+    """With damping off, nobody probes; with it on, counters stay sane."""
+    quiet = run_mp("synthetic", "sws", 4, ntasks=600, damping=False,
+                   verify=True)
+    assert quiet.conserved
+    assert all(p.probes == 0 and p.demotions == 0 for p in quiet.pes)
+
+    damped = run_mp("synthetic", "sws", 4, ntasks=600, damping=True,
+                    verify=True)
+    assert damped.conserved
+    for p in damped.pes:
+        assert p.probe_aborts <= p.probes
+        assert 0 <= p.promotions <= p.demotions
+
+
+def test_summary_is_json_ready():
+    result = run_mp("synthetic", "sws", 4, ntasks=400, verify=True)
+    s = result.summary()
+    for key in ("workload", "impl", "npes", "created", "completed",
+                "executed", "conserved", "steals", "tasks_stolen",
+                "wall_s"):
+        assert key in s
+    assert s["conserved"] is True
+    assert s["npes"] == 4
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        run_mp("synthetic", "nope", 4)
+    with pytest.raises(ValueError):
+        run_mp("nope", "sws", 4)
+    with pytest.raises(ValueError):
+        run_mp("synthetic", "sws", 0)

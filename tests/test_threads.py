@@ -7,6 +7,9 @@ import pytest
 
 from repro.threads import AtomicArray64, AtomicWord64, ThreadSwsQueue, hammer
 
+#: Race tests must fail loudly, not hang the suite, when a thread wedges.
+pytestmark = pytest.mark.timeout(120)
+
 U64 = (1 << 64) - 1
 
 

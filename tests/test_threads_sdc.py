@@ -6,6 +6,9 @@ import pytest
 
 from repro.threads.sdc_shim import ThreadSdcQueue, hammer_sdc
 
+#: Race tests must fail loudly, not hang the suite, when a thread wedges.
+pytestmark = pytest.mark.timeout(120)
+
 
 class TestSequential:
     def test_release_then_steal_half(self):
