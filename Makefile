@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos schedules mp conformance explore bench bench-fast bench-baseline experiments experiments-full examples clean
+.PHONY: install test chaos schedules mp conformance explore bench bench-fast bench-baseline profile experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -50,6 +50,12 @@ bench-fast:
 bench-baseline:
 	$(PYTHON) -m repro sweep --refresh --no-cache \
 	    --out benchmarks/BENCH_baseline.json
+
+# cProfile top-20 for the two throughput-critical scenarios
+# (see docs/performance.md, "Profiling the hot paths").
+profile:
+	mkdir -p results
+	$(PYTHON) tools/profile_hotpath.py --out results/profile_hotpath.txt
 
 experiments:
 	$(PYTHON) -m repro.analysis.cli --exp all --scale quick

@@ -146,7 +146,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs = [SweepJob.bench(name, args.scale) for name in names]
         if args.scenarios == "all":
             # Multiprocess-substrate scenarios ride along in the report
-            # (observability only: no baseline entry, so no gating).
+            # and gate against their committed baseline entries like the
+            # simulator scenarios do.
             jobs += [SweepJob.mp(*mp) for mp in MP_SCENARIOS]
 
     cache = None if args.no_cache else ResultCache(args.cache)

@@ -208,6 +208,15 @@ def _json_safe(value):
     return str(value)
 
 
+#: Repetitions per bench job; the best wall is reported.  Experiment
+#: payloads are deterministic, so repeating only re-measures the wall —
+#: and the *best* of a few reps is the measurement least polluted by a
+#: transient host stall (GC pause, hypervisor neighbor, cold caches).
+#: The regression gate compares best-of-N against a best-of-N baseline,
+#: which keeps its 20% threshold meaningful on noisy shared machines.
+BENCH_REPS = 3
+
+
 def run_job(spec: dict) -> dict:
     """Execute one job spec; returns ``{"payload": ..., "meta": ...}``.
 
@@ -221,26 +230,38 @@ def run_job(spec: dict) -> dict:
 
     fabric_engine.reset_event_tally()
     events = None
+    wall_override = None
     t0 = time.perf_counter()
     if spec["kind"] == "bench":
         from .experiments import run_experiment
 
-        result = run_experiment(spec["name"], spec.get("scale", "quick"))
+        for _ in range(BENCH_REPS):
+            fabric_engine.reset_event_tally()
+            r0 = time.perf_counter()
+            result = run_experiment(spec["name"], spec.get("scale", "quick"))
+            rep_wall = time.perf_counter() - r0
+            if wall_override is None or rep_wall < wall_override:
+                wall_override = rep_wall
         payload = {
             "exp_id": result.exp_id,
             "headers": list(result.headers),
             "rows": [[_json_safe(v) for v in row] for row in result.rows],
         }
+        # Engine-free experiments (pure encode/decode arithmetic, e.g.
+        # fig34) report their op count so the bench row is not "events: 0".
+        events = fabric_engine.events_tally() or result.ops
     elif spec["kind"] == "cell":
         stats = _run_cell(spec)
         payload = {
             "summary": {k: _json_safe(v) for k, v in sorted(stats.summary().items())}
         }
     elif spec["kind"] == "mp":
-        payload, events = _run_mp_job(spec)
+        payload, events, wall_override = _run_mp_job(spec)
     else:
         raise ValueError(f"unknown job kind {spec['kind']!r}")
     wall = time.perf_counter() - t0
+    if wall_override is not None:
+        wall = wall_override
     if events is None:
         events = fabric_engine.events_tally()
     return {
@@ -248,7 +269,10 @@ def run_job(spec: dict) -> dict:
         "meta": {
             "wall_s": wall,
             "events": events,
-            "events_per_sec": (events / wall) if wall > 0 else 0.0,
+            # Sub-0.1ms walls (engine-free experiments on a fast box)
+            # would explode the ratio into timer noise; clamp the
+            # denominator instead of dividing by ~0.
+            "events_per_sec": events / max(wall, 1e-4),
         },
     }
 
@@ -270,15 +294,25 @@ def _run_cell(spec: dict) -> "RunStats":
     )
 
 
-def _run_mp_job(spec: dict) -> tuple[dict, int]:
-    """One multiprocess-substrate run → (payload, events).
+#: Repetitions per mp bench job; the best wall is reported, as for the
+#: simulator jobs (:data:`BENCH_REPS`).  A single ~30 ms real-process
+#: run is dominated by fork/scheduler noise (the first fork after a
+#: heavy simulator job pays cold page-fault costs), so the timing
+#: signal is the best of a few warm runs.
+MP_BENCH_REPS = 3
+
+
+def _run_mp_job(spec: dict) -> tuple[dict, int, float]:
+    """One multiprocess-substrate job → (payload, events, wall).
 
     The payload keeps only fields that are a pure function of the spec
     (task counts and conservation) so the content-addressed cache stays
     honest; racy per-run observables (steal counts, volumes) are
     measurement metadata and live in the bench report's meta instead.
     ``events`` is the completed-task count, so the report's events/sec
-    column reads as tasks/sec for mp scenarios.
+    column reads as tasks/sec for mp scenarios.  ``wall`` is the best
+    per-run wall (process start to all results in) over
+    :data:`MP_BENCH_REPS` repetitions; every repetition must conserve.
     """
     from ..mp.driver import run_mp
 
@@ -288,7 +322,12 @@ def _run_mp_job(spec: dict) -> tuple[dict, int]:
         kwargs["ntasks"] = int(size)
     else:
         kwargs["tree"] = str(size)
-    result = run_mp(workload, spec["impl"], int(spec["npes"]), **kwargs)
+    wall = None
+    conserved = True
+    for _ in range(MP_BENCH_REPS):
+        result = run_mp(workload, spec["impl"], int(spec["npes"]), **kwargs)
+        conserved = conserved and bool(result.conserved)
+        wall = result.wall_s if wall is None else min(wall, result.wall_s)
     s = result.summary()
     payload = {
         "workload": workload,
@@ -297,9 +336,9 @@ def _run_mp_job(spec: dict) -> tuple[dict, int]:
         "created": s["created"],
         "completed": s["completed"],
         "executed": s["executed"],
-        "conserved": bool(result.conserved),
+        "conserved": conserved,
     }
-    return payload, s["completed"]
+    return payload, s["completed"], wall
 
 
 class ResultCache:
@@ -470,8 +509,9 @@ def bench_report(outcome: SweepOutcome) -> dict:
             "cached": bool(rec.get("cached")),
         }
         if spec["kind"] == "mp":
-            # events == completed tasks here; conservation rides along
-            # for observability but does not gate (no baseline entry).
+            # events == completed tasks here, so the gate's events/sec
+            # reads as tasks/sec; mp scenarios gate like any other once
+            # the committed baseline carries their entries.
             entry["conserved"] = bool(rec["payload"].get("conserved"))
         scenarios[spec["name"]] = entry
     return {

@@ -170,20 +170,58 @@ class SymmetricHeap:
     # ------------------------------------------------------------------
     # word operations (atomic unit)
     # ------------------------------------------------------------------
+    # The scalar ops below inline _word_row's checks: they are the
+    # hottest calls in the simulator (every queue op, steal, and
+    # termination probe is one of these), and the extra call frame per
+    # access is measurable at fig7 scale.  Bounds/requirement errors are
+    # byte-identical to _word_row's.
+
     def load(self, pe: int, region: str, offset: int) -> int:
         """Read one 64-bit word."""
-        return self._word_row(pe, region, offset)[offset]
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
+        try:
+            row = self._words[region][pe]
+        except KeyError:
+            raise RegionError(f"no word region {region!r}") from None
+        if not 0 <= offset < len(row):
+            raise AddressError(
+                f"word access [{offset}, {offset + 1}) exceeds region "
+                f"{region!r} of {len(row)} words"
+            )
+        return row[offset]
 
     def store(self, pe: int, region: str, offset: int, value: int) -> None:
         """Write one 64-bit word (value is masked to 64 bits)."""
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
+        try:
+            row = self._words[region][pe]
+        except KeyError:
+            raise RegionError(f"no word region {region!r}") from None
+        if not 0 <= offset < len(row):
+            raise AddressError(
+                f"word access [{offset}, {offset + 1}) exceeds region "
+                f"{region!r} of {len(row)} words"
+            )
         value &= _U64_MASK
-        self._word_row(pe, region, offset)[offset] = value
+        row[offset] = value
         if self._waiters:
             self._notify(pe, region, offset, value)
 
     def fetch_add(self, pe: int, region: str, offset: int, delta: int) -> int:
         """Atomic fetch-and-add; returns the *old* value.  Wraps mod 2^64."""
-        row = self._word_row(pe, region, offset)
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
+        try:
+            row = self._words[region][pe]
+        except KeyError:
+            raise RegionError(f"no word region {region!r}") from None
+        if not 0 <= offset < len(row):
+            raise AddressError(
+                f"word access [{offset}, {offset + 1}) exceeds region "
+                f"{region!r} of {len(row)} words"
+            )
         old = row[offset]
         row[offset] = new = (old + delta) & _U64_MASK
         if self._waiters:
@@ -192,8 +230,18 @@ class SymmetricHeap:
 
     def swap(self, pe: int, region: str, offset: int, value: int) -> int:
         """Atomic swap; returns the old value."""
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
+        try:
+            row = self._words[region][pe]
+        except KeyError:
+            raise RegionError(f"no word region {region!r}") from None
+        if not 0 <= offset < len(row):
+            raise AddressError(
+                f"word access [{offset}, {offset + 1}) exceeds region "
+                f"{region!r} of {len(row)} words"
+            )
         value &= _U64_MASK
-        row = self._word_row(pe, region, offset)
         old = row[offset]
         row[offset] = value
         if self._waiters:
@@ -204,7 +252,17 @@ class SymmetricHeap:
         self, pe: int, region: str, offset: int, expected: int, desired: int
     ) -> int:
         """Atomic compare-and-swap; returns the old value (match ⇒ stored)."""
-        row = self._word_row(pe, region, offset)
+        if not 0 <= pe < self.npes:
+            raise PEIndexError(f"PE {pe} out of range [0, {self.npes})")
+        try:
+            row = self._words[region][pe]
+        except KeyError:
+            raise RegionError(f"no word region {region!r}") from None
+        if not 0 <= offset < len(row):
+            raise AddressError(
+                f"word access [{offset}, {offset + 1}) exceeds region "
+                f"{region!r} of {len(row)} words"
+            )
         old = row[offset]
         if old == (expected & _U64_MASK):
             desired &= _U64_MASK

@@ -29,6 +29,9 @@ BLOCKING_KINDS = frozenset(
     {"put", "get", "amo_fetch_add", "amo_swap", "amo_cas", "amo_fetch"}
 )
 
+#: Set form of OP_KINDS for O(1) validation in the per-op hot path.
+_OP_KIND_SET = frozenset(OP_KINDS)
+
 
 @dataclass
 class OpRecord:
@@ -55,7 +58,7 @@ class FabricMetrics:
         self, time: float, initiator: int, target: int, kind: str, nbytes: int
     ) -> None:
         """Tally one operation issued by ``initiator`` against ``target``."""
-        if kind not in OP_KINDS:
+        if kind not in _OP_KIND_SET:
             raise ValueError(f"unknown op kind {kind!r}")
         self.ops_by_pe[initiator][kind] += 1
         self.bytes_by_pe[initiator] += nbytes

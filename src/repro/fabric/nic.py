@@ -55,7 +55,7 @@ from .errors import FabricTimeoutError, SimulationError
 from .faults import FaultInjector
 from .latency import LatencyModel
 from .memory import SymmetricHeap
-from .metrics import FabricMetrics
+from .metrics import FabricMetrics, OpRecord
 from .topology import Topology
 
 WORD_BYTES = 8
@@ -66,10 +66,221 @@ _U64 = (1 << 64) - 1
 class _QuietWait:
     """One parked quiet() caller (identity-compared for timeout cancel)."""
 
-    __slots__ = ("proc",)
+    __slots__ = ("proc", "timer")
 
     def __init__(self, proc: Process) -> None:
         self.proc = proc
+        #: Timeout-timer handle, cancelled when the quiet resumes.
+        self.timer: Any = None
+
+
+#: Free-list cap per operation pool.  Generous versus the realistic
+#: number of in-flight ops (bounded by live PEs), tiny in absolute terms.
+_POOL_MAX = 1024
+
+
+class _FetchAmoOp(Call):
+    """Pooled record for one fault-free blocking fetching atomic.
+
+    The fig7 hot path issues hundreds of thousands of fetch-amos; the
+    closure-based implementation allocated a handler closure, an
+    at-target closure, a resume closure, a ``blocked_on`` description
+    string and a Call object per op.  This record replaces all of them:
+    it *is* the Call (handler pre-bound to :meth:`_start`), carries the
+    op operands in ``__slots__``, renders its description lazily (only a
+    deadlock report ever formats it), and returns to the owning NIC's
+    free list at resume time.  Only the unguarded path (no fault
+    injector, no op timeout) uses pooled records — the guarded path
+    keeps the closure implementation and its descriptor-cancel
+    semantics.
+    """
+
+    __slots__ = ("nic", "initiator", "target", "region", "offset", "kind",
+                 "a1", "a2", "proc", "value", "_cb_at_target", "_cb_resume")
+
+    def __init__(self, nic: "Nic") -> None:
+        self.nic = nic
+        self.handler = self._start
+        self.args = ()
+        # Bound-method callbacks created once per record, not per op.
+        self._cb_at_target = self._at_target
+        self._cb_resume = self._resume
+        self.proc = None
+        self.value = None
+
+    def __repr__(self) -> str:
+        return f"{self.kind} -> pe{self.target} {self.region}[{self.offset}]"
+
+    def _start(self, engine: Engine, proc: Process) -> None:
+        nic = self.nic
+        initiator = self.initiator
+        target = self.target
+        # Metrics tally inlined (record() validates the kind and converts
+        # the clock to float seconds — both wasted on pooled ops).
+        metrics = nic.metrics
+        metrics.ops_by_pe[initiator][self.kind] += 1
+        metrics.bytes_by_pe[initiator] += WORD_BYTES
+        if metrics.trace_enabled:
+            metrics.trace.append(
+                OpRecord(engine.now, initiator, target, self.kind, WORD_BYTES)
+            )
+        proc.blocked_on = self
+        self.proc = proc
+        # One-way latency inlined for the no-jitter common case.
+        if nic._jitter_on:
+            ow = nic._one_way_ticks(initiator, target)
+        elif initiator == target:
+            ow = nic._ow_self_ticks
+        elif initiator // nic._ppn == target // nic._ppn:
+            ow = nic._ow_intra_ticks
+        else:
+            ow = nic._ow_inter_ticks
+        engine.at_ticks(
+            engine.now_ticks + nic._alpha_ticks + ow,
+            self._cb_at_target, actor=nic._amo_actors[target],
+        )
+
+    def _at_target(self) -> None:
+        nic = self.nic
+        engine = nic.engine
+        target = self.target
+        done = nic._serialize(
+            nic._amo_busy_until, target, engine.now_ticks, nic._amo_ticks
+        )
+        heap = nic.heap
+        kind = self.kind
+        if kind == "amo_fetch_add":
+            value = heap.fetch_add(target, self.region, self.offset, self.a1)
+        elif kind == "amo_swap":
+            value = heap.swap(target, self.region, self.offset, self.a1)
+        elif kind == "amo_cas":
+            value = heap.compare_swap(
+                target, self.region, self.offset, self.a1, self.a2
+            )
+        else:  # amo_fetch
+            value = heap.load(target, self.region, self.offset)
+        self.value = value
+        initiator = self.initiator
+        if nic._jitter_on:
+            back = nic._one_way_ticks(target, initiator)
+        elif initiator == target:
+            back = nic._ow_self_ticks
+        elif initiator // nic._ppn == target // nic._ppn:
+            back = nic._ow_intra_ticks
+        else:
+            back = nic._ow_inter_ticks
+        engine.at_ticks(done + back, self._cb_resume, actor=self.proc.name)
+
+    def _resume(self) -> None:
+        nic = self.nic
+        proc = self.proc
+        value = self.value
+        self.proc = None
+        self.value = None
+        pool = nic._amo_pool
+        if len(pool) < _POOL_MAX:
+            pool.append(self)
+        nic.engine._step(proc, value)
+
+
+#: _GetOp payload opcodes.
+_GET_WORD, _GET_WORDS, _GET_BYTES = 0, 1, 2
+
+
+class _GetOp(Call):
+    """Pooled record for one fault-free blocking get (see _FetchAmoOp)."""
+
+    __slots__ = ("nic", "initiator", "target", "region", "offset", "count",
+                 "nbytes", "opcode", "proc", "value",
+                 "_cb_at_target", "_cb_resume")
+
+    def __init__(self, nic: "Nic") -> None:
+        self.nic = nic
+        self.handler = self._start
+        self.args = ()
+        self._cb_at_target = self._at_target
+        self._cb_resume = self._resume
+        self.proc = None
+        self.value = None
+
+    def __repr__(self) -> str:
+        if self.opcode == _GET_WORD:
+            return f"get -> pe{self.target} {self.region}[{self.offset}]"
+        suffix = "B" if self.opcode == _GET_BYTES else ""
+        return (f"get -> pe{self.target} "
+                f"{self.region}[{self.offset}:{self.offset + self.count}]{suffix}")
+
+    def _start(self, engine: Engine, proc: Process) -> None:
+        nic = self.nic
+        initiator = self.initiator
+        target = self.target
+        nbytes = self.nbytes
+        metrics = nic.metrics
+        metrics.ops_by_pe[initiator]["get"] += 1
+        metrics.bytes_by_pe[initiator] += nbytes
+        if metrics.trace_enabled:
+            metrics.trace.append(
+                OpRecord(engine.now, initiator, target, "get", nbytes)
+            )
+        proc.blocked_on = self
+        self.proc = proc
+        if nic._jitter_on:
+            ow = nic._one_way_ticks(initiator, target)
+        elif initiator == target:
+            ow = nic._ow_self_ticks
+        elif initiator // nic._ppn == target // nic._ppn:
+            ow = nic._ow_intra_ticks
+        else:
+            ow = nic._ow_inter_ticks
+        engine.at_ticks(
+            engine.now_ticks + nic._alpha_ticks + ow,
+            self._cb_at_target, actor=nic._get_actors[target],
+        )
+
+    def _at_target(self) -> None:
+        nic = self.nic
+        engine = nic.engine
+        target = self.target
+        done = nic._serialize(
+            nic._get_busy_until, target, engine.now_ticks, nic._get_ticks
+        )
+        heap = nic.heap
+        opcode = self.opcode
+        if opcode == _GET_WORD:
+            value = heap.load(target, self.region, self.offset)
+        elif opcode == _GET_WORDS:
+            value = heap.load_words(target, self.region, self.offset, self.count)
+        else:
+            value = heap.read_bytes(target, self.region, self.offset, self.count)
+        self.value = value
+        stream = round(self.nbytes * nic._beta_fs)
+        initiator = self.initiator
+        if nic._jitter_on:
+            back = nic._one_way_ticks(target, initiator)
+        elif initiator == target:
+            back = nic._ow_self_ticks
+        elif initiator // nic._ppn == target // nic._ppn:
+            back = nic._ow_intra_ticks
+        else:
+            back = nic._ow_inter_ticks
+        if nic._link_serialize:
+            # The response payload occupies the target's egress link;
+            # concurrent bulk reads of one victim serialize.
+            done = nic._serialize(nic._link_busy_until, target, done, stream)
+        else:
+            back += stream
+        engine.at_ticks(done + back, self._cb_resume, actor=self.proc.name)
+
+    def _resume(self) -> None:
+        nic = self.nic
+        proc = self.proc
+        value = self.value
+        self.proc = None
+        self.value = None
+        pool = nic._get_pool
+        if len(pool) < _POOL_MAX:
+            pool.append(self)
+        nic.engine._step(proc, value)
 
 
 class Nic:
@@ -142,6 +353,9 @@ class Nic:
         self._get_actors = [f"nic.get:pe{p}" for p in range(npes)]
         self._put_actors = [f"nic.put:pe{p}" for p in range(npes)]
         self._timer_actors = [f"timer:pe{p}" for p in range(npes)]
+        # Free lists of pooled op records (fault-free blocking path only).
+        self._amo_pool: list[_FetchAmoOp] = []
+        self._get_pool: list[_GetOp] = []
         engine.diagnostics.append(self._deadlock_diagnostic)
 
     # ------------------------------------------------------------------
@@ -225,7 +439,11 @@ class Nic:
                 ),
             )
 
-        engine.at_ticks(deadline, fire, actor=self._timer_actors[initiator])
+        # The handle lets the completion path retire the timer instead of
+        # letting it fire as a dead no-op event.
+        state["timer"] = engine.at_ticks(
+            deadline, fire, actor=self._timer_actors[initiator]
+        )
 
     def _deadlock_diagnostic(self) -> str:
         """Extra context for DeadlockError: outstanding ops per PE."""
@@ -244,24 +462,50 @@ class Nic:
     # ------------------------------------------------------------------
     def amo_fetch_add(self, initiator: int, target: int, region: str, offset: int, delta: int) -> Call:
         """Atomic fetch-and-add on a remote 64-bit word; yields the old value."""
+        if self.faults is None and self._timeout_ticks is None:
+            return self._pooled_amo(initiator, target, region, offset,
+                                    "amo_fetch_add", delta, 0)
         return self._fetch_amo(initiator, target, region, offset, "amo_fetch_add",
                                lambda: self.heap.fetch_add(target, region, offset, delta))
 
     def amo_swap(self, initiator: int, target: int, region: str, offset: int, value: int) -> Call:
         """Atomic swap on a remote word; yields the old value."""
+        if self.faults is None and self._timeout_ticks is None:
+            return self._pooled_amo(initiator, target, region, offset,
+                                    "amo_swap", value, 0)
         return self._fetch_amo(initiator, target, region, offset, "amo_swap",
                                lambda: self.heap.swap(target, region, offset, value))
 
     def amo_cas(self, initiator: int, target: int, region: str, offset: int,
                 expected: int, desired: int) -> Call:
         """Atomic compare-and-swap; yields the old value."""
+        if self.faults is None and self._timeout_ticks is None:
+            return self._pooled_amo(initiator, target, region, offset,
+                                    "amo_cas", expected, desired)
         return self._fetch_amo(initiator, target, region, offset, "amo_cas",
                                lambda: self.heap.compare_swap(target, region, offset, expected, desired))
 
     def amo_fetch(self, initiator: int, target: int, region: str, offset: int) -> Call:
         """Atomic read of a remote word (steal-damping probe); yields the value."""
+        if self.faults is None and self._timeout_ticks is None:
+            return self._pooled_amo(initiator, target, region, offset,
+                                    "amo_fetch", 0, 0)
         return self._fetch_amo(initiator, target, region, offset, "amo_fetch",
                                lambda: self.heap.load(target, region, offset))
+
+    def _pooled_amo(self, initiator: int, target: int, region: str, offset: int,
+                    kind: str, a1: int, a2: int) -> "_FetchAmoOp":
+        """Check a record out of the free list and load its operands."""
+        pool = self._amo_pool
+        rec = pool.pop() if pool else _FetchAmoOp(self)
+        rec.initiator = initiator
+        rec.target = target
+        rec.region = region
+        rec.offset = offset
+        rec.kind = kind
+        rec.a1 = a1
+        rec.a2 = a2
+        return rec
 
     def _fetch_amo(self, initiator: int, target: int, region: str, offset: int,
                    kind: str, apply: Callable[[], int]) -> Call:
@@ -281,6 +525,9 @@ class Nic:
                     if state["dead"]:
                         return  # descriptor cancelled by the timeout
                     state["applied"] = True
+                    timer = state.get("timer")
+                    if timer is not None:
+                        engine.cancel(timer)
                 done = self._serialize(
                     self._amo_busy_until, target, engine.now_ticks, self._amo_ticks
                 )
@@ -333,21 +580,44 @@ class Nic:
     # ------------------------------------------------------------------
     def get_words(self, initiator: int, target: int, region: str, offset: int, count: int) -> Call:
         """Blocking read of consecutive remote words; yields list[int]."""
+        if self.faults is None and self._timeout_ticks is None:
+            return self._pooled_get(initiator, target, region, offset, count,
+                                    count * WORD_BYTES, _GET_WORDS)
         return self._get(initiator, target, count * WORD_BYTES,
                          lambda: self.heap.load_words(target, region, offset, count),
                          f"get -> pe{target} {region}[{offset}:{offset + count}]")
 
     def get_word(self, initiator: int, target: int, region: str, offset: int) -> Call:
         """Blocking read of one remote word; yields int."""
+        if self.faults is None and self._timeout_ticks is None:
+            return self._pooled_get(initiator, target, region, offset, 1,
+                                    WORD_BYTES, _GET_WORD)
         return self._get(initiator, target, WORD_BYTES,
                          lambda: self.heap.load(target, region, offset),
                          f"get -> pe{target} {region}[{offset}]")
 
     def get_bytes(self, initiator: int, target: int, region: str, offset: int, count: int) -> Call:
         """Blocking read of remote bytes; yields bytes."""
+        if self.faults is None and self._timeout_ticks is None:
+            return self._pooled_get(initiator, target, region, offset, count,
+                                    count, _GET_BYTES)
         return self._get(initiator, target, count,
                          lambda: self.heap.read_bytes(target, region, offset, count),
                          f"get -> pe{target} {region}[{offset}:{offset + count}]B")
+
+    def _pooled_get(self, initiator: int, target: int, region: str, offset: int,
+                    count: int, nbytes: int, opcode: int) -> "_GetOp":
+        """Check a get record out of the free list and load its operands."""
+        pool = self._get_pool
+        rec = pool.pop() if pool else _GetOp(self)
+        rec.initiator = initiator
+        rec.target = target
+        rec.region = region
+        rec.offset = offset
+        rec.count = count
+        rec.nbytes = nbytes
+        rec.opcode = opcode
+        return rec
 
     def _get(self, initiator: int, target: int, nbytes: int,
              read: Callable[[], Any], desc: str = "") -> Call:
@@ -367,6 +637,9 @@ class Nic:
                     if state["dead"]:
                         return
                     state["applied"] = True
+                    timer = state.get("timer")
+                    if timer is not None:
+                        engine.cancel(timer)
                 done = self._serialize(
                     self._get_busy_until, target, engine.now_ticks, self._get_ticks
                 )
@@ -453,10 +726,12 @@ class Nic:
                         if state["dead"]:
                             return
                         state["applied"] = True
+                        timer = state.get("timer")
+                        if timer is not None:
+                            engine.cancel(timer)
                     done = apply_write()
                     back = self._one_way_ticks(target, initiator)
-                    engine.at_ticks(done + back, lambda: engine._step(proc, None),
-                                    actor=proc.name)
+                    engine.at_ticks(done + back, proc._step0, actor=proc.name)
 
                 if not lost:
                     engine.at_ticks(arrival, at_target,
@@ -601,8 +876,10 @@ class Nic:
                         ),
                     )
 
-                engine.at_ticks(engine.now_ticks + self._timeout_ticks, fire,
-                                actor=self._timer_actors[pe])
+                entry.timer = engine.at_ticks(
+                    engine.now_ticks + self._timeout_ticks, fire,
+                    actor=self._timer_actors[pe]
+                )
 
         return Call(handler)
 
@@ -613,6 +890,8 @@ class Nic:
             raise SimulationError("non-blocking completion underflow")
         if outstanding[initiator] == 0 and self._quiet_waiters:
             for entry in self._quiet_waiters.pop(initiator, []):
+                if entry.timer is not None:
+                    self.engine.cancel(entry.timer)
                 self.engine.resume(entry.proc, None)
 
     def pending_ops(self, pe: int) -> int:

@@ -13,6 +13,21 @@ for honest cross-process mutual exclusion — CPython has no shared-memory
 CAS — but unlike the threads shim the preemption here is the OS kernel
 scheduling *separate processes*, GIL nowhere in sight.
 
+Two lock-free escape hatches keep the data plane off the lock path:
+
+* **seqlock reads** (:meth:`ShmWords.load_seq`): every data word has a
+  shadow *sequence word*; locked writers bump it to odd before and back
+  to even after the data write, so a reader can spin on
+  ``seq / data / seq`` without taking any stripe lock and retry on a
+  torn observation.  Owner-local metadata inspection (the hottest read
+  in the work-stealing drivers) uses this path.
+* **block copies** (:meth:`ShmWords.read_block` /
+  :meth:`ShmWords.write_block`): one contiguous ``bytes()`` of the
+  underlying buffer for regions the caller owns exclusively — a thief's
+  claimed steal block, an owner's unpublished fill region.  Exclusive
+  ownership is the whole contract: these never touch locks or sequence
+  words.
+
 :class:`WordRef` / :class:`WordSlice` adapt word indices to the
 object-per-word interface (``load``/``store``/``swap``/``fetch_add``/
 ``compare_swap``) the shared shim protocol cores expect, so
@@ -23,10 +38,14 @@ from __future__ import annotations
 
 import multiprocessing
 import struct
+import time
 
 _U64_MASK = (1 << 64) - 1
 _WORD = struct.Struct("<Q")
 WORD_BYTES = _WORD.size
+
+#: Lock-free read spins before yielding the CPU to the (single) writer.
+_SEQ_READ_SPINS = 64
 
 #: Default lock-stripe count; power of two so ``index % nstripes`` mixes.
 DEFAULT_STRIPES = 16
@@ -67,10 +86,14 @@ class ShmWords:
         ctx = ctx or _preferred_context()
         self.nwords = nwords
         self._locks = tuple(ctx.Lock() for _ in range(nstripes))
+        # Layout: nwords data words, then nwords shadow sequence words
+        # (the seqlock plane — see load_seq).  Doubling the segment is
+        # cheap next to what it buys: lock-free metadata reads.
+        self._seq_base = nwords * WORD_BYTES
         self._shm = shared_memory.SharedMemory(
-            create=True, size=nwords * WORD_BYTES
+            create=True, size=2 * nwords * WORD_BYTES
         )
-        self._shm.buf[:] = bytes(nwords * WORD_BYTES)
+        self._shm.buf[:] = bytes(2 * nwords * WORD_BYTES)
         self._owner = True
 
     # -- pickling (spawn-method portability) ---------------------------
@@ -86,6 +109,7 @@ class ShmWords:
 
         self.nwords = state["nwords"]
         self._locks = state["_locks"]
+        self._seq_base = self.nwords * WORD_BYTES
         self._shm = shared_memory.SharedMemory(name=state["_name"])
         self._owner = False
 
@@ -104,33 +128,121 @@ class ShmWords:
     def store(self, index: int, value: int) -> None:
         """Atomic write of word ``index``."""
         off = self._check(index)
+        soff = self._seq_base + off
+        buf = self._shm.buf
         with self._locks[index % len(self._locks)]:
-            _WORD.pack_into(self._shm.buf, off, value & _U64_MASK)
+            seq = _WORD.unpack_from(buf, soff)[0]
+            _WORD.pack_into(buf, soff, (seq + 1) & _U64_MASK)
+            _WORD.pack_into(buf, off, value & _U64_MASK)
+            _WORD.pack_into(buf, soff, (seq + 2) & _U64_MASK)
 
     def swap(self, index: int, value: int) -> int:
         """Atomic swap; returns the old value."""
         off = self._check(index)
+        soff = self._seq_base + off
+        buf = self._shm.buf
         with self._locks[index % len(self._locks)]:
-            old = _WORD.unpack_from(self._shm.buf, off)[0]
-            _WORD.pack_into(self._shm.buf, off, value & _U64_MASK)
+            old = _WORD.unpack_from(buf, off)[0]
+            seq = _WORD.unpack_from(buf, soff)[0]
+            _WORD.pack_into(buf, soff, (seq + 1) & _U64_MASK)
+            _WORD.pack_into(buf, off, value & _U64_MASK)
+            _WORD.pack_into(buf, soff, (seq + 2) & _U64_MASK)
             return old
 
     def fetch_add(self, index: int, delta: int) -> int:
         """Atomic fetch-and-add (wraps mod 2^64); returns the old value."""
         off = self._check(index)
+        soff = self._seq_base + off
+        buf = self._shm.buf
         with self._locks[index % len(self._locks)]:
-            old = _WORD.unpack_from(self._shm.buf, off)[0]
-            _WORD.pack_into(self._shm.buf, off, (old + delta) & _U64_MASK)
+            old = _WORD.unpack_from(buf, off)[0]
+            seq = _WORD.unpack_from(buf, soff)[0]
+            _WORD.pack_into(buf, soff, (seq + 1) & _U64_MASK)
+            _WORD.pack_into(buf, off, (old + delta) & _U64_MASK)
+            _WORD.pack_into(buf, soff, (seq + 2) & _U64_MASK)
             return old
 
     def compare_swap(self, index: int, expected: int, desired: int) -> int:
         """Atomic compare-and-swap; returns the old value."""
         off = self._check(index)
+        soff = self._seq_base + off
+        buf = self._shm.buf
         with self._locks[index % len(self._locks)]:
-            old = _WORD.unpack_from(self._shm.buf, off)[0]
+            old = _WORD.unpack_from(buf, off)[0]
             if old == (expected & _U64_MASK):
-                _WORD.pack_into(self._shm.buf, off, desired & _U64_MASK)
+                seq = _WORD.unpack_from(buf, soff)[0]
+                _WORD.pack_into(buf, soff, (seq + 1) & _U64_MASK)
+                _WORD.pack_into(buf, off, desired & _U64_MASK)
+                _WORD.pack_into(buf, soff, (seq + 2) & _U64_MASK)
             return old
+
+    # -- lock-free data plane ------------------------------------------
+    def load_seq(self, index: int) -> int:
+        """Lock-free read of word ``index`` via its sequence word.
+
+        Single-writer seqlock read protocol: sample the shadow sequence
+        word, read the data word, re-sample the sequence; an even and
+        unchanged sequence means no locked writer touched the word
+        mid-read, so the value is consistent.  Retries (with a CPU yield
+        every ``_SEQ_READ_SPINS`` attempts) until a clean sample lands.
+
+        This is the owner-local / polling fast path: no stripe lock, no
+        cross-process contention.  Writers pay two extra packs per
+        mutation to fund it.
+        """
+        off = self._check(index)
+        soff = self._seq_base + off
+        buf = self._shm.buf
+        spins = 0
+        while True:
+            s0 = _WORD.unpack_from(buf, soff)[0]
+            if not s0 & 1:
+                value = _WORD.unpack_from(buf, off)[0]
+                if _WORD.unpack_from(buf, soff)[0] == s0:
+                    return value
+            spins += 1
+            if spins >= _SEQ_READ_SPINS:
+                time.sleep(0)
+                spins = 0
+
+    def read_block(self, start: int, count: int) -> bytes:
+        """One contiguous lock-free copy of ``count`` words as bytes.
+
+        Contract: the caller holds an *exclusive claim* on
+        ``[start, start + count)`` — e.g. a thief that has already won
+        the range via ``fetch_add`` on the control word — so no writer
+        can race the copy.  No locks, no sequence words: one
+        ``bytes(memoryview)`` slice out of the segment.
+        """
+        if count <= 0:
+            return b""
+        self._check(start)
+        self._check(start + count - 1)
+        off = start * WORD_BYTES
+        return bytes(self._shm.buf[off : off + count * WORD_BYTES])
+
+    def write_block(self, start: int, data: bytes) -> None:
+        """One contiguous lock-free write of packed little-endian words.
+
+        Contract: single writer on an *unpublished* region — the range
+        only becomes visible to readers after a subsequent control-word
+        update through the locked API (which fences via its stripe
+        lock).  ``len(data)`` must be a multiple of the word size.
+        Sequence words are not touched: ``load_seq`` on words inside a
+        block-written range is only sound after that publish.
+        """
+        nbytes = len(data)
+        if nbytes == 0:
+            return
+        if nbytes % WORD_BYTES:
+            raise ValueError(
+                f"block length {nbytes} not a multiple of {WORD_BYTES}"
+            )
+        count = nbytes // WORD_BYTES
+        self._check(start)
+        self._check(start + count - 1)
+        off = start * WORD_BYTES
+        self._shm.buf[off : off + nbytes] = data
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -167,6 +279,10 @@ class WordRef:
     def load(self) -> int:
         return self._words.load(self._index)
 
+    def load_seq(self) -> int:
+        """Lock-free seqlock read (see :meth:`ShmWords.load_seq`)."""
+        return self._words.load_seq(self._index)
+
     def store(self, value: int) -> None:
         self._words.store(self._index, value)
 
@@ -201,3 +317,24 @@ class WordSlice:
     def snapshot(self) -> list[int]:
         """Non-atomic-across-words read of all values."""
         return [self._words.load(self._start + i) for i in range(self._length)]
+
+    def read_block(self, start: int, count: int) -> bytes:
+        """Lock-free bulk copy relative to the slice (exclusive-claim
+        contract of :meth:`ShmWords.read_block`)."""
+        if not (0 <= start and start + count <= self._length):
+            raise IndexError(
+                f"block [{start}, {start + count}) out of range "
+                f"[0, {self._length})"
+            )
+        return self._words.read_block(self._start + start, count)
+
+    def write_block(self, start: int, data: bytes) -> None:
+        """Lock-free bulk write relative to the slice (single-writer
+        unpublished-region contract of :meth:`ShmWords.write_block`)."""
+        count = len(data) // WORD_BYTES
+        if not (0 <= start and start + count <= self._length):
+            raise IndexError(
+                f"block [{start}, {start + count}) out of range "
+                f"[0, {self._length})"
+            )
+        self._words.write_block(self._start + start, data)

@@ -38,6 +38,7 @@ from ..core.damping import DampingTracker, TargetMode
 from ..core.results import StealStatus
 from ..core.stealval import StealValEpoch
 from ..shmem.heap import SymmetricAllocator
+from ..threads.protocol import Backoff
 from ..workloads.uts import UtsParams, expand, get_tree
 from .atomics import _preferred_context
 from .heap import MpHeap
@@ -252,11 +253,22 @@ def _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping) -> dict:
     else:
         raise ValueError(f"unknown workload {kind!r}")
 
+    # Owner-local metadata inspection runs after every executed task; the
+    # seqlock read keeps it off the stripe locks the thieves' claims are
+    # hammering, and the verdict is cached against the raw word (claims
+    # change the word, so a stale verdict is impossible).
+    sv_cache = [None, False]
+
     def shared_has_work() -> bool:
         if impl == "sws":
-            view = StealValEpoch.unpack(owner.stealval.load())
-            return DampingTracker.view_has_work(view)
-        return owner.split.load() - owner.tail.load() > 0
+            raw = owner.stealval.load_seq()
+            if raw != sv_cache[0]:
+                sv_cache[0] = raw
+                sv_cache[1] = DampingTracker.view_has_work(
+                    StealValEpoch.unpack(raw)
+                )
+            return sv_cache[1]
+        return owner.split.load_seq() - owner.tail.load_seq() > 0
 
     def reclaim() -> int:
         kept = owner.take_kept()
@@ -312,6 +324,14 @@ def _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping) -> dict:
             return True
         return False
 
+    # Completion increments are batched locally and flushed whenever the
+    # local deque drains (and before any termination read).  Deferring
+    # ``completed`` only ever *understates* it, so the global invariant
+    # ``completed <= created`` survives; ``created`` must stay prompt —
+    # children become stealable at the next release, and their creation
+    # has to be on the books before any other PE can complete them.
+    done_pending = 0
+    idle = Backoff(sleep_s=1e-5, max_sleep_s=1e-3)
     while True:
         if local:
             payload = local.pop()
@@ -319,25 +339,30 @@ def _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping) -> dict:
             if children:
                 created.fetch_add(len(children))
                 local.extend(children)
-            completed.fetch_add(1)
+            done_pending += 1
             stats.executed += 1
             stats.checksum ^= fingerprint(payload)
             try_share()
             continue
+        if done_pending:
+            completed.fetch_add(done_pending)
+            done_pending = 0
         # Local deque empty: reclaim our own shared remainder first.
         owner.acquire()
         stats.acquires += 1
         if reclaim():
+            idle.reset()
             continue
         # Steal sweep over victims in a fresh random order.
         order = rng.sample(sorted(thieves), len(thieves))
         if any(try_steal_from(v) for v in order):
+            idle.reset()
             continue
         # Nothing anywhere: are the books balanced?  (completed first!)
-        done = completed.load()
-        if done == created.load():
+        done = completed.load_seq()
+        if done == created.load_seq():
             break
-        time.sleep(1e-4)
+        idle.wait()
 
     stats.probes = tracker.stats.probes
     stats.probe_aborts = tracker.stats.probe_aborts

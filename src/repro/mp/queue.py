@@ -10,9 +10,13 @@ in the process that plays the PE owning the queue; thief-side views
 any other process can steal through.
 
 Task payloads are tuples of 64-bit words (``words_per_task``), or bare
-ints when ``words_per_task == 1``; every buffer access goes through the
-striped-lock atomic seam — claimed blocks are exclusively owned by the
-claiming thief, so per-word atomic loads reconstruct records exactly.
+ints when ``words_per_task == 1``.  The *control* words (stealval,
+completion array, SDC lock/tail/split) go through the striped-lock
+atomic seam; the *task buffer* is a lock-free bulk data plane: a
+claimed block is exclusively owned by the claiming thief, so the copy
+is one contiguous ``read_block`` byte slice (two when the ring wraps)
+decoded by :class:`~repro.threads.protocol.RecordCodec`, and the
+owner's fill is one ``write_block`` into the not-yet-published region.
 
 :func:`hammer_mp` mirrors :func:`repro.threads.queue_shim.hammer` with
 thief *processes*: the owner runs in the calling process, N children
@@ -26,6 +30,8 @@ from dataclasses import dataclass
 
 from ..shmem.heap import SymArray, SymWord, SymmetricAllocator
 from ..threads.protocol import (
+    Backoff,
+    RecordCodec,
     SdcShimCore,
     SdcShimResult,
     ShimStealResult,
@@ -47,17 +53,36 @@ class _MpTaskBuffer:
         self._buf = heap.slice(buffer)
         self.capacity = capacity
         self.words_per_task = words_per_task
+        self._codec = RecordCodec(words_per_task)
 
     def _read_tasks(self, start: int, count: int) -> list:
+        """Bulk-copy ``count`` records starting at record index ``start``.
+
+        A claimed block is exclusively owned by the reader (the steal
+        protocol's fetch-add already won it), so this is the lock-free
+        ``read_block`` path: one contiguous byte slice, or two when the
+        block wraps the ring end — record indices are taken modulo the
+        buffer, which is a no-op for the flat-cursor shims but lets ring
+        layouts reuse the same accessor.
+        """
         if count <= 0:
             return []
-        buf, wpt = self._buf, self.words_per_task
-        if wpt == 1:
-            return [buf[i].load() for i in range(start, start + count)]
-        return [
-            tuple(buf[t * wpt + j].load() for j in range(wpt))
-            for t in range(start, start + count)
-        ]
+        wpt = self.words_per_task
+        total = self.capacity * wpt
+        nw = count * wpt
+        if nw > total:
+            raise IndexError(
+                f"block of {count} records exceeds buffer of "
+                f"{self.capacity}"
+            )
+        w0 = (start * wpt) % total
+        buf = self._buf
+        if w0 + nw <= total:
+            data = buf.read_block(w0, nw)
+        else:
+            head = total - w0
+            data = buf.read_block(w0, head) + buf.read_block(0, nw - head)
+        return self._codec.decode(data)
 
 
 @dataclass(frozen=True)
@@ -134,13 +159,27 @@ class MpSwsQueue(_MpTaskBuffer, SwsShimCore):
         return True
 
     def push_all(self, tasks) -> int:
-        """Append many tasks; returns how many fit."""
-        pushed = 0
-        for task in tasks:
-            if not self.push(task):
-                break
-            pushed += 1
-        return pushed
+        """Append many tasks in one bulk write; returns how many fit.
+
+        The fill region ``[nfilled, nfilled + fit)`` is unpublished
+        (``release`` exposes it later via a locked stealval store), so
+        the single-writer ``write_block`` contract holds.
+        """
+        tasks = list(tasks)
+        fit = min(len(tasks), self.capacity - self.nfilled)
+        if fit <= 0:
+            return 0
+        batch = tasks[:fit]
+        wpt = self.words_per_task
+        if wpt > 1:
+            for task in batch:
+                if len(task) != wpt:
+                    raise ValueError(
+                        f"task must be {wpt} words, got {len(task)}"
+                    )
+        self._buf.write_block(self.nfilled * wpt, self._codec.encode(batch))
+        self.nfilled += fit
+        return fit
 
 
 class MpSwsThief(_MpTaskBuffer):
@@ -160,8 +199,13 @@ class MpSwsThief(_MpTaskBuffer):
         )
 
     def probe(self) -> int:
-        """Read-only stealval fetch (damping's empty-mode probe)."""
-        return self.stealval.load()
+        """Read-only stealval fetch (damping's empty-mode probe).
+
+        Seqlock read: every stealval mutation goes through the locked
+        word API (which bumps the shadow sequence), so the probe skips
+        the stripe lock entirely.
+        """
+        return self.stealval.load_seq()
 
 
 @dataclass(frozen=True)
@@ -240,19 +284,19 @@ class MpSdcThief(_MpTaskBuffer):
 
 def _hammer_thief(heap, layout, stop_addr, idx, outq, impl):
     """Thief child: race claims until the owner raises the stop flag."""
-    import time
-
     stop = heap.ref(stop_addr)
     thief = layout.thief(heap)
     loot: list = []
     volumes: list[int] = []
-    while not stop.load():
+    backoff = Backoff(sleep_s=1e-6, max_sleep_s=1e-4)
+    while not stop.load_seq():
         res = thief.steal() if impl == "sws" else thief.steal(max_spins=100)
         if res.claimed:
             loot.extend(res.claimed)
             volumes.append(len(res.claimed))
+            backoff.reset()
         else:
-            time.sleep(1e-6)
+            backoff.wait()
     outq.put((idx, loot, volumes))
 
 

@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Generator
 
-from ..core.damping import DampingTracker
+from ..core.damping import DampingTracker, TargetMode
 from ..core.results import StealResult, StealStatus
 from ..core.sdc_queue import SdcQueue
 from ..core.sws_queue import SwsQueue
@@ -187,8 +187,6 @@ class QueueDriver:
     def steal_op(self, victim: int, stats: WorkerStats) -> Generator:
         """One steal attempt against ``victim``, damping-aware for SWS."""
         if self.damping is not None:
-            from ..core.damping import TargetMode
-
             if self.damping.mode(victim) is TargetMode.EMPTY:
                 view = yield from self.queue.probe(victim)
                 stats.probes += 1

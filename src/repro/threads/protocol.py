@@ -20,15 +20,103 @@ A substrate plugs in by providing word objects exposing atomic
 for SDC's spinlock) plus a ``_read_tasks(start, count)`` accessor for
 its task buffer.  The stealval encode/decode is
 :class:`repro.core.stealval.StealValEpoch` — reused, never copied.
+
+Two small data-plane helpers also live here because both real-time
+substrates need them:
+
+* :class:`RecordCodec` — fixed-width packing of task records to/from
+  little-endian 64-bit words, so a bulk steal copy is one contiguous
+  byte slice instead of per-word atomic loads;
+* :class:`Backoff` — adaptive spin → yield → exponential-sleep waiter
+  for polling loops (idle workers, completion waits), replacing
+  fixed-interval sleeps that either burn CPU or add latency.
 """
 
 from __future__ import annotations
 
+import struct
 import time
 from dataclasses import dataclass, field
 
 from ..core.steal_half import max_steals, schedule, steal_displacement, steal_volume
 from ..core.stealval import StealValEpoch
+
+
+class RecordCodec:
+    """Fixed-width task-record codec for bulk data-plane copies.
+
+    A task record is ``words_per_task`` unsigned little-endian 64-bit
+    words.  Encoding a batch produces one ``bytes`` blob suitable for a
+    single ``write_block``; decoding the blob a ``read_block`` returned
+    recovers the records without touching the atomic word API.  Single
+    -word tasks decode to plain ints (matching what per-word ``load``
+    would have produced); wider tasks decode to tuples.
+    """
+
+    __slots__ = ("words_per_task", "record_bytes", "_struct")
+
+    def __init__(self, words_per_task: int = 1) -> None:
+        if words_per_task <= 0:
+            raise ValueError(
+                f"words_per_task must be positive, got {words_per_task}"
+            )
+        self.words_per_task = words_per_task
+        self._struct = struct.Struct(f"<{words_per_task}Q")
+        self.record_bytes = self._struct.size
+
+    def encode(self, tasks) -> bytes:
+        """Pack a batch of records into one contiguous blob."""
+        if self.words_per_task == 1:
+            return struct.pack(f"<{len(tasks)}Q", *tasks)
+        return b"".join(self._struct.pack(*t) for t in tasks)
+
+    def decode(self, data: bytes) -> list:
+        """Unpack a blob back into records (ints or tuples)."""
+        if self.words_per_task == 1:
+            return list(struct.unpack(f"<{len(data) // 8}Q", data))
+        return [t for t in self._struct.iter_unpack(data)]
+
+
+class Backoff:
+    """Adaptive spin → yield → exponential-sleep waiter.
+
+    The first ``spins`` calls to :meth:`wait` return immediately (pure
+    spin — right when the awaited writer is mid-critical-section on
+    another core); the next ``yields`` calls release the GIL/CPU with
+    ``time.sleep(0)``; after that each call sleeps, doubling from
+    ``sleep_s`` up to ``max_sleep_s``.  Call :meth:`reset` whenever
+    progress is observed so a busy phase snaps back to spinning.
+    """
+
+    __slots__ = ("spins", "yields", "sleep_s", "max_sleep_s", "_n")
+
+    def __init__(
+        self,
+        spins: int = 16,
+        yields: int = 8,
+        sleep_s: float = 1e-5,
+        max_sleep_s: float = 1e-3,
+    ) -> None:
+        self.spins = spins
+        self.yields = yields
+        self.sleep_s = sleep_s
+        self.max_sleep_s = max_sleep_s
+        self._n = 0
+
+    def reset(self) -> None:
+        self._n = 0
+
+    def wait(self) -> None:
+        n = self._n
+        self._n = n + 1
+        if n < self.spins:
+            return
+        n -= self.spins
+        if n < self.yields:
+            time.sleep(0)
+            return
+        delay = self.sleep_s * (1 << min(n - self.yields, 12))
+        time.sleep(delay if delay < self.max_sleep_s else self.max_sleep_s)
 
 
 @dataclass
@@ -81,7 +169,8 @@ class SwsShimCore:
     calling :meth:`_init_protocol`.
     """
 
-    #: Seconds slept per poll while waiting on in-flight completions.
+    #: Cap on the adaptive backoff's sleep while waiting on in-flight
+    #: completions (the historical fixed poll interval).
     POLL_S = 1e-5
 
     def _init_protocol(self, max_epochs: int, comp_slots: int) -> None:
@@ -144,11 +233,12 @@ class SwsShimCore:
         next_epoch = (self.epoch + 1) % self.max_epochs
         # Wait until the epoch's previous record fully completed, then
         # prune settled records and zero the epoch's completion row.
+        backoff = Backoff(sleep_s=self.POLL_S / 4, max_sleep_s=self.POLL_S)
         while any(
             r["epoch"] == next_epoch and not self._settled(r)
             for r in self._records
         ):
-            time.sleep(self.POLL_S)
+            backoff.wait()
         self._records = [r for r in self._records if not self._settled(r)]
         base = next_epoch * self.comp_slots
         for i in range(self.comp_slots):
@@ -172,8 +262,9 @@ class SwsShimCore:
         """
         rem_start, rem = self._close()
         self._keep(rem_start, rem)
+        backoff = Backoff(sleep_s=self.POLL_S / 4, max_sleep_s=self.POLL_S)
         while not all(self._settled(r) for r in self._records):
-            time.sleep(self.POLL_S)
+            backoff.wait()
         self._keep(self.cursor, self.nfilled - self.cursor)
         self.cursor = self.nfilled
 
