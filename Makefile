@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos schedules mp conformance explore bench bench-fast bench-baseline profile experiments experiments-full examples clean
+.PHONY: install test chaos chaos-mp schedules mp conformance explore bench bench-fast bench-baseline profile experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -12,6 +12,13 @@ test:
 
 chaos:
 	$(PYTHON) -m pytest -m chaos tests/chaos/
+
+# Real-process chaos: SIGKILL workers at seeded triggers (between tasks,
+# mid-steal, holding a stripe lock) and assert at-least-once recovery;
+# includes the lease/repair unit layer (docs/backends.md).
+chaos-mp:
+	$(PYTHON) -m pytest tests/chaos/test_chaos_mp.py \
+	    tests/test_mp_leases.py
 
 schedules:
 	$(PYTHON) -m pytest -m schedules tests/schedules/

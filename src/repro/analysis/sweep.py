@@ -114,9 +114,14 @@ BENCH_SCENARIOS: tuple[str, ...] = ("fig2", "fig34", "fig5", "fig6", "fig7", "fi
 #: Multiprocess-substrate scenarios measured alongside the bench set:
 #: (workload, impl, npes, size) — size is ntasks for synthetic, a named
 #: UTS tree otherwise.  Small on purpose: CI runners have 2 cores.
-MP_SCENARIOS: tuple[tuple[str, str, int, object], ...] = (
+MP_SCENARIOS: tuple[tuple, ...] = (
     ("synthetic", "sws", 4, 1200),
     ("uts", "sws", 4, "test_tiny"),
+    # Chaos row: rank 1 SIGKILLed holding a stripe lock after its 6th
+    # task.  The reported wall is the *recovery* wall (death detection +
+    # lease break + scavenge + re-inject), so BENCH_fabric.json tracks
+    # recovery latency over time.  Ungated until a baseline carries it.
+    ("synthetic", "sws", 4, 1200, "1@6:lock"),
 )
 
 #: Default on-disk cache location (relative to the invoking directory).
@@ -171,13 +176,25 @@ class SweepJob:
         )
 
     @classmethod
-    def mp(cls, workload: str, impl: str, npes: int, size) -> "SweepJob":
-        """One multiprocess-substrate run (``size``: ntasks or tree)."""
-        name = f"mp_{workload}_{impl}_n{npes}"
+    def mp(cls, workload: str, impl: str, npes: int, size,
+           crash: str | None = None) -> "SweepJob":
+        """One multiprocess-substrate run (``size``: ntasks or tree).
+
+        ``crash`` is an optional ``"RANK@N:POINT"`` kill spec; a crash
+        job measures recovery wall instead of throughput wall and is
+        named ``mp_crash_recovery``.
+        """
+        if crash is None:
+            name = f"mp_{workload}_{impl}_n{npes}"
+            return cls(
+                "mp", name,
+                (("workload", workload), ("impl", impl), ("npes", npes),
+                 ("size", size)),
+            )
         return cls(
-            "mp", name,
+            "mp", "mp_crash_recovery",
             (("workload", workload), ("impl", impl), ("npes", npes),
-             ("size", size)),
+             ("size", size), ("crash", crash)),
         )
 
     def spec(self) -> dict:
@@ -299,7 +316,7 @@ def _run_cell(spec: dict) -> "RunStats":
 #: run is dominated by fork/scheduler noise (the first fork after a
 #: heavy simulator job pays cold page-fault costs), so the timing
 #: signal is the best of a few warm runs.
-MP_BENCH_REPS = 3
+MP_BENCH_REPS = 5
 
 
 def _run_mp_job(spec: dict) -> tuple[dict, int, float]:
@@ -322,13 +339,37 @@ def _run_mp_job(spec: dict) -> tuple[dict, int, float]:
         kwargs["ntasks"] = int(size)
     else:
         kwargs["tree"] = str(size)
+    crash_spec = spec.get("crash")
+    if crash_spec:
+        from ..mp.faults import CrashKill, CrashPlan
+
+        kill, point = crash_spec.split(":", 1)
+        rank_s, after_s = kill.split("@", 1)
+        kwargs["crash"] = CrashPlan(
+            kills=(CrashKill(int(rank_s), int(after_s), point),)
+        )
     wall = None
     conserved = True
     for _ in range(MP_BENCH_REPS):
         result = run_mp(workload, spec["impl"], int(spec["npes"]), **kwargs)
         conserved = conserved and bool(result.conserved)
-        wall = result.wall_s if wall is None else min(wall, result.wall_s)
+        # Crash jobs report the recovery wall (detect + repair + scavenge
+        # + re-inject); throughput jobs report the end-to-end run wall.
+        rep_wall = result.recovery_wall_s if crash_spec else result.wall_s
+        wall = rep_wall if wall is None else min(wall, rep_wall)
     s = result.summary()
+    if crash_spec:
+        # Duplicate totals are racy run to run; the payload keeps only
+        # the spec-determined invariants so the cache stays honest.
+        payload = {
+            "workload": workload,
+            "impl": spec["impl"],
+            "npes": int(spec["npes"]),
+            "crash": crash_spec,
+            "executed_unique": s["executed_unique"],
+            "conserved": conserved,
+        }
+        return payload, s["executed_unique"], wall
     payload = {
         "workload": workload,
         "impl": spec["impl"],

@@ -29,25 +29,40 @@ Steal attempts are classified with the simulator's own
 
 from __future__ import annotations
 
+import os
 import random
 import time
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
 from ..core.damping import DampingTracker, TargetMode
 from ..core.results import StealStatus
 from ..core.stealval import StealValEpoch
 from ..shmem.heap import SymmetricAllocator
-from ..threads.protocol import Backoff
+from ..threads.protocol import Backoff, StallTimeout
 from ..workloads.uts import UtsParams, expand, get_tree
-from .atomics import _preferred_context
+from .atomics import _preferred_context, pid_alive
+from .errors import MpStallError
+from .faults import CrashInjector, CrashPlan, NO_CRASHES
 from .heap import MpHeap
 from .queue import SdcQueueLayout, SwsQueueLayout
+from .recovery import CrashRegions, scavenge_rank
 
 _U64 = (1 << 64) - 1
 
 #: Local-queue size below which a PE does not bother sharing.
 RELEASE_MIN = 4
+
+#: Hard deadline on a PE's idle wait with no global progress: pre-lease
+#: deadlocks fail fast with a diagnostic instead of hanging the job.
+MP_IDLE_STALL_S = 120.0
+
+#: Completion-wait deadline in crash mode, after which the owner checks
+#: for (and voids) claims held by dead thieves.
+CRASH_SETTLE_S = 2.0
+
+#: Consecutive stable supervisor sweeps required to declare quiescence.
+STABLE_SWEEPS = 3
 
 
 def _mix64(x: int) -> int:
@@ -150,6 +165,23 @@ class MpRunResult:
     pes: list[MpPeStats] = field(default_factory=list)
     expected_executed: int | None = None
     expected_checksum: int | None = None
+    # -- crash-mode (at-least-once) accounting -------------------------
+    #: True when a CrashPlan was active: tasks may legitimately execute
+    #: more than once, and the oracle becomes duplicate-aware.
+    at_least_once: bool = False
+    crashed_ranks: list[int] = field(default_factory=list)
+    respawned_ranks: list[int] = field(default_factory=list)
+    #: Tasks recovered from dead PEs, by source (queue/ring/inflight/...).
+    scavenged: dict = field(default_factory=dict)
+    #: Stripe lease breaks performed across the whole run.
+    lease_breaks: int = 0
+    #: Wall time spent detecting deaths, repairing and re-injecting.
+    recovery_wall_s: float = 0.0
+    #: Distinct tasks executed (xlog union) and their xor fingerprint.
+    executed_unique: int | None = None
+    unique_checksum: int | None = None
+    #: multiplicity -> how many distinct tasks ran that many times.
+    multiplicity: dict = field(default_factory=dict)
 
     @property
     def total_executed(self) -> int:
@@ -170,7 +202,24 @@ class MpRunResult:
 
     @property
     def conserved(self) -> bool:
-        """Zero lost / duplicated tasks, as far as the books can tell."""
+        """No task lost, as far as the books can tell.
+
+        Exactly-once runs require the full counter/checksum equalities.
+        At-least-once (crash) runs require the *deduplicated* executed
+        set to match the sequential oracle exactly — every task ran at
+        least once (``executed >= expected`` follows), and the xor over
+        distinct fingerprints reconciles; duplicates are legitimate.
+        """
+        if self.at_least_once:
+            ok = True
+            if self.expected_executed is not None:
+                ok = (
+                    self.executed_unique == self.expected_executed
+                    and self.total_executed >= self.expected_executed
+                )
+            if self.expected_checksum is not None:
+                ok = ok and self.unique_checksum == self.expected_checksum
+            return ok
         ok = self.created == self.completed == self.total_executed
         if self.expected_executed is not None:
             ok = ok and self.total_executed == self.expected_executed
@@ -187,7 +236,7 @@ class MpRunResult:
 
     def summary(self) -> dict:
         """Flat JSON-ready record (sweep payload / CLI output)."""
-        return {
+        out = {
             "workload": self.workload,
             "impl": self.impl,
             "npes": self.npes,
@@ -200,6 +249,22 @@ class MpRunResult:
             "tasks_stolen": sum(p.tasks_stolen for p in self.pes),
             "wall_s": round(self.wall_s, 4),
         }
+        if self.at_least_once:
+            out.update({
+                "at_least_once": True,
+                "crashed_ranks": list(self.crashed_ranks),
+                "respawned_ranks": list(self.respawned_ranks),
+                "executed_unique": self.executed_unique,
+                "duplicates": (
+                    None if self.executed_unique is None
+                    else self.total_executed - self.executed_unique
+                ),
+                "multiplicity": dict(self.multiplicity),
+                "scavenged": dict(self.scavenged),
+                "lease_breaks": self.lease_breaks,
+                "recovery_wall_s": round(self.recovery_wall_s, 4),
+            })
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -219,6 +284,24 @@ def _pe_main(
         outq.put(("error", rank, traceback.format_exc()))
 
 
+def _bind_workload(kind, arg):
+    """(rank-0 seed tasks, execute, fingerprint) for a workload spec."""
+    if kind == "synthetic":
+        return range(arg), (lambda payload: ()), _mix64
+    if kind == "uts":
+        params = arg
+
+        def execute(payload):
+            state, depth, is_root = decode_uts(payload)
+            return [
+                encode_uts(c, depth + 1, False)
+                for c in expand(params, state, depth, is_root)
+            ]
+
+        return [encode_uts(params.root(), 0, True)], execute, _fp_uts
+    raise ValueError(f"unknown workload {kind!r}")
+
+
 def _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping) -> dict:
     kind, arg = wl
     created = heap.ref(ctl["created"])
@@ -232,26 +315,9 @@ def _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping) -> dict:
     stats = MpPeStats(rank=rank)
     local: deque = deque()
 
-    if kind == "synthetic":
-        if rank == 0:
-            local.extend(range(arg))
-        execute = lambda payload: ()          # independent leaf tasks
-        fingerprint = _mix64
-    elif kind == "uts":
-        params = arg
-        if rank == 0:
-            local.append(encode_uts(params.root(), 0, True))
-
-        def execute(payload):
-            state, depth, is_root = decode_uts(payload)
-            return [
-                encode_uts(c, depth + 1, False)
-                for c in expand(params, state, depth, is_root)
-            ]
-
-        fingerprint = _fp_uts
-    else:
-        raise ValueError(f"unknown workload {kind!r}")
+    seed_tasks, execute, fingerprint = _bind_workload(kind, arg)
+    if rank == 0:
+        local.extend(seed_tasks)
 
     # Owner-local metadata inspection runs after every executed task; the
     # seqlock read keeps it off the stripe locks the thieves' claims are
@@ -331,7 +397,17 @@ def _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping) -> dict:
     # children become stealable at the next release, and their creation
     # has to be on the books before any other PE can complete them.
     done_pending = 0
-    idle = Backoff(sleep_s=1e-5, max_sleep_s=1e-3)
+
+    def _idle_stall() -> bool:
+        # Repair any dead-holder stripes first; if nothing was stuck on
+        # a corpse, this is a genuine livelock — name the rank and die.
+        if heap.words.break_dead_leases():
+            return True
+        raise MpStallError("PE idle loop made no progress", rank=rank,
+                           waited_s=MP_IDLE_STALL_S)
+
+    idle = Backoff(sleep_s=1e-5, max_sleep_s=1e-3,
+                   deadline_s=MP_IDLE_STALL_S, on_deadline=_idle_stall)
     while True:
         if local:
             payload = local.pop()
@@ -372,6 +448,234 @@ def _pe_loop(rank, npes, heap, layouts, impl, wl, ctl, seed, damping) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Crash-mode PE body (CrashPlan active)
+#
+# The private deque moves into a shared-memory ring, every execution is
+# journaled and fingerprint-logged, and termination is supervisor-led
+# (stop word) because created/completed cannot be exactly reconciled
+# once a crash has lost batched completions or double-created children.
+# ----------------------------------------------------------------------
+
+class _RingKeeper:
+    """``owner_kept`` stand-in that lands reabsorbed tasks straight in
+    the PE's shared ring, instead of a Python list a crash would lose."""
+
+    __slots__ = ("_ring",)
+
+    def __init__(self, ring) -> None:
+        self._ring = ring
+
+    def extend(self, tasks) -> None:
+        self._ring.extend(tasks)
+
+    def append(self, task) -> None:
+        self._ring.extend([task])
+
+
+def _pe_main_crash(rank, npes, heap, layouts, impl, wl, ctl, seed, damping,
+                   crash, regions, fresh, outq) -> None:
+    try:
+        stats = _pe_loop_crash(rank, npes, heap, layouts, impl, wl, ctl,
+                               seed, damping, crash, regions, fresh)
+        outq.put(("ok", rank, stats))
+    except BaseException:
+        import traceback
+
+        outq.put(("error", rank, traceback.format_exc()))
+
+
+def _pe_loop_crash(rank, npes, heap, layouts, impl, wl, ctl, seed, damping,
+                   crash, regions, fresh) -> dict:
+    kind, arg = wl
+    created = heap.ref(ctl["created"])
+    completed = heap.ref(ctl["completed"])
+    owner = layouts[rank].owner(heap)
+    owner.stall_s = CRASH_SETTLE_S
+    if impl == "sws":
+        owner.dead_claimant = lambda token: not pid_alive(token)
+    pe = regions.bind(heap, rank)
+    pe.pid.store(os.getpid())
+    ring = pe.ring
+    owner.owner_kept = _RingKeeper(ring)
+    injector = CrashInjector(crash, rank, npes)
+    die_at_steal = [False]
+
+    def _mk_intent(victim):
+        def _intent(start, count):
+            pe.intent_set(victim, start, count)
+            if die_at_steal[0]:
+                injector.die()       # mid-steal: claim won, loot not copied
+        return _intent
+
+    thieves = {}
+    for v in range(npes):
+        if v == rank:
+            continue
+        thief = layouts[v].thief(heap)
+        thief.intent = _mk_intent(v)
+        if impl == "sws":
+            thief.claim_token = os.getpid()
+        thieves[v] = thief
+
+    rng = random.Random((seed * 1_000_003) ^ rank)
+    tracker = DampingTracker(npes, enabled=damping and impl == "sws")
+    stats = MpPeStats(rank=rank)
+    seed_tasks, execute, fingerprint = _bind_workload(kind, arg)
+    if rank == 0 and fresh:
+        ring.extend(seed_tasks)
+
+    sv_cache = [None, False]
+
+    def shared_has_work() -> bool:
+        if impl == "sws":
+            raw = owner.stealval.load_seq()
+            if raw != sv_cache[0]:
+                sv_cache[0] = raw
+                sv_cache[1] = DampingTracker.view_has_work(
+                    StealValEpoch.unpack(raw)
+                )
+            return sv_cache[1]
+        return owner.split.load_seq() - owner.tail.load_seq() > 0
+
+    def try_share() -> None:
+        if (
+            len(ring) < RELEASE_MIN
+            or owner.nfilled >= owner.capacity
+            or shared_has_work()
+        ):
+            return
+        batch = ring.peek_left_block(len(ring) // 2)
+        pushed = owner.push_all(batch)
+        if pushed:
+            owner.release(pushed)    # absorbed remainder lands in the ring
+            stats.releases += 1
+        # Only now drop the shared-out records: a crash before this
+        # point duplicates them (scavenger + steal queue), never loses.
+        ring.drop_left(pushed)
+
+    idle_state = [0]
+
+    def set_idle(flag: int) -> None:
+        if idle_state[0] != flag:
+            idle_state[0] = flag
+            pe.idle.store(flag)
+
+    act_box = [pe.act.load()]
+
+    def bump_act() -> None:
+        act_box[0] += 1
+        pe.act.store(act_box[0])
+
+    def try_steal_from(victim: int) -> bool:
+        thief = thieves[victim]
+        if impl == "sws":
+            if tracker.mode(victim) is TargetMode.EMPTY:
+                view = StealValEpoch.unpack(thief.probe())
+                tracker.note_probe(victim, DampingTracker.view_has_work(view))
+                if tracker.mode(victim) is TargetMode.EMPTY:
+                    return False
+            res = thief.steal()
+            if res.claimed:
+                status = StealStatus.STOLEN
+                tracker.note_success(victim)
+            elif res.aborted_locked:
+                status = StealStatus.DISABLED
+            else:
+                status = StealStatus.EMPTY
+                tracker.note_failed_claim(victim, res.view)
+        else:
+            res = thief.steal(max_spins=200)
+            if res.claimed:
+                status = StealStatus.STOLEN
+            elif res.empty:
+                status = StealStatus.EMPTY
+            else:
+                status = StealStatus.LOCKED_ABORT
+        stats.steals[status.value] = stats.steals.get(status.value, 0) + 1
+        if res.claimed:
+            stats.steal_volumes.append(len(res.claimed))
+            bump_act()
+            set_idle(0)
+            ring.extend(res.claimed)
+            pe.intent_clear()        # loot durable: intent record retired
+            return True
+        return False
+
+    def _idle_stall() -> bool:
+        if heap.words.break_dead_leases():
+            return True
+        raise MpStallError("PE idle loop made no progress", rank=rank,
+                           waited_s=MP_IDLE_STALL_S)
+
+    sv_index = heap.index(
+        layouts[rank].stealval if impl == "sws" else layouts[rank].lock
+    )
+    done_pending = 0
+    hb_n = 0
+    idle = Backoff(sleep_s=1e-5, max_sleep_s=1e-3,
+                   deadline_s=MP_IDLE_STALL_S, on_deadline=_idle_stall)
+    while True:
+        hb_n += 1
+        pe.hb.store(hb_n)
+        if ring:
+            set_idle(0)
+            payload = ring.peek_right()
+            pe.inflight_write(payload)    # journal before the pop: a
+            ring.drop_right()             # crash here duplicates, at worst
+            children = execute(payload)
+            if children:
+                created.fetch_add(len(children))
+                ring.extend(children)
+            fp = fingerprint(payload)
+            pe.xlog.append(fp)
+            stats.executed += 1
+            stats.checksum ^= fp
+            done_pending += 1
+            bump_act()
+            pe.inflight_clear()
+            point = injector.maybe_die()
+            if point == "steal":
+                die_at_steal[0] = True    # next winning claim dies mid-copy
+            elif point == "lock":
+                heap.words.die_holding(sv_index)
+            try_share()
+            idle.reset()
+            continue
+        if done_pending:
+            completed.fetch_add(done_pending)
+            done_pending = 0
+        owner.acquire()                   # reclaim lands in the ring
+        stats.acquires += 1
+        if ring:
+            bump_act()
+            idle.reset()
+            continue
+        got = pe.inbox.drain()
+        if got:
+            ring.extend(got)
+            bump_act()
+            set_idle(0)
+            idle.reset()
+            continue
+        order = rng.sample(sorted(thieves), len(thieves))
+        if any(
+            try_steal_from(v) for v in order if not pe.dead[v].load_seq()
+        ):
+            idle.reset()
+            continue
+        set_idle(1)
+        if pe.stop.load_seq():
+            break
+        idle.wait()
+
+    stats.probes = tracker.stats.probes
+    stats.probe_aborts = tracker.stats.probe_aborts
+    stats.demotions = tracker.stats.demotions
+    stats.promotions = tracker.stats.promotions
+    return stats.__dict__
+
+
+# ----------------------------------------------------------------------
 # The parent-side runner
 # ----------------------------------------------------------------------
 
@@ -387,12 +691,20 @@ def run_mp(
     capacity: int | None = None,
     verify: bool = False,
     join_timeout: float = 120.0,
+    crash: CrashPlan | None = None,
 ) -> MpRunResult:
     """Run one workload end-to-end across ``npes`` real processes.
 
     With ``verify=True`` the expected node count and checksum are
     computed by a sequential oracle and attached to the result, making
     ``result.conserved`` a zero-lost / zero-duplicated proof.
+
+    With an active ``crash`` plan the run switches to the crash-tolerant
+    regime: shared-memory rings instead of private deques, a supervisor
+    that scavenges and re-injects dead PEs' work, and duplicate-aware
+    at-least-once accounting (the oracle is always computed).  Without a
+    plan none of that machinery is allocated and the run is bit-identical
+    to the non-crash driver.
     """
     if impl not in ("sws", "sdc"):
         raise ValueError(f"impl must be sws|sdc, got {impl!r}")
@@ -413,6 +725,13 @@ def run_mp(
         capacity = capacity or (1 << 14)
         nseed = 1
 
+    if crash is not None and crash.active:
+        return _run_mp_crash(
+            workload, impl, npes, wl=wl, wpt=wpt, capacity=capacity,
+            nseed=nseed, seed=seed, damping=damping,
+            join_timeout=join_timeout, crash=crash,
+        )
+
     ctx = _preferred_context()
     heap = MpHeap(ctx=ctx)
     layout_cls = SwsQueueLayout if impl == "sws" else SdcQueueLayout
@@ -424,6 +743,7 @@ def run_mp(
     ctl = {"created": alloc.word("created"), "completed": alloc.word("completed")}
     alloc.commit()
     heap.freeze()
+    procs: list = []
     try:
         heap.ref(ctl["created"]).store(nseed)
         outq = ctx.Queue()
@@ -482,5 +802,261 @@ def run_mp(
             result.expected_checksum = exp_chk
         return result
     finally:
+        # Teardown must run even when a PE died abnormally: kill any
+        # stragglers *before* unlinking so no live mapping outlasts the
+        # segment, then destroy it exactly once (unlink is idempotent).
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5)
+        heap.close()
+        heap.unlink()
+
+
+def _sweep_quiescent(heap, layouts, impl, regions, live_ranks):
+    """One supervisor observation: is the system plausibly done?
+
+    Quiescent iff every live PE flags idle, no inbox holds undelivered
+    re-injections, no ring holds queued work, and no live shared queue
+    exposes stealable tasks.  Returns ``(verdict, act vector)``; the
+    caller additionally requires the act vector (per-PE activity
+    counters) to hold still across ``STABLE_SWEEPS`` consecutive
+    quiescent sweeps, which closes the claim-in-flight races a single
+    observation cannot see.
+    """
+    idle_w = heap.slice(regions.idle)
+    for r in live_ranks:
+        if not idle_w[r].load_seq():
+            return False, None
+    acts = tuple(
+        (r, heap.slice(regions.act)[r].load_seq()) for r in live_ranks
+    )
+    for r in live_ranks:
+        pe = regions.bind(heap, r)
+        if pe.inbox.pending() or len(pe.ring):
+            return False, None
+        if impl == "sws":
+            view = StealValEpoch.unpack(
+                heap.ref(layouts[r].stealval).load_seq()
+            )
+            if DampingTracker.view_has_work(view):
+                return False, None
+        else:
+            if (heap.ref(layouts[r].split).load_seq()
+                    - heap.ref(layouts[r].tail).load_seq() > 0):
+                return False, None
+    return True, acts
+
+
+def _run_mp_crash(
+    workload, impl, npes, *, wl, wpt, capacity, nseed, seed, damping,
+    join_timeout, crash,
+) -> MpRunResult:
+    """Crash-tolerant mp run: workers + a scavenging supervisor.
+
+    The supervisor watches process liveness (and heartbeat words for
+    diagnostics); on a death it quarantines the rank, breaks its stripe
+    leases, scavenges every shared structure the corpse owned, re-injects
+    the orphans to a survivor's inbox, and optionally respawns the rank.
+    Termination is a stop word raised once ``STABLE_SWEEPS`` consecutive
+    sweeps observe global quiescence.
+    """
+    from queue import Empty as _QueueEmpty
+
+    # The sequential oracle runs up front: duplicate-aware accounting
+    # needs the expected set anyway, and its size bounds the shared
+    # rings and fingerprint logs.
+    if workload == "synthetic":
+        exp_n, exp_chk = synthetic_expected(wl[1])
+    else:
+        exp_n, exp_chk = uts_expected(wl[1])
+
+    ctx = _preferred_context()
+    heap = MpHeap(ctx=ctx)
+    layout_cls = SwsQueueLayout if impl == "sws" else SdcQueueLayout
+    layouts = [
+        layout_cls.reserve(heap, f"pe{r}", capacity, words_per_task=wpt)
+        for r in range(npes)
+    ]
+    alloc = SymmetricAllocator(heap, "ctl")
+    ctl = {"created": alloc.word("created"), "completed": alloc.word("completed")}
+    alloc.commit()
+    regions = CrashRegions.reserve(
+        heap, npes, wpt,
+        ring_cap=2 * exp_n + 64,
+        xlog_cap=2 * exp_n + 64,
+        inbox_cap=exp_n + 64,
+    )
+    heap.freeze()
+    procs: dict[int, object] = {}
+    try:
+        heap.ref(ctl["created"]).store(nseed)
+        outq = ctx.Queue()
+
+        def spawn(r, plan, fresh):
+            p = ctx.Process(
+                target=_pe_main_crash,
+                args=(r, npes, heap, layouts, impl, wl, ctl, seed,
+                      damping, plan, regions, fresh, outq),
+                daemon=True,
+            )
+            p.start()
+            return p
+
+        t0 = time.perf_counter()
+        for r in range(npes):
+            procs[r] = spawn(r, crash, True)
+
+        pes: list[MpPeStats] = []
+        errors: list[str] = []
+        crashed: list[int] = []
+        respawned: list[int] = []
+        scavenged: Counter = Counter()
+        recovery_wall = 0.0
+        dead_flags = heap.slice(regions.dead)
+        stop = heap.ref(regions.stop)
+        stable = 0
+        prev_acts = None
+        inject_rr = 0
+        accounted: set[int] = set()
+        deadline = time.monotonic() + join_timeout
+
+        def drain_outq() -> None:
+            while True:
+                try:
+                    status, r, payload = outq.get_nowait()
+                except _QueueEmpty:
+                    return
+                if status == "ok":
+                    pes.append(MpPeStats(**payload))
+                else:
+                    errors.append(f"PE {r}:\n{payload}")
+
+        # -- supervision loop -----------------------------------------
+        while True:
+            drain_outq()
+            if errors:
+                raise RuntimeError(
+                    "mp crash run failed:\n" + "\n".join(errors)
+                )
+            for r, p in list(procs.items()):
+                if p.is_alive() or r in accounted:
+                    continue
+                accounted.add(r)
+                if p.exitcode == 0:
+                    continue            # clean exit; stats via outq
+                # Fail-stop detected: quarantine, repair, scavenge.
+                t1 = time.perf_counter()
+                crashed.append(r)
+                dead_flags[r].store(1)
+                heap.words.break_dead_leases()
+                tasks, breakdown = scavenge_rank(
+                    heap, layouts, impl, regions, r
+                )
+                scavenged.update(breakdown)
+                # The dead incarnation's durable accounting: its
+                # fingerprint log (a respawn appends after this point,
+                # so the two incarnations never overlap).
+                fps = regions.bind(heap, r).xlog.read_all()
+                chk = 0
+                for f in fps:
+                    chk ^= f
+                pes.append(MpPeStats(rank=r, executed=len(fps),
+                                     checksum=chk))
+                if tasks:
+                    live = [x for x, pp in procs.items() if pp.is_alive()]
+                    if not live:
+                        raise MpStallError(
+                            "every PE died; orphan work cannot be "
+                            "re-injected"
+                        )
+                    target = live[inject_rr % len(live)]
+                    inject_rr += 1
+                    regions.bind(heap, target).inbox.post(tasks)
+                if crash.respawn:
+                    dead_flags[r].store(0)
+                    procs[r] = spawn(r, NO_CRASHES, False)
+                    accounted.discard(r)
+                    respawned.append(r)
+                recovery_wall += time.perf_counter() - t1
+                stable, prev_acts = 0, None
+            live_ranks = [r for r, p in procs.items() if p.is_alive()]
+            if not live_ranks:
+                break                  # everyone exited (or crashed out)
+            quiet, acts = _sweep_quiescent(
+                heap, layouts, impl, regions, live_ranks
+            )
+            if quiet and acts == prev_acts:
+                stable += 1
+                if stable >= STABLE_SWEEPS:
+                    stop.store(1)
+                    break
+            else:
+                stable = 0
+            prev_acts = acts
+            if time.monotonic() > deadline:
+                raise MpStallError(
+                    "crash-mode supervisor saw no quiescence",
+                    waited_s=join_timeout,
+                )
+            time.sleep(0.02)
+
+        # -- shutdown: collect the survivors --------------------------
+        while any(p.is_alive() for p in procs.values()):
+            drain_outq()
+            if errors:
+                raise RuntimeError(
+                    "mp crash run failed:\n" + "\n".join(errors)
+                )
+            if time.monotonic() > deadline:
+                raise MpStallError(
+                    "PE processes failed to exit after stop",
+                    waited_s=join_timeout,
+                )
+            time.sleep(0.01)
+        drain_outq()
+        if errors:
+            raise RuntimeError("mp crash run failed:\n" + "\n".join(errors))
+        wall = time.perf_counter() - t0
+
+        # -- duplicate-aware accounting from the fingerprint logs ------
+        all_fps: list[int] = []
+        for r in range(npes):
+            all_fps.extend(regions.bind(heap, r).xlog.read_all())
+        counts = Counter(all_fps)
+        unique_chk = 0
+        for f in counts:
+            unique_chk ^= f
+        multiplicity = dict(sorted(Counter(counts.values()).items()))
+
+        pes.sort(key=lambda s: s.rank)
+        return MpRunResult(
+            workload=workload,
+            impl=impl,
+            npes=npes,
+            seed=seed,
+            created=heap.ref(ctl["created"]).load(),
+            completed=heap.ref(ctl["completed"]).load(),
+            wall_s=wall,
+            pes=pes,
+            expected_executed=exp_n,
+            expected_checksum=exp_chk,
+            at_least_once=True,
+            crashed_ranks=crashed,
+            respawned_ranks=respawned,
+            scavenged=dict(scavenged),
+            lease_breaks=heap.words.repairs_total(),
+            recovery_wall_s=recovery_wall,
+            executed_unique=len(counts),
+            unique_checksum=unique_chk,
+            multiplicity=multiplicity,
+        )
+    finally:
+        for p in procs.values():
+            if p.is_alive():
+                p.terminate()
+        for p in procs.values():
+            p.join(timeout=5)
         heap.close()
         heap.unlink()

@@ -19,15 +19,37 @@ buffer bytes.
 from __future__ import annotations
 
 from ..shmem.heap import SymArray, SymWord
-from .atomics import DEFAULT_STRIPES, ShmWords, WordRef, WordSlice
+from .atomics import (
+    DEFAULT_LEASE_S,
+    DEFAULT_STALL_S,
+    DEFAULT_STRIPES,
+    ShmWords,
+    WordRef,
+    WordSlice,
+)
 
 
 class MpHeap:
-    """Named word regions in one cross-process shared-memory segment."""
+    """Named word regions in one cross-process shared-memory segment.
 
-    def __init__(self, nstripes: int = DEFAULT_STRIPES, ctx=None) -> None:
+    ``lease_s`` / ``stall_s`` tune the word seam's crash tolerance (see
+    :class:`~repro.mp.atomics.ShmWords`): how long a dead holder's
+    stripe lease lasts before contenders may break it, and the hard
+    wall-clock bound before a stuck wait raises
+    :class:`~repro.mp.errors.MpStallError`.
+    """
+
+    def __init__(
+        self,
+        nstripes: int = DEFAULT_STRIPES,
+        ctx=None,
+        lease_s: float = DEFAULT_LEASE_S,
+        stall_s: float = DEFAULT_STALL_S,
+    ) -> None:
         self.nstripes = nstripes
         self._ctx = ctx
+        self._lease_s = lease_s
+        self._stall_s = stall_s
         self._regions: dict[str, tuple[int, int]] = {}  # name -> (start, nwords)
         self._cursor = 0
         self.words: ShmWords | None = None
@@ -58,7 +80,10 @@ class MpHeap:
             raise RuntimeError("heap already frozen")
         if not self._cursor:
             raise RuntimeError("freeze() with no regions reserved")
-        self.words = ShmWords(self._cursor, self.nstripes, ctx=self._ctx)
+        self.words = ShmWords(
+            self._cursor, self.nstripes, ctx=self._ctx,
+            lease_s=self._lease_s, stall_s=self._stall_s,
+        )
         return self
 
     def close(self) -> None:

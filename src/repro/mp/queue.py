@@ -26,8 +26,10 @@ the original task set exactly.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
+from ..core.steal_half import schedule, steal_displacement
 from ..shmem.heap import SymArray, SymWord, SymmetricAllocator
 from ..threads.protocol import (
     Backoff,
@@ -39,6 +41,7 @@ from ..threads.protocol import (
     sdc_steal_once,
     sws_steal_once,
 )
+from .atomics import pid_alive
 from .heap import MpHeap
 
 #: Default completion-array slots per epoch (covers allotments < 2^24).
@@ -96,6 +99,11 @@ class SwsQueueLayout:
     words_per_task: int = 1
     max_epochs: int = 2
     comp_slots: int = DEFAULT_COMP_SLOTS
+    #: Claimant-token array parallel to ``comp`` — a successful claim
+    #: records who holds it (rank + 1) before copying, so a crashed
+    #: thief's claim can be identified and voided.  Always reserved
+    #: (2 * comp_slots words is noise); only written in crash mode.
+    claimant: SymArray | None = None
 
     @classmethod
     def reserve(
@@ -116,9 +124,10 @@ class SwsQueueLayout:
         stealval = alloc.word("stealval")
         comp = alloc.array("comp", max_epochs * comp_slots)
         buffer = alloc.array("buffer", capacity * words_per_task)
+        claimant = alloc.array("claimant", max_epochs * comp_slots)
         alloc.commit()
         return cls(stealval, comp, buffer, capacity, words_per_task,
-                   max_epochs, comp_slots)
+                   max_epochs, comp_slots, claimant)
 
     def owner(self, heap: MpHeap) -> "MpSwsQueue":
         """Owner-side queue object (construct in the owning process)."""
@@ -132,13 +141,71 @@ class SwsQueueLayout:
 class MpSwsQueue(_MpTaskBuffer, SwsShimCore):
     """Owner-side SWS queue state over cross-process atomics."""
 
+    #: Dead-claimant oracle ``token -> bool`` (crash mode only): maps a
+    #: claimant token recorded by ``sws_steal_once`` to "that process is
+    #: dead".  The driver installs it; ``None`` keeps the historical
+    #: wait-forever-on-completion behaviour.
+    dead_claimant = None
+
     def __init__(self, heap: MpHeap, layout: SwsQueueLayout) -> None:
         self._bind_buffer(heap, layout.buffer, layout.capacity,
                           layout.words_per_task)
         self.nfilled = 0
         self.stealval = heap.ref(layout.stealval)
         self.comp = heap.slice(layout.comp)
+        if layout.claimant is not None:
+            self.claimant = heap.slice(layout.claimant)
         self._init_protocol(layout.max_epochs, layout.comp_slots)
+
+    def _on_settle_stall(self) -> bool:
+        """A completion wait stalled: void claims held by dead thieves.
+
+        A thief SIGKILLed between its claiming ``fetch_add`` and its
+        completion ``fetch_add`` leaves its slot short forever, wedging
+        the owner's settle wait.  For each unsettled claim whose
+        recorded claimant token maps to a dead process, re-read the
+        claimed buffer range (still valid: claimed ranges are never
+        overwritten while the record is live) back into ``owner_kept``
+        and store the expected volume into the completion slot.  The
+        dead thief may also have copied the block before dying — that
+        path yields a duplicate execution, which at-least-once
+        accounting absorbs.
+
+        Returns truthy to keep waiting: either a void just unwedged the
+        books, or the claimant is alive and merely slow.  Only a long
+        run of fruitless rounds (no void, no settle) gives up and lets
+        the backoff raise its diagnostic.
+        """
+        if self.void_dead_claims():
+            self._stall_rounds = 0
+            return True
+        self._stall_rounds = getattr(self, "_stall_rounds", 0) + 1
+        return self._stall_rounds < 30
+
+    def void_dead_claims(self) -> int:
+        """Void unsettled claims whose claimant is dead; returns count."""
+        dead = self.dead_claimant
+        if dead is None or self.claimant is None:
+            return 0
+        voided = 0
+        for rec in self._records:
+            claims = rec.get("claims")
+            if claims is None:
+                continue  # the live (still-open) record
+            vols = schedule(rec["itasks"])
+            base = rec["epoch"] * self.comp_slots
+            for i in range(claims):
+                if self.comp[base + i].load() == vols[i]:
+                    continue
+                token = self.claimant[base + i].load()
+                if token and dead(token):
+                    disp = steal_displacement(rec["itasks"], i)
+                    self.owner_kept.extend(
+                        self._read_tasks(rec["start"] + disp, vols[i])
+                    )
+                    self.comp[base + i].store(vols[i])
+                    voided += 1
+        return voided
 
     def push(self, task) -> bool:
         """Append one task's words at the fill cursor; False when full."""
@@ -185,17 +252,31 @@ class MpSwsQueue(_MpTaskBuffer, SwsShimCore):
 class MpSwsThief(_MpTaskBuffer):
     """Thief-side view: just enough shared words to claim blocks."""
 
+    #: Crash-mode hooks (inert by default): a nonzero ``claim_token``
+    #: (rank + 1) records ownership of each winning claim in the
+    #: victim's claimant array; ``intent(start, vol)`` durably records
+    #: the claimed buffer range before the copy so a thief crash after
+    #: the completion signal is recoverable by the supervisor.
+    claim_token: int = 0
+    intent = None
+
     def __init__(self, heap: MpHeap, layout: SwsQueueLayout) -> None:
         self._bind_buffer(heap, layout.buffer, layout.capacity,
                           layout.words_per_task)
         self.stealval = heap.ref(layout.stealval)
         self.comp = heap.slice(layout.comp)
         self.comp_slots = layout.comp_slots
+        self.claimant = (
+            heap.slice(layout.claimant) if layout.claimant is not None
+            else None
+        )
 
     def steal(self) -> ShimStealResult:
         """One fused discover+claim attempt (single remote fetch-add)."""
         return sws_steal_once(
-            self.stealval, self.comp, self.comp_slots, self._read_tasks
+            self.stealval, self.comp, self.comp_slots, self._read_tasks,
+            claimant=self.claimant if self.claim_token else None,
+            claim_token=self.claim_token, intent=self.intent,
         )
 
     def probe(self) -> int:
@@ -245,8 +326,30 @@ class SdcQueueLayout:
         return MpSdcThief(heap, self)
 
 
+def _dead_pid_token(token: int) -> bool:
+    """Dead-holder oracle for pid lock tokens (SDC takeover path).
+
+    The mp SDC lock word holds its owner's pid, so "is the holder dead"
+    is a signal-0 probe.  Pid recycling within one run would mask a
+    death; astronomically unlikely at these process counts and run
+    lengths, and the cost would be a diagnosed stall, not corruption.
+    """
+    return not pid_alive(token)
+
+
 class MpSdcQueue(_MpTaskBuffer, SdcShimCore):
-    """Owner-side SDC (lock-based) queue over cross-process atomics."""
+    """Owner-side SDC (lock-based) queue over cross-process atomics.
+
+    The lock word carries this process's *pid* as its token, so any
+    contender can detect a SIGKILLed holder and take the lock over with
+    one race-free ``compare_swap(holder, token)``.  The queue state
+    under a broken SDC lock is benign: the six-step critical sections
+    only ever advance ``tail``/``split`` after reading, so a takeover
+    mid-section re-reads consistent words (at worst the same block is
+    read twice — a duplicate, never a loss).
+    """
+
+    dead_holder = staticmethod(_dead_pid_token)
 
     def __init__(self, heap: MpHeap, layout: SdcQueueLayout) -> None:
         self._bind_buffer(heap, layout.buffer, layout.capacity,
@@ -255,6 +358,7 @@ class MpSdcQueue(_MpTaskBuffer, SdcShimCore):
         self.lock = heap.ref(layout.lock)
         self.tail = heap.ref(layout.tail)
         self.split = heap.ref(layout.split)
+        self.lock_token = os.getpid()
         self._init_protocol()
 
     push = MpSwsQueue.push
@@ -263,6 +367,9 @@ class MpSdcQueue(_MpTaskBuffer, SdcShimCore):
 
 class MpSdcThief(_MpTaskBuffer):
     """Thief-side view of an mp SDC queue."""
+
+    #: Crash-mode range-intent hook (see :class:`MpSwsThief`).
+    intent = None
 
     def __init__(self, heap: MpHeap, layout: SdcQueueLayout) -> None:
         self._bind_buffer(heap, layout.buffer, layout.capacity,
@@ -274,7 +381,9 @@ class MpSdcThief(_MpTaskBuffer):
     def steal(self, max_spins: int = 10_000) -> SdcShimResult:
         """One lock-protected steal-half attempt."""
         return sdc_steal_once(
-            self.lock, self.tail, self.split, self._read_tasks, max_spins
+            self.lock, self.tail, self.split, self._read_tasks, max_spins,
+            token=os.getpid(), dead_holder=_dead_pid_token,
+            intent=self.intent,
         )
 
 
@@ -282,22 +391,27 @@ class MpSdcThief(_MpTaskBuffer):
 # The cross-process hammer (mirror of repro.threads.queue_shim.hammer)
 # ======================================================================
 
-def _hammer_thief(heap, layout, stop_addr, idx, outq, impl):
+def _hammer_thief(heap, layout, stop_addr, idx, outq, impl, stall_s):
     """Thief child: race claims until the owner raises the stop flag."""
     stop = heap.ref(stop_addr)
     thief = layout.thief(heap)
     loot: list = []
     volumes: list[int] = []
-    backoff = Backoff(sleep_s=1e-6, max_sleep_s=1e-4)
-    while not stop.load_seq():
-        res = thief.steal() if impl == "sws" else thief.steal(max_spins=100)
-        if res.claimed:
-            loot.extend(res.claimed)
-            volumes.append(len(res.claimed))
-            backoff.reset()
-        else:
-            backoff.wait()
-    outq.put((idx, loot, volumes))
+    backoff = Backoff(sleep_s=1e-6, max_sleep_s=1e-4, deadline_s=stall_s)
+    try:
+        while not stop.load_seq():
+            res = (thief.steal() if impl == "sws"
+                   else thief.steal(max_spins=100))
+            if res.claimed:
+                loot.extend(res.claimed)
+                volumes.append(len(res.claimed))
+                backoff.reset()
+            else:
+                backoff.wait()
+    except StallTimeout as exc:
+        outq.put((idx, loot, volumes, str(exc)))
+        return
+    outq.put((idx, loot, volumes, None))
 
 
 def hammer_mp(
@@ -307,16 +421,25 @@ def hammer_mp(
     acquires: int = 3,
     impl: str = "sws",
     join_timeout: float = 30.0,
+    stall_s: float = 60.0,
 ) -> tuple[list[list[int]], list[int]]:
     """Race harness: owner in this process, N thief *processes*.
 
     Returns ``(per-thief loot, owner-kept tasks)``; their disjoint union
     must equal ``tasks`` exactly — the shim conservation contract, now
     under genuine hardware preemption across address spaces.
+
+    ``stall_s`` is a hard wall-clock deadline on every wait in the
+    harness — the owner's completion settles, each thief's idle
+    backoff, and result collection.  A wedged run raises a diagnostic
+    :class:`~repro.mp.errors.MpStallError` naming the stuck party
+    instead of hanging CI until the job timeout guesses for it.
     """
+    import queue as stdlib_queue
     import time
 
     from .atomics import _preferred_context
+    from .errors import MpStallError
 
     if impl not in ("sws", "sdc"):
         raise ValueError(f"impl must be sws|sdc, got {impl!r}")
@@ -330,12 +453,13 @@ def hammer_mp(
     heap.freeze()
     try:
         queue = layout.owner(heap)
+        queue.stall_s = stall_s
         queue.push_all(tasks)
         outq = ctx.Queue()
         procs = [
             ctx.Process(
                 target=_hammer_thief,
-                args=(heap, layout, stop_addr, i, outq, impl),
+                args=(heap, layout, stop_addr, i, outq, impl, stall_s),
                 daemon=True,
             )
             for i in range(nthieves)
@@ -356,13 +480,23 @@ def hammer_mp(
 
         loot: list[list[int]] = [[] for _ in range(nthieves)]
         for _ in range(nthieves):
-            idx, claimed, _volumes = outq.get(timeout=join_timeout)
+            try:
+                idx, claimed, _volumes, err = outq.get(timeout=join_timeout)
+            except stdlib_queue.Empty:
+                raise MpStallError(
+                    "mp hammer thief produced no result",
+                    waited_s=join_timeout,
+                ) from None
+            if err is not None:
+                raise MpStallError(f"mp hammer thief stalled: {err}",
+                                   rank=idx)
             loot[idx] = claimed
         for p in procs:
             p.join(timeout=join_timeout)
             if p.is_alive():
                 p.terminate()
-                raise RuntimeError("mp hammer thief failed to exit")
+                raise MpStallError("mp hammer thief failed to exit",
+                                   waited_s=join_timeout)
         return loot, queue.owner_kept
     finally:
         heap.close()

@@ -183,11 +183,34 @@ class QuarantineSelector:
         self._strikes: dict[int, int] = {}
         self._until: dict[int, float] = {}
         self._episodes: dict[int, int] = {}
+        self._dead: set[int] = set()
         #: Total quarantine events (reported into WorkerStats).
         self.quarantines = 0
 
+    def mark_dead(self, victim: int) -> None:
+        """Permanently quarantine ``victim``: a supervisor confirmed the
+        fail-stop, so no decay timer should ever re-probe it."""
+        self._dead.add(victim)
+        self._strikes.pop(victim, None)
+        self._until.pop(victim, None)
+
+    def revive(self, victim: int) -> None:
+        """Lift a permanent quarantine (elastic rejoin after respawn);
+        the victim's strike/episode history is forgiven entirely."""
+        self._dead.discard(victim)
+        self._strikes.pop(victim, None)
+        self._until.pop(victim, None)
+        self._episodes.pop(victim, None)
+
+    @property
+    def dead(self) -> frozenset[int]:
+        """Victims currently under permanent quarantine."""
+        return frozenset(self._dead)
+
     def is_quarantined(self, victim: int) -> bool:
         """Is ``victim`` currently excluded (decays automatically)?"""
+        if victim in self._dead:
+            return True
         until = self._until.get(victim)
         if until is None:
             return False

@@ -77,6 +77,15 @@ class RecordCodec:
         return [t for t in self._struct.iter_unpack(data)]
 
 
+class StallTimeout(RuntimeError):
+    """A bounded wait ran out of wall clock without observing progress.
+
+    The base class for every "this would have spun forever" diagnostic;
+    the mp substrate refines it as :class:`repro.mp.errors.MpStallError`
+    with stripe / rank / holder-pid context.
+    """
+
+
 class Backoff:
     """Adaptive spin → yield → exponential-sleep waiter.
 
@@ -86,9 +95,17 @@ class Backoff:
     ``time.sleep(0)``; after that each call sleeps, doubling from
     ``sleep_s`` up to ``max_sleep_s``.  Call :meth:`reset` whenever
     progress is observed so a busy phase snaps back to spinning.
+
+    With ``deadline_s`` set, a single no-progress stretch (wall time
+    since the last :meth:`reset`) longer than the deadline triggers
+    ``on_deadline`` — which may repair whatever is stuck and return
+    truthy to keep waiting with a fresh deadline — or, without a
+    handler (or when it returns falsy), raises :class:`StallTimeout`.
+    Polling loops must never be able to spin forever silently.
     """
 
-    __slots__ = ("spins", "yields", "sleep_s", "max_sleep_s", "_n")
+    __slots__ = ("spins", "yields", "sleep_s", "max_sleep_s", "_n",
+                 "deadline_s", "on_deadline", "_t0")
 
     def __init__(
         self,
@@ -96,19 +113,41 @@ class Backoff:
         yields: int = 8,
         sleep_s: float = 1e-5,
         max_sleep_s: float = 1e-3,
+        deadline_s: float | None = None,
+        on_deadline=None,
     ) -> None:
         self.spins = spins
         self.yields = yields
         self.sleep_s = sleep_s
         self.max_sleep_s = max_sleep_s
+        self.deadline_s = deadline_s
+        self.on_deadline = on_deadline
         self._n = 0
+        self._t0 = None
 
     def reset(self) -> None:
         self._n = 0
+        self._t0 = None
+
+    def elapsed(self) -> float:
+        """Seconds spent in the current no-progress stretch."""
+        return 0.0 if self._t0 is None else time.monotonic() - self._t0
 
     def wait(self) -> None:
         n = self._n
         self._n = n + 1
+        if self.deadline_s is not None:
+            now = time.monotonic()
+            if self._t0 is None:
+                self._t0 = now
+            elif now - self._t0 >= self.deadline_s:
+                if self.on_deadline is not None and self.on_deadline():
+                    self._t0 = now  # handler made progress: re-arm
+                else:
+                    raise StallTimeout(
+                        f"no progress for {now - self._t0:.1f}s "
+                        f"(deadline {self.deadline_s}s)"
+                    )
         if n < self.spins:
             return
         n -= self.spins
@@ -133,7 +172,10 @@ class ShimStealResult:
     view: object = None
 
 
-def sws_steal_once(stealval, comp, comp_slots: int, read_tasks) -> ShimStealResult:
+def sws_steal_once(
+    stealval, comp, comp_slots: int, read_tasks,
+    claimant=None, claim_token: int = 0, intent=None,
+) -> ShimStealResult:
     """One claiming attempt — exactly the simulator's 3-step protocol.
 
     ``stealval`` is an atomic word, ``comp`` an indexable of atomic
@@ -141,6 +183,18 @@ def sws_steal_once(stealval, comp, comp_slots: int, read_tasks) -> ShimStealResu
     the substrate's task-buffer accessor.  The single ``fetch_add``
     both discovers and claims; everything after it is local arithmetic
     plus the completion signal.
+
+    Two optional crash-tolerance hooks (inert by default, used by the
+    mp substrate's :class:`CrashPlan` mode):
+
+    * ``claimant`` / ``claim_token`` — an atomic word array parallel to
+      ``comp``; a successful claim stores its token (rank + 1) into its
+      slot *before* copying, so a victim whose completion wait stalls
+      can tell whether the claim is held by a dead process and void it.
+    * ``intent(start, vol)`` — called after the claim wins and before
+      the copy; the thief records the claimed buffer range durably so a
+      crash after the completion signal (loot only in dead private
+      memory) is recoverable from the victim's buffer.
     """
     old = stealval.fetch_add(StealValEpoch.ASTEAL_UNIT)
     view = StealValEpoch.unpack(old)
@@ -153,6 +207,10 @@ def sws_steal_once(stealval, comp, comp_slots: int, read_tasks) -> ShimStealResu
     # The tail field stores start % 2^19; shim buffers stay smaller
     # than that, so the raw value is the buffer index.
     start = view.tail + disp
+    if claimant is not None:
+        claimant[view.epoch * comp_slots + view.asteals].store(claim_token)
+    if intent is not None:
+        intent(start, vol)
     claimed = read_tasks(start, vol)
     # Simulate copy latency so completion really lags the claim.
     time.sleep(0)
@@ -172,6 +230,33 @@ class SwsShimCore:
     #: Cap on the adaptive backoff's sleep while waiting on in-flight
     #: completions (the historical fixed poll interval).
     POLL_S = 1e-5
+
+    #: Hard wall-clock deadline for one no-progress completion wait.
+    #: ``None`` (the default, and the threads backend's setting) keeps
+    #: the historical unbounded wait; the mp substrate sets it so a
+    #: thief that died mid-claim stalls into :meth:`_on_settle_stall`
+    #: instead of wedging the owner forever.
+    stall_s: float | None = None
+
+    #: Optional claimant-token word array parallel to ``comp`` (crash
+    #: accounting — see ``sws_steal_once``).  When present its epoch row
+    #: is zeroed alongside the completion row on epoch reuse.
+    claimant = None
+
+    def _on_settle_stall(self) -> bool:
+        """Called when a completion wait exceeds ``stall_s``.
+
+        Return truthy if progress was repaired (e.g. dead claims voided)
+        and the wait should continue with a fresh deadline; the default
+        repairs nothing, so the wait raises :class:`StallTimeout`.
+        """
+        return False
+
+    def _settle_backoff(self) -> Backoff:
+        return Backoff(
+            sleep_s=self.POLL_S / 4, max_sleep_s=self.POLL_S,
+            deadline_s=self.stall_s, on_deadline=self._on_settle_stall,
+        )
 
     def _init_protocol(self, max_epochs: int, comp_slots: int) -> None:
         self.max_epochs = max_epochs
@@ -233,7 +318,7 @@ class SwsShimCore:
         next_epoch = (self.epoch + 1) % self.max_epochs
         # Wait until the epoch's previous record fully completed, then
         # prune settled records and zero the epoch's completion row.
-        backoff = Backoff(sleep_s=self.POLL_S / 4, max_sleep_s=self.POLL_S)
+        backoff = self._settle_backoff()
         while any(
             r["epoch"] == next_epoch and not self._settled(r)
             for r in self._records
@@ -243,6 +328,9 @@ class SwsShimCore:
         base = next_epoch * self.comp_slots
         for i in range(self.comp_slots):
             self.comp[base + i].store(0)
+        if self.claimant is not None:
+            for i in range(self.comp_slots):
+                self.claimant[base + i].store(0)
         self.epoch = next_epoch
         self._records.append({"epoch": next_epoch, "start": start, "itasks": itasks})
         self.stealval.store(StealValEpoch.pack(0, next_epoch, itasks, start % (1 << 19)))
@@ -262,7 +350,7 @@ class SwsShimCore:
         """
         rem_start, rem = self._close()
         self._keep(rem_start, rem)
-        backoff = Backoff(sleep_s=self.POLL_S / 4, max_sleep_s=self.POLL_S)
+        backoff = self._settle_backoff()
         while not all(self._settled(r) for r in self._records):
             backoff.wait()
         self._keep(self.cursor, self.nfilled - self.cursor)
@@ -286,12 +374,29 @@ class SwsShimCore:
 # ======================================================================
 
 def sdc_steal_once(
-    lock, tail, split, read_tasks, max_spins: int = 10_000
+    lock, tail, split, read_tasks, max_spins: int = 10_000,
+    token: int = 1, dead_holder=None, intent=None,
 ) -> "SdcShimResult":
-    """One lock-protected steal-half attempt (the six-step SDC shape)."""
+    """One lock-protected steal-half attempt (the six-step SDC shape).
+
+    ``token`` is the value CASed into the lock word (the mp substrate
+    passes its pid so a stuck lock names its holder).  ``dead_holder``,
+    when given, is consulted every few hundred spins with the observed
+    holder token; if it reports the holder dead the spinner takes the
+    lock over with a single CAS (race-free: only one contender's
+    ``compare_swap(holder, token)`` can win).  ``intent(start, count)``
+    is called under the lock *before* the tail advance so a thief crash
+    after the advance leaves a durable record of the claimed range.
+    """
     res = SdcShimResult()
-    while lock.compare_swap(0, 1) != 0:
+    while lock.compare_swap(0, token) != 0:
         res.lock_spins += 1
+        if dead_holder is not None and res.lock_spins % 256 == 0:
+            holder = lock.load()
+            if holder and dead_holder(holder):
+                if lock.compare_swap(holder, token) == holder:
+                    break  # dead holder's lock taken over
+                continue
         if res.lock_spins >= max_spins:
             return res
         time.sleep(0)
@@ -302,6 +407,8 @@ def sdc_steal_once(
             res.empty = True
             return res
         n = max(1, avail // 2)
+        if intent is not None:
+            intent(t, n)
         res.claimed = read_tasks(t, n)
         tail.store(t + n)
         return res
@@ -387,8 +494,22 @@ class SdcShimCore:
         kept, self.owner_kept = self.owner_kept, []
         return kept
 
+    #: Lock-word token this owner CASes in (the mp substrate sets its
+    #: pid so a wedged queue names its holder) and the dead-holder
+    #: oracle consulted by the takeover path (None: spin forever, the
+    #: historical single-address-space behaviour).
+    lock_token: int = 1
+    dead_holder = None
+
     def _lock(self) -> None:
-        while self.lock.compare_swap(0, 1) != 0:
+        spins = 0
+        while self.lock.compare_swap(0, self.lock_token) != 0:
+            spins += 1
+            if self.dead_holder is not None and spins % 256 == 0:
+                holder = self.lock.load()
+                if holder and self.dead_holder(holder):
+                    if self.lock.compare_swap(holder, self.lock_token) == holder:
+                        return  # dead holder's lock taken over
             time.sleep(0)
 
     def _unlock(self) -> None:
@@ -398,5 +519,6 @@ class SdcShimCore:
     def steal(self, max_spins: int = 10_000) -> SdcShimResult:
         """One lock-protected steal-half attempt."""
         return sdc_steal_once(
-            self.lock, self.tail, self.split, self._read_tasks, max_spins
+            self.lock, self.tail, self.split, self._read_tasks, max_spins,
+            token=self.lock_token, dead_holder=self.dead_holder,
         )

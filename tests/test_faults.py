@@ -353,6 +353,36 @@ class TestQuarantineSelector:
             sel.note_timeout(v)
         assert sel.next_victim() in (1, 2, 3)  # degraded, not deadlocked
 
+    def test_mark_dead_is_permanent(self):
+        sel, clock = self.make()
+        sel.mark_dead(2)
+        assert sel.is_quarantined(2)
+        assert 2 in sel.dead
+        clock.t = 10.0  # far past any decay timer
+        assert sel.is_quarantined(2)  # supervisor-confirmed: no re-probe
+        for _ in range(20):
+            assert sel.next_victim() != 2
+
+    def test_mark_dead_survives_steal_success_note(self):
+        # A racy late success signal must not resurrect a confirmed corpse.
+        sel, _ = self.make()
+        sel.mark_dead(2)
+        sel.note_steal(2, True)
+        assert sel.is_quarantined(2)
+
+    def test_revive_lifts_quarantine_and_forgives_history(self):
+        sel, _ = self.make()
+        sel.note_timeout(2)
+        sel.note_timeout(2)
+        sel.mark_dead(2)
+        sel.revive(2)
+        assert not sel.is_quarantined(2)
+        assert 2 not in sel.dead
+        # episode history was forgiven: next quarantine is a first episode
+        sel.note_timeout(2)
+        sel.note_timeout(2)
+        assert sel._episodes[2] == 1
+
 
 class TestSdcLeaseRecovery:
     TASK = bytes(range(64))

@@ -127,6 +127,43 @@ def test_load_seq_under_concurrent_writer():
         w.unlink()
 
 
+def _doomed_writer(w: ShmWords, n: int) -> None:
+    for _ in range(n):
+        w.fetch_add(1, 1)
+    # SIGKILL self while holding word 1's stripe with the shadow
+    # sequence left odd — a writer dead mid-critical-section.
+    w.die_holding(1)
+
+
+@pytest.mark.mp
+@pytest.mark.timeout(60)
+def test_load_seq_reader_survives_writer_killed_mid_store():
+    """Seqlock readers racing a writer that dies inside its critical
+    section recover once the stripe is repaired, instead of spinning on
+    the odd sequence forever."""
+    ctx = _preferred_context()
+    w = ShmWords(4, ctx=ctx, lease_s=0.1, stall_s=30.0)
+    try:
+        n = 500
+        p = ctx.Process(target=_doomed_writer, args=(w, n), daemon=True)
+        p.start()
+        # Keep reading through the death; load_seq's stall escape must
+        # break the dead lease and finish the read.
+        seen = set()
+        import time as _time
+        deadline = _time.monotonic() + 30
+        while p.is_alive() or w.holder(w._stripe(1))[0] != 0:
+            seen.add(w.load_seq(1))
+            assert _time.monotonic() < deadline
+        assert w.load_seq(1) == n       # every published write survived
+        assert all(0 <= v <= n for v in seen)
+        assert w.repairs_total() == 1   # exactly one stripe repair
+        assert 1 in w.suspect_words     # and the word was flagged
+    finally:
+        w.close()
+        w.unlink()
+
+
 # ----------------------------------------------------------------------
 # adaptive backoff
 # ----------------------------------------------------------------------
