@@ -5,6 +5,7 @@ the Figure-2 communication counts, pointers to the full harness).
 
 Subcommands::
 
+    python -m repro --protocol P [--backend fabric|threads|mp|all]
     python -m repro explore [--workload W] [--impl I] [--policy P]
                             [--seeds N] [--dfs-depth D] [--out DIR]
     python -m repro replay TRACE.json [--strict] [--shrink]
@@ -12,6 +13,10 @@ Subcommands::
                           [--baseline FILE] [--matrix ...]
     python -m repro mp [--workload synthetic|uts] [--impl sws|sdc]
                        [--npes N] [--ntasks N | --tree NAME] [--verify]
+
+``--protocol`` runs one registered steal protocol (``sws``, ``sws-v1``,
+``sdc``, ``ff-mult``, ``localized`` — see docs/protocols.md) across the
+chosen substrates, verifying its declared semantics contract on each.
 
 ``explore`` sweeps same-timestamp event orderings under the invariant
 oracle and writes every failing schedule as a replayable JSON trace;
@@ -33,7 +38,7 @@ from pathlib import Path
 from . import __version__
 from .analysis.explore import WORKLOADS, explore, replay_trace, shrink_trace
 from .fabric.scheduler import POLICIES, ScheduleTrace
-from .runtime.pool import IMPLEMENTATIONS
+from .runtime.protocols import get_protocol, protocol_names
 
 
 def _demo() -> int:
@@ -49,13 +54,117 @@ def _demo() -> int:
     return 0
 
 
+def _run_protocol_fabric(proto, npes: int, ntasks: int) -> bool:
+    from .runtime.pool import run_pool
+    from .runtime.registry import TaskOutcome, TaskRegistry
+    from .runtime.task import Task
+
+    reg = TaskRegistry()
+    reg.register("leaf", lambda payload, tc: TaskOutcome(duration=5e-6))
+    stats = run_pool(
+        npes, reg, [Task(reg.id_of("leaf")) for _ in range(ntasks)],
+        impl=proto.name, oracle=True,
+    )
+    executed = sum(w.tasks_executed for w in stats.workers)
+    steals = sum(w.tasks_stolen for w in stats.workers)
+    print(
+        f"  fabric:  {npes} PEs, {executed} executed "
+        f"({executed - ntasks} duplicate(s)), {steals} tasks stolen, "
+        f"virtual runtime {stats.runtime * 1e3:.3f} ms — oracle clean"
+    )
+    return True
+
+
+def _run_protocol_threads(proto, ntasks: int) -> bool:
+    if proto.threads_queue is None:
+        print("  threads: (no thread shim for this protocol)")
+        return True
+    if proto.family == "ffmult":
+        from .threads.ffmult_shim import hammer_ffmult
+
+        loot, kept, mult = hammer_ffmult(list(range(ntasks)))
+        stolen = [t for lane in loot for t in lane]
+        ok = set(stolen) | set(kept) == set(range(ntasks))
+        dups = sum(1 for c in mult.values() if c > 1)
+        print(
+            f"  threads: {len(stolen)} stolen + {len(kept)} kept covers "
+            f"all {ntasks} tasks: {ok} ({dups} duplicated index(es))"
+        )
+        return ok
+    if proto.family == "sdc":
+        from .threads.sdc_shim import hammer_sdc as hammer_fn
+    else:
+        from .threads.queue_shim import hammer as hammer_fn
+    loot, kept = hammer_fn(list(range(ntasks)))
+    stolen = [t for lane in loot for t in lane]
+    ok = sorted(stolen + kept) == list(range(ntasks))
+    print(
+        f"  threads: {len(stolen)} stolen + {len(kept)} kept "
+        f"partitions all {ntasks} tasks exactly: {ok}"
+    )
+    return ok
+
+
+def _run_protocol_mp(proto, ntasks: int) -> bool:
+    if proto.mp_impl is None:
+        print("  mp:      (no multiprocess substrate for this protocol)")
+        return True
+    from .mp.queue import hammer_mp
+
+    loot, kept = hammer_mp(list(range(ntasks)), impl=proto.mp_impl)
+    stolen = [t for lane in loot for t in lane]
+    if proto.semantics.exactly_once:
+        ok = sorted(stolen + kept) == list(range(ntasks))
+        print(
+            f"  mp:      {len(stolen)} stolen + {len(kept)} kept "
+            f"partitions all {ntasks} tasks exactly: {ok}"
+        )
+    else:
+        ok = set(stolen) | set(kept) == set(range(ntasks))
+        print(
+            f"  mp:      {len(stolen)} stolen + {len(kept)} kept covers "
+            f"all {ntasks} tasks: {ok}"
+        )
+    return ok
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    """Run one registered protocol across the requested backends."""
+    proto = get_protocol(args.protocol)
+    backends = (
+        ("fabric", "threads", "mp")
+        if args.backend == "all"
+        else (args.backend,)
+    )
+    print(
+        f"{proto.name}: {proto.title}\n"
+        f"  semantics: {proto.semantics.name} "
+        f"({proto.semantics.description})\n"
+        f"  steal cost: {proto.comms_total} comms "
+        f"({proto.comms_blocking} blocking), "
+        f"victims: {proto.default_victim}"
+    )
+    ok = True
+    for backend in backends:
+        if backend == "fabric":
+            ok &= _run_protocol_fabric(proto, args.npes, args.ntasks)
+        elif backend == "threads":
+            ok &= _run_protocol_threads(proto, args.ntasks)
+        else:
+            ok &= _run_protocol_mp(proto, args.ntasks)
+    if not ok:
+        print("FAIL: a backend violated the protocol's semantics contract")
+        return 1
+    return 0
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     if args.replay is not None:
         # `explore --replay T` == `replay T`: reproduce a recorded trace.
         args.trace = args.replay
         return _cmd_replay(args)
     workloads = WORKLOADS if args.workload == "all" else (args.workload,)
-    impls = IMPLEMENTATIONS if args.impl == "all" else (args.impl,)
+    impls = protocol_names() if args.impl == "all" else (args.impl,)
     out = Path(args.out) if args.out else None
     failures = 0
     written = []
@@ -292,11 +401,22 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--protocol", default=None, choices=protocol_names(),
+                        help="run one registered steal protocol across "
+                             "backends (see docs/protocols.md)")
+    parser.add_argument("--backend", default="all",
+                        choices=("fabric", "threads", "mp", "all"),
+                        help="with --protocol: which substrate(s) to run")
+    parser.add_argument("--npes", type=int, default=8,
+                        help="with --protocol: fabric PE count")
+    parser.add_argument("--ntasks", type=int, default=300,
+                        help="with --protocol: tasks per backend run")
     sub = parser.add_subparsers(dest="cmd")
 
     p_ex = sub.add_parser("explore", help="sweep event schedules under the oracle")
     p_ex.add_argument("--workload", default="all", choices=(*WORKLOADS, "all"))
-    p_ex.add_argument("--impl", default="all", choices=(*IMPLEMENTATIONS, "all"))
+    p_ex.add_argument("--impl", default="all",
+                      choices=(*protocol_names(), "all"))
     p_ex.add_argument("--policy", default="random",
                       choices=[p for p in POLICIES if p != "replay"])
     p_ex.add_argument("--seeds", type=int, default=20,
@@ -400,6 +520,8 @@ def main(argv: list[str] | None = None) -> int:
     # behaviour): run the demo, never read sys.argv.
     args = parser.parse_args(argv if argv is not None else [])
     if args.cmd is None:
+        if args.protocol is not None:
+            return _cmd_protocol(args)
         return _demo()
     return args.fn(args)
 

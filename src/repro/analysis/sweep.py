@@ -108,8 +108,12 @@ def run_sweep(factory: WorkloadFactory, cfg: SweepConfig | None = None) -> list[
 # ======================================================================
 
 #: The bench scenarios ``repro sweep`` measures by default — one per
-#: ``benchmarks/bench_fig*.py`` figure regeneration.
-BENCH_SCENARIOS: tuple[str, ...] = ("fig2", "fig34", "fig5", "fig6", "fig7", "fig8")
+#: ``benchmarks/bench_fig*.py`` figure regeneration, plus the protocol
+#: zoo cross-comparison (new rows stay ungated until a committed
+#: baseline carries them; see ``check_regressions``).
+BENCH_SCENARIOS: tuple[str, ...] = (
+    "fig2", "fig34", "fig5", "fig6", "fig7", "fig8", "protocols",
+)
 
 #: Multiprocess-substrate scenarios measured alongside the bench set:
 #: (workload, impl, npes, size) — size is ntasks for synthetic, a named

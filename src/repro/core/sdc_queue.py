@@ -88,6 +88,8 @@ class SdcQueueSystem:
 class SdcQueue:
     """Per-PE handle: owner-side queue ops + thief-side steal protocol."""
 
+    driver_family = "sdc"
+
     def __init__(self, system: SdcQueueSystem, rank: int) -> None:
         self.system = system
         self.cfg = system.config

@@ -102,6 +102,8 @@ class SwsQueueSystem:
 class SwsQueue:
     """Per-PE handle: owner-side queue ops + the 3-communication steal."""
 
+    driver_family = "sws"
+
     def __init__(self, system: SwsQueueSystem, rank: int) -> None:
         self.system = system
         self.cfg = system.config

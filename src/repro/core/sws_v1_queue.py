@@ -62,6 +62,8 @@ class SwsV1QueueSystem:
 class SwsV1Queue:
     """Per-PE handle for the valid-bit SWS variant."""
 
+    driver_family = "sws"
+
     def __init__(self, system: SwsV1QueueSystem, rank: int) -> None:
         self.system = system
         self.cfg = system.config

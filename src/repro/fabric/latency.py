@@ -109,6 +109,43 @@ class LatencyModel:
         )
 
 
+@dataclass(frozen=True)
+class TieredLatencyModel(LatencyModel):
+    """Latency model with socket/node/rack wire tiers (localized stealing).
+
+    Extends the two-level intra/inter model with a four-tier one-way
+    latency table matching :class:`~repro.fabric.topology.TieredTopology`
+    tiers: same-socket loopback (``half_rtt_socket``), cross-socket
+    same-node (``half_rtt_intra``), same-rack leaf switch
+    (``half_rtt_inter``), and cross-rack spine traversal
+    (``half_rtt_xrack``).  The inherited two-level :meth:`one_way` keeps
+    its meaning (tier 1 / tier 2), so code unaware of tiers still gets
+    sensible numbers.
+    """
+
+    half_rtt_socket: float = 0.12e-6
+    half_rtt_xrack: float = 1.6e-6
+
+    def one_way_tier(self, tier: int) -> float:
+        """One-way latency for a 0..3 hierarchy tier."""
+        if tier <= 0:
+            return self.half_rtt_socket
+        if tier == 1:
+            return self.half_rtt_intra
+        if tier == 2:
+            return self.half_rtt_inter
+        return self.half_rtt_xrack
+
+    def scaled(self, factor: float) -> "TieredLatencyModel":
+        """Scale every latency term, including the tier extremes."""
+        base = super().scaled(factor)
+        return replace(
+            base,
+            half_rtt_socket=self.half_rtt_socket * factor,
+            half_rtt_xrack=self.half_rtt_xrack * factor,
+        )
+
+
 #: Preset calibrated to the paper's EDR InfiniBand testbed.
 EDR_INFINIBAND = LatencyModel()
 
@@ -134,10 +171,15 @@ ZERO_LATENCY = LatencyModel(
     get_process=0.0,
 )
 
+#: EDR fabric with socket/node/rack tiers resolved — the default model
+#: for the ``localized`` protocol's tier-biased victim selection.
+TIERED_EDR = TieredLatencyModel()
+
 PRESETS = {
     "edr": EDR_INFINIBAND,
     "ethernet": SLOW_ETHERNET,
     "zero": ZERO_LATENCY,
+    "tiered-edr": TIERED_EDR,
 }
 
 

@@ -53,10 +53,10 @@ from typing import Any, Callable
 from .engine import TICKS_PER_SECOND, Call, Engine, Process
 from .errors import FabricTimeoutError, SimulationError
 from .faults import FaultInjector
-from .latency import LatencyModel
+from .latency import LatencyModel, TieredLatencyModel
 from .memory import SymmetricHeap
 from .metrics import FabricMetrics, OpRecord
-from .topology import Topology
+from .topology import Topology, TieredTopology
 
 WORD_BYTES = 8
 
@@ -127,7 +127,7 @@ class _FetchAmoOp(Call):
         proc.blocked_on = self
         self.proc = proc
         # One-way latency inlined for the no-jitter common case.
-        if nic._jitter_on:
+        if nic._ow_dynamic:
             ow = nic._one_way_ticks(initiator, target)
         elif initiator == target:
             ow = nic._ow_self_ticks
@@ -161,7 +161,7 @@ class _FetchAmoOp(Call):
             value = heap.load(target, self.region, self.offset)
         self.value = value
         initiator = self.initiator
-        if nic._jitter_on:
+        if nic._ow_dynamic:
             back = nic._one_way_ticks(target, initiator)
         elif initiator == target:
             back = nic._ow_self_ticks
@@ -224,7 +224,7 @@ class _GetOp(Call):
             )
         proc.blocked_on = self
         self.proc = proc
-        if nic._jitter_on:
+        if nic._ow_dynamic:
             ow = nic._one_way_ticks(initiator, target)
         elif initiator == target:
             ow = nic._ow_self_ticks
@@ -255,7 +255,7 @@ class _GetOp(Call):
         self.value = value
         stream = round(self.nbytes * nic._beta_fs)
         initiator = self.initiator
-        if nic._jitter_on:
+        if nic._ow_dynamic:
             back = nic._one_way_ticks(target, initiator)
         elif initiator == target:
             back = nic._ow_self_ticks
@@ -341,6 +341,28 @@ class Nic:
         self._ow_inter_ticks = round(lat.one_way(False) * TICKS_PER_SECOND)
         self._beta_fs = lat.beta * TICKS_PER_SECOND  # payload fs per byte
         self._jitter_on = bool(lat.jitter)
+        # Tiered mode: a four-level one-way table indexed by the
+        # topology's socket/node/rack tier.  Requires both a tiered
+        # latency model and a tiered topology; otherwise the classic
+        # two-level intra/inter table applies and nothing here changes.
+        tiered = isinstance(lat, TieredLatencyModel) and isinstance(
+            topology, TieredTopology
+        )
+        if tiered:
+            self._tier_ticks: list[int] | None = [
+                round(lat.one_way_tier(t) * TICKS_PER_SECOND) for t in range(4)
+            ]
+            self._tier_of = topology.tier
+            self._ow_self_ticks = round(
+                lat.half_rtt_socket * lat.local_penalty * TICKS_PER_SECOND
+            )
+        else:
+            self._tier_ticks = None
+            self._tier_of = None
+        # Pooled ops take the table-lookup fast path only when the
+        # one-way latency is a pure function of the node pair; jitter and
+        # tiering both route through _one_way_ticks instead.
+        self._ow_dynamic = self._jitter_on or tiered
         self._link_serialize = lat.link_serialize
         self._timeout_ticks = (
             None if op_timeout is None
@@ -365,13 +387,20 @@ class Nic:
         if not self._jitter_on:
             if a == b:
                 return self._ow_self_ticks
+            if self._tier_ticks is not None:
+                return self._tier_ticks[self._tier_of(a, b)]
             ppn = self._ppn
             if a // ppn == b // ppn:
                 return self._ow_intra_ticks
             return self._ow_inter_ticks
         lat = self.latency
         if a == b:
-            base = lat.half_rtt_intra * lat.local_penalty
+            if self._tier_ticks is not None:
+                base = lat.half_rtt_socket * lat.local_penalty
+            else:
+                base = lat.half_rtt_intra * lat.local_penalty
+        elif self._tier_ticks is not None:
+            base = lat.one_way_tier(self._tier_of(a, b))
         else:
             base = lat.one_way(a // self._ppn == b // self._ppn)
         # splitmix64-style hash of (seed, counter) -> u in [0, 1).

@@ -62,3 +62,70 @@ class Topology:
     def local_peers(self, pe: int) -> list[int]:
         """Other PEs on the same node as ``pe``."""
         return [p for p in self.pes_on_node(self.node_of(pe)) if p != pe]
+
+
+@dataclass(frozen=True)
+class TieredTopology(Topology):
+    """Blocked placement with socket and rack tiers (localized stealing).
+
+    Extends the node-level :class:`Topology` with two more levels of the
+    physical hierarchy: each node is split into ``pes_per_socket``-sized
+    sockets, and nodes are grouped ``nodes_per_rack`` to a rack.  The
+    tier distance between two PEs drives both the tiered latency model
+    and tier-biased victim selection:
+
+    ====  =========================
+    tier  meaning
+    ====  =========================
+    0     same socket (or self)
+    1     same node, other socket
+    2     same rack, other node
+    3     other rack
+    ====  =========================
+    """
+
+    pes_per_socket: int = 24
+    nodes_per_rack: int = 4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.pes_per_socket <= 0:
+            raise ValueError(
+                f"pes_per_socket must be positive, got {self.pes_per_socket}"
+            )
+        if self.pes_per_socket > self.pes_per_node:
+            raise ValueError(
+                f"pes_per_socket={self.pes_per_socket} exceeds "
+                f"pes_per_node={self.pes_per_node}"
+            )
+        if self.nodes_per_rack <= 0:
+            raise ValueError(
+                f"nodes_per_rack must be positive, got {self.nodes_per_rack}"
+            )
+
+    def socket_of(self, pe: int) -> int:
+        """Global socket index hosting ``pe``."""
+        self.check_pe(pe)
+        node = pe // self.pes_per_node
+        sockets_per_node = -(-self.pes_per_node // self.pes_per_socket)
+        return node * sockets_per_node + (
+            (pe % self.pes_per_node) // self.pes_per_socket
+        )
+
+    def rack_of(self, pe: int) -> int:
+        """Rack index hosting ``pe``."""
+        return self.node_of(pe) // self.nodes_per_rack
+
+    def same_socket(self, a: int, b: int) -> bool:
+        """True when PEs ``a`` and ``b`` share a socket."""
+        return self.socket_of(a) == self.socket_of(b)
+
+    def same_rack(self, a: int, b: int) -> bool:
+        """True when PEs ``a`` and ``b`` share a rack."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def tier(self, a: int, b: int) -> int:
+        """Hierarchy distance between two PEs (0..3, see class docs)."""
+        if self.same_node(a, b):
+            return 0 if self.same_socket(a, b) else 1
+        return 2 if self.same_rack(a, b) else 3

@@ -18,6 +18,9 @@ from .driver import (
 )
 from .heap import MpHeap
 from .queue import (
+    FfMultQueueLayout,
+    MpFfMultQueue,
+    MpFfMultThief,
     MpSdcQueue,
     MpSdcThief,
     MpSwsQueue,
@@ -34,10 +37,13 @@ __all__ = [
     "MpHeap",
     "SwsQueueLayout",
     "SdcQueueLayout",
+    "FfMultQueueLayout",
     "MpSwsQueue",
     "MpSwsThief",
     "MpSdcQueue",
     "MpSdcThief",
+    "MpFfMultQueue",
+    "MpFfMultThief",
     "hammer_mp",
     "run_mp",
     "MpRunResult",

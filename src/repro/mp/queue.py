@@ -33,11 +33,14 @@ from ..core.steal_half import schedule, steal_displacement
 from ..shmem.heap import SymArray, SymWord, SymmetricAllocator
 from ..threads.protocol import (
     Backoff,
+    FfMultShimCore,
+    FfMultShimResult,
     RecordCodec,
     SdcShimCore,
     SdcShimResult,
     ShimStealResult,
     SwsShimCore,
+    ffmult_steal_once,
     sdc_steal_once,
     sws_steal_once,
 )
@@ -387,6 +390,77 @@ class MpSdcThief(_MpTaskBuffer):
         )
 
 
+@dataclass(frozen=True)
+class FfMultQueueLayout:
+    """Picklable symmetric-heap footprint of one mp ff-mult queue."""
+
+    tail: SymWord
+    split: SymWord
+    buffer: SymArray
+    capacity: int
+    words_per_task: int = 1
+
+    @classmethod
+    def reserve(
+        cls,
+        heap: MpHeap,
+        prefix: str,
+        capacity: int,
+        words_per_task: int = 1,
+    ) -> "FfMultQueueLayout":
+        """Lay the queue out on an unfrozen heap via the shmem allocator."""
+        alloc = SymmetricAllocator(heap, prefix)
+        tail = alloc.word("tail")
+        split = alloc.word("split")
+        buffer = alloc.array("buffer", capacity * words_per_task)
+        alloc.commit()
+        return cls(tail, split, buffer, capacity, words_per_task)
+
+    def owner(self, heap: MpHeap) -> "MpFfMultQueue":
+        """Owner-side queue object (construct in the owning process)."""
+        return MpFfMultQueue(heap, self)
+
+    def thief(self, heap: MpHeap) -> "MpFfMultThief":
+        """Thief-side view (construct in any process)."""
+        return MpFfMultThief(heap, self)
+
+
+class MpFfMultQueue(_MpTaskBuffer, FfMultShimCore):
+    """Owner-side fence-free multiplicity queue over shared memory.
+
+    No lock word at all: the owner repairs the tail and absorbs the
+    shared remainder with plain stores, exactly like the thread shim —
+    across address spaces a stale thief store can still re-expose
+    consumed indices, producing the duplicates the at-least-once
+    contract allows (the hammer checks set-coverage, not partition).
+    """
+
+    def __init__(self, heap: MpHeap, layout: FfMultQueueLayout) -> None:
+        self._bind_buffer(heap, layout.buffer, layout.capacity,
+                          layout.words_per_task)
+        self.nfilled = 0
+        self.tail = heap.ref(layout.tail)
+        self.split = heap.ref(layout.split)
+        self._init_protocol()
+
+    push = MpSwsQueue.push
+    push_all = MpSwsQueue.push_all
+
+
+class MpFfMultThief(_MpTaskBuffer):
+    """Thief-side view of an mp ff-mult queue (no atomic RMW at all)."""
+
+    def __init__(self, heap: MpHeap, layout: FfMultQueueLayout) -> None:
+        self._bind_buffer(heap, layout.buffer, layout.capacity,
+                          layout.words_per_task)
+        self.tail = heap.ref(layout.tail)
+        self.split = heap.ref(layout.split)
+
+    def steal(self) -> FfMultShimResult:
+        """One fence-free attempt: two plain reads, one plain store."""
+        return ffmult_steal_once(self.tail, self.split, self._read_tasks)
+
+
 # ======================================================================
 # The cross-process hammer (mirror of repro.threads.queue_shim.hammer)
 # ======================================================================
@@ -400,8 +474,8 @@ def _hammer_thief(heap, layout, stop_addr, idx, outq, impl, stall_s):
     backoff = Backoff(sleep_s=1e-6, max_sleep_s=1e-4, deadline_s=stall_s)
     try:
         while not stop.load_seq():
-            res = (thief.steal() if impl == "sws"
-                   else thief.steal(max_spins=100))
+            res = (thief.steal(max_spins=100) if impl == "sdc"
+                   else thief.steal())
             if res.claimed:
                 loot.extend(res.claimed)
                 volumes.append(len(res.claimed))
@@ -425,9 +499,12 @@ def hammer_mp(
 ) -> tuple[list[list[int]], list[int]]:
     """Race harness: owner in this process, N thief *processes*.
 
-    Returns ``(per-thief loot, owner-kept tasks)``; their disjoint union
-    must equal ``tasks`` exactly — the shim conservation contract, now
-    under genuine hardware preemption across address spaces.
+    Returns ``(per-thief loot, owner-kept tasks)``.  For the
+    exactly-once protocols (``sws``, ``sdc``) their disjoint union must
+    equal ``tasks`` exactly — the shim conservation contract, now under
+    genuine hardware preemption across address spaces.  For ``ff-mult``
+    the contract is at-least-once: the union must *cover* ``tasks``
+    (set equality), with duplicates legal wherever thief stores raced.
 
     ``stall_s`` is a hard wall-clock deadline on every wait in the
     harness — the owner's completion settles, each thief's idle
@@ -441,11 +518,16 @@ def hammer_mp(
     from .atomics import _preferred_context
     from .errors import MpStallError
 
-    if impl not in ("sws", "sdc"):
-        raise ValueError(f"impl must be sws|sdc, got {impl!r}")
+    layout_classes = {
+        "sws": SwsQueueLayout,
+        "sdc": SdcQueueLayout,
+        "ff-mult": FfMultQueueLayout,
+    }
+    if impl not in layout_classes:
+        raise ValueError(f"impl must be sws|sdc|ff-mult, got {impl!r}")
     ctx = _preferred_context()
     heap = MpHeap(ctx=ctx)
-    layout_cls = SwsQueueLayout if impl == "sws" else SdcQueueLayout
+    layout_cls = layout_classes[impl]
     layout = layout_cls.reserve(heap, "q0", capacity=len(tasks))
     ctl = SymmetricAllocator(heap, "ctl")
     stop_addr = ctl.word("stop")

@@ -18,10 +18,18 @@ interleaving of the paper's fused fetch-add window would produce:
   notification lands;
 * **attempted-steal monotonicity** — within one stealval publication the
   asteals counter may only grow (a shrink means a lost increment);
-* **task conservation** — tasks resident in queues never exceed
-  ``spawned - executed`` globally (each event), and at termination the
-  books balance exactly: every spawned task executed exactly once and
-  every queue drained.
+* **task conservation** — parameterized on the protocol's declared
+  semantics contract (:mod:`repro.runtime.protocols`).  Exactly-once
+  protocols: tasks resident in queues never exceed ``spawned - executed``
+  globally (each event), and at termination the books balance exactly —
+  every spawned task executed exactly once and every queue drained.
+  At-least-once protocols (the fence-free multiplicity deque): a stale
+  tail store may legally re-expose consumed tasks mid-run, so the
+  per-event resident bound would false-positive; instead every duplicate
+  handout is tallied by the queue *at handout time* and the final books
+  must close as ``spawned + dup_handouts == executed`` — a genuinely
+  lost task still fails (the sum cannot balance), while a legal
+  duplicate cannot.
 
 All checks are read-only; the oracle never perturbs the simulation, so a
 clean run under the oracle is bit-identical to the same run without it.
@@ -55,6 +63,12 @@ class PoolOracle:
         self.stride = stride
         self.queues = [w.driver.queue for w in pool.workers]
         self.workers = pool.workers
+        # Semantics contract: pools built outside the protocol registry
+        # (or bare test harnesses) default to strict exactly-once.
+        protocol = getattr(pool, "protocol", None)
+        self.exactly_once = (
+            protocol.semantics.exactly_once if protocol is not None else True
+        )
         #: Violations would raise before incrementing, so this counts
         #: clean sweeps — a cheap "the oracle really ran" signal.
         self.checks_passed = 0
@@ -77,21 +91,31 @@ class PoolOracle:
             q.oracle_check()
             self._check_comp_transitions(q)
             self._check_asteals_monotone(q)
-        if faults is None:
+        if faults is None and self.exactly_once:
             self._check_conservation()
         self.checks_passed += 1
 
     def check_final(self) -> None:
-        """End-of-run books: exact conservation, drained queues."""
+        """End-of-run books: conservation per the semantics contract,
+        drained queues."""
         if self.pool.ctx.faults is not None:
             return  # abandoned steals legitimately break conservation
         spawned = sum(w.stats.tasks_spawned for w in self.workers)
         executed = sum(w.stats.tasks_executed for w in self.workers)
-        if spawned != executed:
+        dups = sum(w.driver.spawn_credit for w in self.workers)
+        if self.exactly_once:
+            if spawned != executed:
+                raise OracleViolation(
+                    "conservation-final",
+                    f"{spawned} tasks spawned but {executed} executed "
+                    f"({spawned - executed} lost or duplicated)",
+                )
+        elif spawned + dups != executed:
             raise OracleViolation(
                 "conservation-final",
-                f"{spawned} tasks spawned but {executed} executed "
-                f"({spawned - executed} lost or duplicated)",
+                f"{spawned} tasks spawned + {dups} duplicate handouts "
+                f"but {executed} executed "
+                f"({spawned + dups - executed} lost or unaccounted)",
             )
         for w in self.workers:
             drv = w.driver

@@ -22,16 +22,15 @@ from __future__ import annotations
 
 from ..core.config import QueueConfig
 from ..core.damping import DampingTracker
-from ..core.sdc_queue import SdcQueueSystem
-from ..core.sws_queue import SwsQueueSystem
-from ..core.sws_v1_queue import SwsV1QueueSystem
 from ..fabric.faults import FaultPlan
-from ..fabric.latency import EDR_INFINIBAND, LatencyModel
+from ..fabric.latency import EDR_INFINIBAND, TIERED_EDR, LatencyModel
 from ..fabric.scheduler import Scheduler, make_scheduler
+from ..fabric.topology import TieredTopology, Topology
 from ..shmem.api import ShmemCtx
 from .oracle import PoolOracle
 from .inbox import InboxSystem
 from .lifeline import LifelineConfig, LifelineSystem
+from .protocols import get_protocol, protocol_names
 from .registry import TaskRegistry
 from .stats import RunStats
 from .task import Task
@@ -39,8 +38,11 @@ from .termination import TerminationSystem, TreeTerminationSystem
 from .victim import QuarantineSelector, make_selector
 from .worker import QueueDriver, Worker, WorkerConfig
 
-#: ``sws`` is the Figure-4 epoch design; ``sws-v1`` the Figure-3 valid-bit
-#: variant (§4.1); ``sdc`` the Scioto baseline.
+#: The paper's own implementations: ``sws`` is the Figure-4 epoch design;
+#: ``sws-v1`` the Figure-3 valid-bit variant (§4.1); ``sdc`` the Scioto
+#: baseline.  ``impl`` accepts any protocol registered in
+#: :mod:`repro.runtime.protocols` (see :func:`protocol_names`), of which
+#: these three are the historical core.
 IMPLEMENTATIONS = ("sws", "sws-v1", "sdc")
 
 
@@ -56,7 +58,7 @@ class TaskPool:
         worker_config: WorkerConfig | None = None,
         latency: LatencyModel = EDR_INFINIBAND,
         pes_per_node: int = 48,
-        victim: str = "uniform",
+        victim: str | None = None,
         seed: int = 0,
         remote_spawn: bool = False,
         inbox_capacity: int = 1024,
@@ -68,22 +70,40 @@ class TaskPool:
         token_timeout: float | None = None,
         scheduler: Scheduler | str | None = None,
         oracle: bool | PoolOracle = False,
+        topology: Topology | None = None,
     ) -> None:
-        if impl not in IMPLEMENTATIONS:
-            raise ValueError(f"impl must be one of {IMPLEMENTATIONS}, got {impl!r}")
+        try:
+            protocol = get_protocol(impl)
+        except KeyError:
+            raise ValueError(
+                f"impl must be a registered protocol "
+                f"{protocol_names()}, got {impl!r}"
+            ) from None
         self.npes = npes
         self.impl = impl
+        #: The registered steal protocol driving every layer below.
+        self.protocol = protocol
         self.registry = registry
         self.queue_config = queue_config or QueueConfig()
         self.worker_config = worker_config or WorkerConfig()
         self.seed_value = seed
+        if victim is None:
+            victim = protocol.default_victim
+        # A tiered protocol wants the socket/node/rack hierarchy; build
+        # it (and swap in the tiered latency preset, when the caller
+        # kept the default) unless an explicit topology overrides.
+        if topology is None and protocol.tiered:
+            topology = TieredTopology(npes, pes_per_node=pes_per_node)
+            if latency is EDR_INFINIBAND:
+                latency = TIERED_EDR
+        self.topology_override = topology
 
         faulty = fault_plan is not None and fault_plan.active
         if faulty:
-            if impl == "sws-v1":
+            if not protocol.supports_faults:
                 raise ValueError(
-                    "fault injection is not supported for impl='sws-v1' "
-                    "(the valid-bit variant has no recovery path)"
+                    f"fault injection is not supported for impl={impl!r} "
+                    f"(the protocol declares no recovery path)"
                 )
             if termination != "ring":
                 raise ValueError(
@@ -120,13 +140,9 @@ class TaskPool:
             fault_plan=fault_plan,
             op_timeout=op_timeout,
             scheduler=scheduler,
+            topology=topology,
         )
-        if impl == "sws":
-            self.queue_system = SwsQueueSystem(self.ctx, self.queue_config)
-        elif impl == "sws-v1":
-            self.queue_system = SwsV1QueueSystem(self.ctx, self.queue_config)
-        else:
-            self.queue_system = SdcQueueSystem(self.ctx, self.queue_config)
+        self.queue_system = protocol.queue_system(self.ctx, self.queue_config)
         if termination == "ring":
             self.term_system = TerminationSystem(
                 self.ctx,
@@ -159,7 +175,7 @@ class TaskPool:
                     threshold=self.queue_config.damping_threshold,
                     enabled=self.worker_config.damping,
                 )
-                if impl.startswith("sws")
+                if protocol.supports_damping
                 else None
             )
             driver = QueueDriver(queue, damping)

@@ -146,6 +146,88 @@ class HierarchicalVictim:
             self._local_failures += 1
 
 
+class TieredVictim:
+    """Tier-biased draw over a socket/node/rack hierarchy.
+
+    The localized work-stealing policy (Suksompong, Leiserson & Schardl):
+    each steal attempt first picks a hierarchy tier by weight, then a
+    uniform victim within that tier.  With a
+    :class:`~repro.fabric.topology.TieredTopology` the four tiers are
+    same-socket / same-node / same-rack / cross-rack; a plain
+    :class:`Topology` degrades to two populated tiers (same-node at
+    tier 1, remote at tier 2).  Weights of *empty* tiers are
+    redistributed proportionally over the populated ones, so the
+    selector is well defined for any job shape; the effective
+    distribution is exposed via :meth:`tier_weights` for the property
+    suite.
+    """
+
+    #: Default draw probability per tier 0..3, nearest first.
+    DEFAULT_WEIGHTS = (0.50, 0.25, 0.15, 0.10)
+
+    def __init__(
+        self,
+        topology: Topology,
+        rank: int,
+        seed: int = 0,
+        weights: tuple[float, float, float, float] | None = None,
+    ) -> None:
+        if topology.npes < 2:
+            raise ValueError("tiered victim selection needs at least 2 PEs")
+        weights = tuple(weights) if weights is not None else self.DEFAULT_WEIGHTS
+        if len(weights) != 4 or any(w < 0 for w in weights):
+            raise ValueError(f"weights must be 4 non-negative values, got {weights}")
+        self.topology = topology
+        self.rank = rank
+        self._rng = random.Random((seed << 20) ^ (rank * 0x9E3779B1) ^ 0x71E7)
+        tier_of = getattr(topology, "tier", None)
+        buckets: list[list[int]] = [[], [], [], []]
+        self._tier_by_pe: dict[int, int] = {}
+        for p in range(topology.npes):
+            if p == rank:
+                continue
+            if tier_of is not None:
+                t = tier_of(rank, p)
+            else:
+                t = 1 if topology.same_node(rank, p) else 2
+            buckets[t].append(p)
+            self._tier_by_pe[p] = t
+        self._buckets = buckets
+        total = sum(w for w, b in zip(weights, buckets) if b)
+        if total <= 0:
+            raise ValueError(
+                f"every populated tier has zero weight: weights={weights}"
+            )
+        self._weights = tuple(
+            (w / total if b else 0.0) for w, b in zip(weights, buckets)
+        )
+
+    def tier_weights(self) -> tuple[float, float, float, float]:
+        """Effective per-tier draw probabilities (zero for empty tiers)."""
+        return self._weights
+
+    def tier_of(self, victim: int) -> int:
+        """The hierarchy tier ``victim`` occupies relative to this rank."""
+        return self._tier_by_pe[victim]
+
+    def next_victim(self) -> int:
+        """Pick a tier by weight, then a uniform victim within it."""
+        u = self._rng.random()
+        acc = 0.0
+        for t in range(4):
+            w = self._weights[t]
+            if not w:
+                continue
+            acc += w
+            if u < acc:
+                return self._rng.choice(self._buckets[t])
+        # Float round-off landed past the last band: farthest populated tier.
+        for t in (3, 2, 1, 0):
+            if self._weights[t]:
+                return self._rng.choice(self._buckets[t])
+        raise AssertionError("unreachable: no populated tier")
+
+
 class QuarantineSelector:
     """Fault-aware wrapper: quarantine victims that keep timing out.
 
@@ -262,8 +344,8 @@ class QuarantineSelector:
 def make_selector(
     kind: str, npes: int, rank: int, seed: int = 0, topology: Topology | None = None
 ) -> VictimSelector:
-    """Factory: ``uniform`` (default), ``roundrobin``, ``locality``, or
-    ``hierarchical``."""
+    """Factory: ``uniform`` (default), ``roundrobin``, ``locality``,
+    ``hierarchical``, or ``tiered``."""
     if kind == "uniform":
         return UniformVictim(npes, rank, seed)
     if kind == "roundrobin":
@@ -276,4 +358,8 @@ def make_selector(
         if topology is None:
             raise ValueError("hierarchical selector needs a topology")
         return HierarchicalVictim(topology, rank, seed)
+    if kind == "tiered":
+        if topology is None:
+            raise ValueError("tiered selector needs a topology")
+        return TieredVictim(topology, rank, seed)
     raise ValueError(f"unknown victim selector {kind!r}")

@@ -136,16 +136,21 @@ class WorkerConfig:
 class QueueDriver:
     """Uniform owner/thief interface over the queue implementations.
 
-    Drives :class:`SdcQueue`, :class:`SwsQueue`, or the Figure-3
-    :class:`~repro.core.sws_v1_queue.SwsV1Queue`; the SWS family shares
-    the stealval/probe vocabulary (and thus steal damping), while SDC's
-    release is a plain local operation.
+    Dispatches on the queue's ``driver_family`` vocabulary: ``"sws"``
+    (:class:`SwsQueue` and the Figure-3 variant — stealval/probe,
+    generator release, steal damping), ``"sdc"`` (:class:`SdcQueue` —
+    plain release, locked acquire) or ``"ffmult"`` (the fence-free
+    multiplicity deque — plain release/acquire, duplicate accounting).
     """
 
     def __init__(self, queue, damping: DampingTracker | None) -> None:
         self.queue = queue
-        self.is_sdc = isinstance(queue, SdcQueue)
-        self.is_sws = not self.is_sdc
+        family = getattr(queue, "driver_family", None)
+        if family is None:
+            family = "sdc" if isinstance(queue, SdcQueue) else "sws"
+        self.family = family
+        self.is_sdc = family == "sdc"
+        self.is_sws = family == "sws"
         self.damping = damping if self.is_sws else None
 
     @property
@@ -159,6 +164,20 @@ class QueueDriver:
         if self.is_sws:
             return self.queue.shared_remaining
         return self.queue.shared_count
+
+    @property
+    def spawn_credit(self) -> int:
+        """Duplicate handouts charged to this queue (at-least-once
+        protocols only; exactly-once queues report 0).
+
+        Termination detection needs every execution matched by a
+        production: a duplicated task executes twice against one spawn,
+        so the owner reports ``spawned + spawn_credit``.  The queue
+        tallies each duplicate *at handout time* — before the duplicate
+        can execute — which keeps the count monotone-safe for the
+        four-counter detector.
+        """
+        return getattr(self.queue, "dup_handouts", 0)
 
     def enqueue(self, record: bytes) -> None:
         """Append a serialized task locally."""
@@ -279,14 +298,16 @@ class Worker:
                     and (self.inbox is None or not self.inbox.pending_hint)
                 )
                 done = yield from self.term.service(
-                    self.stats.tasks_spawned,
+                    self.stats.tasks_spawned + self.driver.spawn_credit,
                     self.stats.tasks_executed,
                     idle,
                     quiescent=quiescent,
                 )
             else:
                 done = yield from self.term.service(
-                    self.stats.tasks_spawned, self.stats.tasks_executed, idle
+                    self.stats.tasks_spawned + self.driver.spawn_credit,
+                    self.stats.tasks_executed,
+                    idle,
                 )
             if done or self.term.terminated:
                 break

@@ -51,11 +51,20 @@ class ShmemCtx:
         fault_plan: FaultPlan | None = None,
         op_timeout: float | None = None,
         scheduler: Scheduler | None = None,
+        topology: Topology | None = None,
     ) -> None:
+        if topology is not None and topology.npes != npes:
+            raise ValueError(
+                f"topology has {topology.npes} PEs but ctx has {npes}"
+            )
         self.npes = npes
         self.engine = Engine(scheduler=scheduler)
         self.heap = SymmetricHeap(npes)
-        self.topology = Topology(npes, pes_per_node=pes_per_node)
+        self.topology = (
+            topology
+            if topology is not None
+            else Topology(npes, pes_per_node=pes_per_node)
+        )
         self.metrics = FabricMetrics(npes, trace=trace_comm)
         self.faults: FaultInjector | None = None
         if fault_plan is not None and fault_plan.active:

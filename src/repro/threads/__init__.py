@@ -1,11 +1,15 @@
 """Real-thread substrate: the SWS protocol under genuine preemption."""
 
 from .atomics import AtomicArray64, AtomicWord64
+from .ffmult_shim import FfMultThreadResult, ThreadFfMultQueue, hammer_ffmult
 from .protocol import (
+    FfMultShimCore,
+    FfMultShimResult,
     SdcShimCore,
     SdcShimResult,
     ShimStealResult,
     SwsShimCore,
+    ffmult_steal_once,
     sdc_steal_once,
     sws_steal_once,
 )
@@ -17,14 +21,20 @@ __all__ = [
     "AtomicArray64",
     "SwsShimCore",
     "SdcShimCore",
+    "FfMultShimCore",
     "ShimStealResult",
     "SdcShimResult",
+    "FfMultShimResult",
     "sws_steal_once",
     "sdc_steal_once",
+    "ffmult_steal_once",
     "ThreadSwsQueue",
     "ThreadStealResult",
     "hammer",
     "ThreadSdcQueue",
     "SdcThreadResult",
     "hammer_sdc",
+    "ThreadFfMultQueue",
+    "FfMultThreadResult",
+    "hammer_ffmult",
 ]

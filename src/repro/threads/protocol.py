@@ -13,7 +13,10 @@ copy:
 * :func:`sws_steal_once` — the thief's 3-step fused discover+claim
   (one ``fetch_add``, local schedule arithmetic, completion signal);
 * :class:`SdcShimCore` / :func:`sdc_steal_once` — the lock-based SDC
-  baseline (spinlock, read metadata, advance tail, unlock).
+  baseline (spinlock, read metadata, advance tail, unlock);
+* :class:`FfMultShimCore` / :func:`ffmult_steal_once` — the fence-free
+  multiplicity deque (plain reads + a plain tail store, no atomic RMW on
+  the steal path; racing thieves may duplicate a task, never lose one).
 
 A substrate plugs in by providing word objects exposing atomic
 ``load`` / ``store`` / ``swap`` / ``fetch_add`` (and ``compare_swap``
@@ -522,3 +525,116 @@ class SdcShimCore:
             self.lock, self.tail, self.split, self._read_tasks, max_spins,
             token=self.lock_token, dead_holder=self.dead_holder,
         )
+
+
+# ======================================================================
+# ff-mult: the fence-free multiplicity deque
+# ======================================================================
+
+@dataclass
+class FfMultShimResult:
+    """One fence-free thief attempt's outcome.
+
+    ``index`` is the absolute buffer index the thief consumed (``-1``
+    when the shared section looked empty) — the mutation/property suites
+    key duplicate multiplicity on it.
+    """
+
+    claimed: list = field(default_factory=list)
+    empty: bool = False
+    index: int = -1
+
+
+def ffmult_steal_once(tail, split, read_tasks) -> FfMultShimResult:
+    """One fence-free steal (Castañeda & Piña): no atomic RMW anywhere.
+
+    Plain load of ``tail`` and ``split``, plain read of one task record,
+    plain store of ``tail + 1``.  Two thieves observing the same tail
+    both consume the same record and both store the same new tail — a
+    legal duplicate handout.  The record is read *before* the tail store,
+    so an index is never passed without someone holding its task: races
+    duplicate work, they cannot lose it.
+    """
+    t = tail.load()
+    s = split.load()
+    if s - t <= 0:
+        return FfMultShimResult(empty=True)
+    claimed = read_tasks(t, 1)
+    # Widen the race window so duplicates actually happen under test.
+    time.sleep(0)
+    tail.store(t + 1)
+    return FfMultShimResult(claimed=list(claimed), index=t)
+
+
+class FfMultShimCore:
+    """Owner-side fence-free multiplicity shim over any word substrate.
+
+    Subclasses provide ``self.tail`` / ``self.split`` (plain-load/store
+    word objects), ``self.nfilled`` and :meth:`_read_tasks` before
+    calling :meth:`_init_protocol`.
+
+    The owner never takes a lock either: before re-publishing it absorbs
+    the shared remainder ``[tail, split)`` into ``owner_kept`` and
+    repairs the tail upward.  A thief's stale ``tail`` store can land
+    after the repair and re-expose already-consumed indices — those
+    re-steals are duplicates, which the at-least-once contract allows;
+    every absorb reads the range *before* moving the tail, so no index
+    is ever skipped unread.
+    """
+
+    def _init_protocol(self) -> None:
+        self.tail.store(0)
+        self.split.store(0)
+        self.cursor = 0
+        self.owner_kept: list = []
+
+    def _read_tasks(self, start: int, count: int) -> list:
+        raise NotImplementedError
+
+    # -- owner ---------------------------------------------------------
+    def release(self, count: int) -> None:
+        """Absorb the shared remainder, then expose ``count`` new tasks."""
+        t, s = self.tail.load(), self.split.load()
+        if s > t:
+            self.owner_kept.extend(self._read_tasks(t, s - t))
+        count = min(count, self.nfilled - self.cursor)
+        start = self.cursor
+        self.cursor += count
+        # Order matters: park the tail at the new region's base *before*
+        # widening the split, so a thief never observes (old tail, new
+        # split) and walks through the absorbed gap.
+        self.tail.store(start)
+        self.split.store(start + count)
+
+    def acquire(self) -> list:
+        """Pull back half the shared section (reads before the shrink)."""
+        t, s = self.tail.load(), self.split.load()
+        avail = s - t
+        if avail <= 0:
+            return []
+        ntake = (avail + 1) // 2
+        taken = self._read_tasks(s - ntake, ntake)
+        self.owner_kept.extend(taken)
+        self.split.store(s - ntake)
+        return taken
+
+    def drain(self) -> None:
+        """Absorb everything left: shared remainder, then unshared."""
+        t, s = self.tail.load(), self.split.load()
+        if s > t:
+            self.owner_kept.extend(self._read_tasks(t, s - t))
+        self.tail.store(s)
+        self.owner_kept.extend(
+            self._read_tasks(self.cursor, self.nfilled - self.cursor)
+        )
+        self.cursor = self.nfilled
+
+    def take_kept(self) -> list:
+        """Hand back (and clear) the owner-reabsorbed tasks."""
+        kept, self.owner_kept = self.owner_kept, []
+        return kept
+
+    # -- thief ---------------------------------------------------------
+    def steal(self) -> FfMultShimResult:
+        """One fence-free attempt against this queue's own words."""
+        return ffmult_steal_once(self.tail, self.split, self._read_tasks)

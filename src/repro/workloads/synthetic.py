@@ -18,8 +18,6 @@ from dataclasses import dataclass
 
 from ..core.config import QueueConfig
 from ..core.results import StealResult
-from ..core.sdc_queue import SdcQueueSystem
-from ..core.sws_queue import SwsQueueSystem
 from ..fabric.latency import EDR_INFINIBAND, LatencyModel
 from ..shmem.api import ShmemCtx
 
@@ -52,16 +50,30 @@ def measure_single_steal(
     Builds a fresh two-PE job, preloads PE 0 with ``2 * volume`` released
     tasks, lets PE 1 steal once, and returns the steal's virtual-time
     latency plus the exact communication counts it issued.
+
+    ``impl`` may be any protocol registered in
+    :mod:`repro.runtime.protocols`.  The fence-free multiplicity deque
+    always moves exactly one task per steal, so its probe requires (and
+    reports) ``volume == 1``.
     """
-    if impl not in ("sws", "sdc"):
-        raise ValueError(f"impl must be sws|sdc, got {impl!r}")
+    from ..runtime.protocols import get_protocol
+
+    try:
+        protocol = get_protocol(impl)
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
     if volume < 1:
         raise ValueError(f"volume must be >= 1, got {volume}")
+    if protocol.family == "ffmult" and volume != 1:
+        raise ValueError(
+            f"the fence-free deque steals exactly one task, got "
+            f"volume={volume}"
+        )
     preload = 4 * volume
     qsize = qsize or max(256, 1 << (preload - 1).bit_length())
     cfg = QueueConfig(qsize=qsize, task_size=task_size)
     ctx = ShmemCtx(2, latency=latency)
-    system = (SwsQueueSystem if impl == "sws" else SdcQueueSystem)(ctx, cfg)
+    system = protocol.queue_system(ctx, cfg)
     victim_q = system.handle(0)
     thief_q = system.handle(1)
 
@@ -71,7 +83,7 @@ def measure_single_steal(
     def victim() -> object:
         for _ in range(preload):
             victim_q.enqueue(record)
-        if impl == "sws":
+        if protocol.family == "sws":
             yield from victim_q.release()
         else:
             victim_q.release()

@@ -144,3 +144,137 @@ BACKENDS = {
     "threads": golden_threads,
     "mp": golden_mp,
 }
+
+
+# ======================================================================
+# Protocol × backend matrix runners
+# ======================================================================
+
+#: Protocols the matrix drives on every substrate (sws-v1 has no thread
+#: or mp shim, so it stays out of the cross-backend rows).
+MATRIX_PROTOCOLS = ("sws", "sdc", "localized", "ff-mult")
+
+
+def partition_checksum(ids) -> int:
+    """Order-independent checksum of a task-id collection (multiset)."""
+    acc = 0
+    for i in ids:
+        acc ^= (i * 0x9E3779B97F4A7C15 + 0xDEADBEEF) & (1 << 64) - 1
+    return acc
+
+
+def protocol_fabric(protocol_name: str) -> dict:
+    """One protocol's golden scenario on the discrete-event fabric."""
+    from repro.core.config import QueueConfig
+    from repro.core.results import StealStatus
+    from repro.fabric.engine import Delay
+    from repro.runtime.protocols import get_protocol
+    from repro.shmem.api import ShmemCtx
+
+    from ..conftest import TEST_LAT, rec, rec_id, run_procs
+
+    protocol = get_protocol(protocol_name)
+    cfg = QueueConfig(qsize=512, task_size=16)
+    ctx = ShmemCtx(2, latency=TEST_LAT)
+    system = protocol.queue_system(ctx, cfg)
+    victim_q = system.handle(0)
+    thief_q = system.handle(1)
+    volumes: list[int] = []
+    stolen: list[int] = []
+
+    def victim():
+        for i in range(NTOTAL):
+            victim_q.enqueue(rec(i))
+        if protocol.family == "sws":
+            yield from victim_q.release()
+        else:
+            victim_q.release()
+
+    def thief():
+        yield Delay(50e-6)
+        while True:
+            result = yield from thief_q.steal(0)
+            if result.status is not StealStatus.STOLEN:
+                return result.status
+            volumes.append(result.ntasks)
+            stolen.extend(rec_id(r) for r in result.records)
+
+    _, status = run_procs(ctx, victim(), thief(), names=["victim", "thief"])
+    assert status is StealStatus.EMPTY
+    kept: list[int] = []
+    while (record := victim_q.dequeue()) is not None:
+        kept.append(rec_id(record))
+    return {"volumes": volumes, "stolen": stolen, "kept": kept}
+
+
+def protocol_threads(protocol_name: str) -> dict:
+    """One protocol's golden scenario on the in-process thread shim."""
+    from repro.runtime.protocols import get_protocol
+
+    protocol = get_protocol(protocol_name)
+    assert protocol.threads_queue is not None, protocol_name
+    queue = protocol.threads_queue(list(range(NTOTAL)))
+    queue.release(NTOTAL // 2)
+    return _drain_any(queue)
+
+
+def protocol_mp(protocol_name: str) -> dict:
+    """One protocol's golden scenario on the multiprocess substrate."""
+    from repro.mp.heap import MpHeap
+    from repro.mp.queue import (
+        FfMultQueueLayout,
+        SdcQueueLayout,
+        SwsQueueLayout,
+    )
+    from repro.runtime.protocols import get_protocol
+
+    protocol = get_protocol(protocol_name)
+    assert protocol.mp_impl is not None, protocol_name
+    layout_cls = {
+        "sws": SwsQueueLayout,
+        "sdc": SdcQueueLayout,
+        "ff-mult": FfMultQueueLayout,
+    }[protocol.mp_impl]
+    heap = MpHeap()
+    layout = layout_cls.reserve(heap, "confmx", capacity=NTOTAL)
+    heap.freeze()
+    try:
+        queue = layout.owner(heap)
+        queue.push_all(range(NTOTAL))
+        queue.release(NTOTAL // 2)
+        return _drain_any(queue, thief=layout.thief(heap))
+    finally:
+        heap.close()
+        heap.unlink()
+
+
+def _drain_any(queue, thief=None) -> dict:
+    """Steal-until-empty for any shim family, then drain the owner.
+
+    Family-agnostic: every shim steal result exposes ``claimed``, which
+    is empty exactly when the attempt got nothing (locked, empty, or
+    spun out).  A single deterministic thief never races, so the first
+    empty result means the shared section is exhausted.
+    """
+    stealer = thief if thief is not None else queue
+    volumes: list[int] = []
+    stolen: list[int] = []
+    while True:
+        res = stealer.steal()
+        if not res.claimed:
+            break
+        volumes.append(len(res.claimed))
+        stolen.extend(res.claimed)
+    queue.drain()
+    return {
+        "volumes": volumes,
+        "stolen": stolen,
+        "kept": list(queue.take_kept()),
+    }
+
+
+PROTOCOL_BACKENDS = {
+    "fabric": protocol_fabric,
+    "threads": protocol_threads,
+    "mp": protocol_mp,
+}
