@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos chaos-mp schedules mp conformance explore bench bench-fast bench-baseline profile experiments experiments-full examples clean
+.PHONY: install test chaos chaos-mp schedules mp conformance explore bench bench-fast bench-baseline shard-bench profile experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -57,6 +57,14 @@ bench-fast:
 bench-baseline:
 	$(PYTHON) -m repro sweep --refresh --no-cache \
 	    --out benchmarks/BENCH_baseline.json
+
+# Sharded-simulator measurements alone: the wall-vs-shards speedup
+# series and the 2112-PE jumbo smoke (docs/sharding.md).  Walls are
+# host-dependent; on a single core the fork transport is *slower* than
+# one shard — that is the expected, documented outcome there.
+shard-bench:
+	$(PYTHON) -m repro sweep --no-cache \
+	    --scenarios fig7_sharded_s4,fig7_jumbo
 
 # cProfile top-20 for the two throughput-critical scenarios
 # (see docs/performance.md, "Profiling the hot paths").

@@ -113,6 +113,13 @@ def reset_event_tally() -> None:
     _event_tally = 0
 
 
+def add_event_tally(events: int) -> None:
+    """Credit events executed outside this process (forked shard
+    children report their engines' tallies back to the coordinator)."""
+    global _event_tally
+    _event_tally += events
+
+
 class CalendarQueue:
     """Bucketed event queue with heapq-identical dequeue order.
 
@@ -218,6 +225,22 @@ class CalendarQueue:
         while True:
             cur = self._cur
             if cur is not None:
+                keys = self._keys
+                if keys and keys[0] < self._cur_key:
+                    # Windowed stepping (Engine.run_window) can park the
+                    # cursor on a future bucket; a later insert below that
+                    # bucket's key range would then be hidden behind it.
+                    # Shelve the unconsumed tail and re-promote in order.
+                    tail = cur[self._cur_i:]
+                    if tail:
+                        b = self._buckets.get(self._cur_key)
+                        if b is None:
+                            self._buckets[self._cur_key] = tail
+                            heappush(keys, self._cur_key)
+                        else:
+                            b.extend(tail)
+                    self._cur = None
+                    continue
                 i = self._cur_i
                 if i >= self.TRIM:
                     del cur[:i]
@@ -618,6 +641,63 @@ class Engine:
         proc.finished = True
         proc.result = result
         self._live -= 1
+
+    # ------------------------------------------------------------------
+    # windowed execution (sharded conservative-parallel mode)
+    # ------------------------------------------------------------------
+    @property
+    def live(self) -> int:
+        """Number of spawned processes that have not finished."""
+        return self._live
+
+    def next_event_ticks(self) -> int | None:
+        """Tick of the earliest pending live event, or None when empty.
+
+        The shard coordinator polls this between lock-step windows to
+        compute the next safe window bound (YAWNS-style: the global
+        minimum next-event time plus the latency model's lookahead).
+        """
+        e = self._q.peek()
+        return None if e is None else e[0]
+
+    def run_window(self, limit_ticks: int) -> int:
+        """Execute every pending event with ``when < limit_ticks``.
+
+        Returns the number of events executed.  Unlike :meth:`run`, an
+        empty queue is *not* a deadlock here — a shard may simply have
+        nothing to do this window while a cross-shard message is in
+        flight toward it; the coordinator owns global deadlock detection.
+        The clock is left at the last executed event (never advanced to
+        the bound), so message insertions at ticks ``>= limit_ticks``
+        are always legal afterwards.
+
+        Window mode supports observers (per-shard oracles) but not
+        schedule exploration: sharded contexts reject schedulers up
+        front.
+        """
+        global _event_tally
+        observers = self.observers
+        q = self._q
+        events = 0
+        try:
+            while True:
+                e = q.peek()
+                if e is None or e[0] >= limit_ticks:
+                    break
+                q._cur_i += 1
+                q._len -= 1
+                fn = e[2]
+                e[2] = None
+                self._now = e[0]
+                events += 1
+                fn()
+                if observers:
+                    for obs in observers:
+                        obs()
+        finally:
+            self.events_processed += events
+            _event_tally += events
+        return events
 
     # ------------------------------------------------------------------
     # main loop

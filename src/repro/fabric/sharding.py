@@ -1,0 +1,806 @@
+"""Conservative time-window sharding for the discrete-event fabric.
+
+This module partitions one simulated job's PEs across N *shard* engines
+— each with its own :class:`~repro.fabric.engine.CalendarQueue` — and
+keeps them causally consistent with the classic conservative
+(YAWNS-style) lock-step window protocol:
+
+* every cross-shard one-sided operation is **buffered at the
+  originating shard** (:class:`ShardRouter` outbox) instead of being
+  scheduled directly;
+* between windows a coordinator performs the all-to-all **exchange**:
+  buffered messages are enqueued into the destination shard's calendar
+  queue at their true arrival ticks, so event ordering within each
+  shard stays ``(when, seq)``-exact;
+* the next window bound is ``min(next event anywhere) + W`` where the
+  window width ``W`` is the hard lookahead lower bound derived from the
+  active :class:`~repro.fabric.latency.LatencyModel`
+  (:meth:`~repro.fabric.latency.LatencyModel.shard_window_ticks`) —
+  never hand-tuned.  Any event a shard executes inside the window can
+  only generate cross-shard effects at or beyond the bound, so shards
+  never see a message from their past.
+
+Message taxonomy (see ``docs/sharding.md`` for the full derivation):
+
+* **one-way applies** (puts, non-blocking atomic adds, put-with-signal):
+  the initiator's completion tick is a pure function of its own clock in
+  the fault-free, non-link-serialized fabric, so the initiator resumes
+  locally and only the remote memory effect crosses the boundary, with
+  margin ``alpha_sw + one_way``;
+* **fetch round trips** (fetch-add/swap/cas/fetch, gets): the request
+  crosses with the same margin; the *response* is generated at the
+  target's arrival event and crosses back with margin
+  ``process + one_way`` — the binding term in ``W``.
+
+Sharded mode is restricted to the fabric the bound is provable for: no
+fault injection, no op timeouts, no schedule exploration, no
+``link_serialize``, and a latency model with nonzero lookahead.
+
+Two transports run the same window loop: an in-process **serial**
+transport (deterministic, used by the conformance and property suites)
+and a **fork** transport that runs each shard as a real OS process over
+``multiprocessing`` pipes, the parent acting as the exchange
+coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from math import ceil, log2
+from typing import Any, Callable
+
+from .engine import TICKS_PER_SECOND, Call, Engine, Process
+from .errors import DeadlockError, SimulationError
+from .latency import LatencyModel
+from .nic import WORD_BYTES, Nic
+
+#: Get-op payload opcodes, shared with the NIC's pooled get records.
+_GET_WORD, _GET_WORDS, _GET_BYTES = 0, 1, 2
+
+
+# ======================================================================
+# Partitioning
+# ======================================================================
+class ShardPlan:
+    """Contiguous block partition of ``npes`` PEs across ``nshards``.
+
+    ``npes`` need not divide evenly: the remainder is spread one PE at a
+    time over the first shards (10 PEs / 4 shards → block sizes
+    3, 3, 2, 2), so shard sizes differ by at most one.
+    """
+
+    __slots__ = ("npes", "nshards", "_starts", "_owner")
+
+    def __init__(self, npes: int, nshards: int) -> None:
+        validate_shards(npes, nshards)
+        self.npes = npes
+        self.nshards = nshards
+        base, rem = divmod(npes, nshards)
+        starts = [0]
+        for s in range(nshards):
+            starts.append(starts[-1] + base + (1 if s < rem else 0))
+        self._starts = starts
+        owner = [0] * npes
+        for s in range(nshards):
+            for pe in range(starts[s], starts[s + 1]):
+                owner[pe] = s
+        self._owner = owner
+
+    def shard_of(self, pe: int) -> int:
+        """Owning shard of one PE."""
+        return self._owner[pe]
+
+    def pes_of(self, shard: int) -> range:
+        """The contiguous PE block owned by one shard."""
+        return range(self._starts[shard], self._starts[shard + 1])
+
+    def local_size(self, shard: int) -> int:
+        """Number of PEs owned by one shard."""
+        return self._starts[shard + 1] - self._starts[shard]
+
+    def describe(self) -> str:
+        """Human-readable partition summary for CLI banners."""
+        sizes = [self.local_size(s) for s in range(self.nshards)]
+        return (f"{self.npes} PEs across {self.nshards} shard(s), "
+                f"block sizes {sizes}")
+
+
+def validate_shards(npes: int, nshards: int) -> None:
+    """Up-front validation of a ``--shards``/``--npes`` combination.
+
+    Raises :class:`ValueError` with an actionable message instead of
+    letting a bad combination crash mid-run.  Non-divisible counts are
+    fine (remainder partitioning); an empty shard is not.
+    """
+    if npes < 1:
+        raise ValueError(f"npes must be >= 1, got {npes}")
+    if nshards < 1:
+        raise ValueError(f"--shards must be >= 1, got {nshards}")
+    if nshards > npes:
+        raise ValueError(
+            f"--shards {nshards} exceeds --npes {npes}: every shard must "
+            f"own at least one PE (use --shards <= {npes})"
+        )
+
+
+def check_shardable(latency: LatencyModel) -> int:
+    """Validate a latency model for sharded execution; returns the window.
+
+    The conservative window is only sound when the model guarantees a
+    positive lookahead and target-side link occupancy cannot feed back
+    into initiator-visible completion times.
+    """
+    window = latency.shard_window_ticks()
+    if window <= 0:
+        raise ValueError(
+            "sharded execution needs a positive lookahead, but this "
+            "latency model's window floor is 0 ticks (zero-latency "
+            "models cannot be sharded conservatively)"
+        )
+    if latency.link_serialize:
+        raise ValueError(
+            "sharded execution does not support link_serialize=True: "
+            "target-link occupancy makes put completion times depend on "
+            "remote state, which breaks the initiator-side completion "
+            "bound (run with link_serialize=False or --shards 1)"
+        )
+    return window
+
+
+def barrier_cost_ticks(latency: LatencyModel, npes: int) -> int:
+    """Release latency of the dissemination barrier, in ticks.
+
+    Must match :class:`repro.shmem.api._Barrier` exactly: the release is
+    charged ``ceil(log2(P))`` inter-node hops after the last arrival.
+    """
+    hops = max(1, ceil(log2(max(2, npes))))
+    cost = hops * (latency.alpha_sw + latency.half_rtt_inter)
+    return round(cost * TICKS_PER_SECOND)
+
+
+@dataclass(frozen=True)
+class ShardBinding:
+    """Identity of one shard inside a plan (handed to ``ShmemCtx``)."""
+
+    plan: ShardPlan
+    shard_id: int
+
+
+# ======================================================================
+# Router: the NIC's route-to-shard seam
+# ======================================================================
+class ShardRouter:
+    """Cross-shard routing for one shard's NIC.
+
+    Installed as ``nic.router``; the NIC's public op constructors divert
+    any op whose target PE lives on another shard through the methods
+    below.  Ops are buffered in :attr:`outbox` as picklable tuples and
+    exchanged at window boundaries; inbound messages are enqueued into
+    the local calendar queue at their true arrival ticks by
+    :meth:`deliver`.
+
+    Every data message carries its send tick as the final element so the
+    property suite (and a curious debugger) can audit the lookahead
+    invariant ``delivery_tick >= send_tick + W`` on the wire format
+    itself.
+    """
+
+    def __init__(self, nic: Nic, plan: ShardPlan, shard_id: int) -> None:
+        self.nic = nic
+        self.plan = plan
+        self.shard_id = shard_id
+        #: (dest_shard, message) tuples awaiting the next exchange.
+        self.outbox: list[tuple[int, tuple]] = []
+        #: op_id -> parked initiator process awaiting a fetch response.
+        self._pending: dict[int, Process] = {}
+        self._op_seq = 0
+        #: True for PEs this shard owns (list indexing beats dict here).
+        self._local = [plan.shard_of(pe) == shard_id for pe in range(plan.npes)]
+        nic.router = self
+
+    def is_local(self, pe: int) -> bool:
+        return self._local[pe]
+
+    def drain_outbox(self) -> list[tuple[int, tuple]]:
+        """Take every buffered message (called at a window boundary)."""
+        out, self.outbox = self.outbox, []
+        return out
+
+    def pending_fetches(self) -> int:
+        """Fetch ops awaiting a cross-shard response (diagnostics)."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # initiator side: Call factories the NIC diverts to
+    # ------------------------------------------------------------------
+    def fetch_amo(self, initiator: int, target: int, region: str,
+                  offset: int, kind: str, a1: int, a2: int) -> Call:
+        """Cross-shard fetching atomic: request out, park until response."""
+        def handler(engine: Engine, proc: Process) -> None:
+            nic = self.nic
+            nic.metrics.record(engine.now, initiator, target, kind, WORD_BYTES)
+            proc.blocked_on = f"{kind} -> pe{target} {region}[{offset}] (x-shard)"
+            send = engine.now_ticks
+            arrival = (send + nic._alpha_ticks
+                       + nic._one_way_ticks(initiator, target))
+            op_id = self._op_seq
+            self._op_seq += 1
+            self._pending[op_id] = proc
+            self.outbox.append((
+                self.plan.shard_of(target),
+                ("amo", arrival, initiator, target, region, offset,
+                 kind, a1, a2, op_id, self.shard_id, send),
+            ))
+
+        return Call(handler)
+
+    def get(self, initiator: int, target: int, region: str, offset: int,
+            count: int, nbytes: int, opcode: int) -> Call:
+        """Cross-shard blocking get: request out, park until response."""
+        def handler(engine: Engine, proc: Process) -> None:
+            nic = self.nic
+            nic.metrics.record(engine.now, initiator, target, "get", nbytes)
+            proc.blocked_on = f"get -> pe{target} {region}[{offset}] (x-shard)"
+            send = engine.now_ticks
+            arrival = (send + nic._alpha_ticks
+                       + nic._one_way_ticks(initiator, target))
+            op_id = self._op_seq
+            self._op_seq += 1
+            self._pending[op_id] = proc
+            self.outbox.append((
+                self.plan.shard_of(target),
+                ("get", arrival, initiator, target, region, offset,
+                 count, nbytes, opcode, op_id, self.shard_id, send),
+            ))
+
+        return Call(handler)
+
+    def put(self, initiator: int, target: int, region: str, offset: int,
+            payload: Any, is_bytes: bool, blocking: bool) -> Call:
+        """Cross-shard put.  In the fault-free non-link-serialized fabric
+        the completion tick is a pure function of the initiator's clock
+        (``alpha + stream + one_way`` to arrive, ``+ one_way`` for the
+        blocking ack), so the initiator schedules its own resume locally
+        and only the memory effect crosses the boundary."""
+        kind = "put" if blocking else "put_nb"
+
+        def handler(engine: Engine, proc: Process) -> None:
+            nic = self.nic
+            nbytes = len(payload) * (1 if is_bytes else WORD_BYTES)
+            nic.metrics.record(engine.now, initiator, target, kind, nbytes)
+            stream = nic._payload_ticks(nbytes)
+            inject = nic._alpha_ticks + stream
+            send = engine.now_ticks
+            arrival = send + inject + nic._one_way_ticks(initiator, target)
+            self.outbox.append((
+                self.plan.shard_of(target),
+                ("put", arrival, target, region, offset, payload,
+                 is_bytes, send),
+            ))
+            if blocking:
+                proc.blocked_on = f"put -> pe{target} ({nbytes}B) (x-shard)"
+                back = nic._one_way_ticks(target, initiator)
+                engine.at_ticks(arrival + back, proc._step0, actor=proc.name)
+            else:
+                nic._outstanding[initiator] += 1
+                engine.at_ticks(arrival, partial(nic._complete_nb, initiator),
+                                actor=nic._put_actors[target])
+                engine.resume_ticks(proc, None, inject)
+
+        return Call(handler)
+
+    def amo_add_nb(self, initiator: int, target: int, region: str,
+                   offset: int, delta: int) -> Call:
+        """Cross-shard non-blocking atomic add: applies at arrival on the
+        owning shard; the descriptor retires locally at the same tick it
+        would on a single engine."""
+        def handler(engine: Engine, proc: Process) -> None:
+            nic = self.nic
+            nic.metrics.record(engine.now, initiator, target,
+                               "amo_add_nb", WORD_BYTES)
+            nic._outstanding[initiator] += 1
+            send = engine.now_ticks
+            arrival = (send + nic._alpha_ticks
+                       + nic._one_way_ticks(initiator, target))
+            self.outbox.append((
+                self.plan.shard_of(target),
+                ("addnb", arrival, target, region, offset, delta, send),
+            ))
+            engine.at_ticks(arrival, partial(nic._complete_nb, initiator),
+                            actor=nic._amo_actors[target])
+            engine.resume_ticks(proc, None, nic._alpha_ticks)
+
+        return Call(handler)
+
+    def put_signal_nb(self, initiator: int, target: int, region: str,
+                      offset: int, data: bytes, sig_region: str,
+                      sig_offset: int, sig_value: int) -> Call:
+        """Cross-shard put-with-signal.
+
+        The payload+signal message crosses once; data lands at arrival
+        and the signal store serializes through the *target's* atomic
+        unit exactly as on a single engine.  The initiator's descriptor
+        retires at the arrival tick — one documented approximation: on a
+        single engine it retires at the signal-store tick, up to a few
+        ``amo_process`` later under contention, which only a ``quiet()``
+        racing that contention could observe.
+        """
+        def handler(engine: Engine, proc: Process) -> None:
+            nic = self.nic
+            nbytes = len(data) + WORD_BYTES
+            nic.metrics.record(engine.now, initiator, target,
+                               "put_signal", nbytes)
+            nic._outstanding[initiator] += 1
+            inject = nic._alpha_ticks + nic._payload_ticks(nbytes)
+            send = engine.now_ticks
+            arrival = send + inject + nic._one_way_ticks(initiator, target)
+            self.outbox.append((
+                self.plan.shard_of(target),
+                ("putsig", arrival, target, region, offset, data,
+                 sig_region, sig_offset, sig_value, send),
+            ))
+            engine.at_ticks(arrival, partial(nic._complete_nb, initiator),
+                            actor=nic._put_actors[target])
+            engine.resume_ticks(proc, None, inject)
+
+        return Call(handler)
+
+    # ------------------------------------------------------------------
+    # receiver side: exchange delivery + in-window application
+    # ------------------------------------------------------------------
+    def deliver(self, messages: list[tuple]) -> None:
+        """Enqueue inbound messages at their true arrival ticks.
+
+        Called between windows, messages pre-sorted by the coordinator
+        on ``(tick, origin_shard, origin_seq)`` so the fresh engine
+        sequence numbers assigned here are deterministic.
+        """
+        engine = self.nic.engine
+        for m in messages:
+            if m[0] == "brel":
+                self.barrier_release(m[1])
+                continue
+            engine.at_ticks(m[1], partial(self._apply, m), actor="xshard")
+
+    #: Hook installed by the shard-aware barrier (shmem layer).
+    barrier_release: Callable[[int], None] = staticmethod(lambda tick: None)
+
+    def _apply(self, m: tuple) -> None:
+        """Execute one inbound message at its arrival event."""
+        nic = self.nic
+        engine = nic.engine
+        heap = nic.heap
+        op = m[0]
+        if op == "amo":
+            (_, _, initiator, target, region, offset,
+             kind, a1, a2, op_id, origin, send) = m
+            done = nic._serialize(
+                nic._amo_busy_until, target, engine.now_ticks, nic._amo_ticks
+            )
+            if kind == "amo_fetch_add":
+                value = heap.fetch_add(target, region, offset, a1)
+            elif kind == "amo_swap":
+                value = heap.swap(target, region, offset, a1)
+            elif kind == "amo_cas":
+                value = heap.compare_swap(target, region, offset, a1, a2)
+            else:  # amo_fetch
+                value = heap.load(target, region, offset)
+            back = nic._one_way_ticks(target, initiator)
+            self.outbox.append(
+                (origin, ("resp", done + back, op_id, value, engine.now_ticks))
+            )
+        elif op == "get":
+            (_, _, initiator, target, region, offset,
+             count, nbytes, opcode, op_id, origin, send) = m
+            done = nic._serialize(
+                nic._get_busy_until, target, engine.now_ticks, nic._get_ticks
+            )
+            if opcode == _GET_WORD:
+                value = heap.load(target, region, offset)
+            elif opcode == _GET_WORDS:
+                value = heap.load_words(target, region, offset, count)
+            else:
+                value = heap.read_bytes(target, region, offset, count)
+            back = (nic._one_way_ticks(target, initiator)
+                    + nic._payload_ticks(nbytes))
+            self.outbox.append(
+                (origin, ("resp", done + back, op_id, value, engine.now_ticks))
+            )
+        elif op == "put":
+            _, _, target, region, offset, payload, is_bytes, send = m
+            if is_bytes:
+                heap.write_bytes(target, region, offset, payload)
+            elif len(payload) == 1:
+                heap.store(target, region, offset, payload[0])
+            else:
+                heap.store_words(target, region, offset, list(payload))
+        elif op == "addnb":
+            _, _, target, region, offset, delta, send = m
+            nic._serialize(
+                nic._amo_busy_until, target, engine.now_ticks, nic._amo_ticks
+            )
+            heap.fetch_add(target, region, offset, delta)
+        elif op == "putsig":
+            (_, _, target, region, offset, data,
+             sig_region, sig_offset, sig_value, send) = m
+            heap.write_bytes(target, region, offset, data)
+            sig_done = nic._serialize(
+                nic._amo_busy_until, target, engine.now_ticks, nic._amo_ticks
+            )
+            store = partial(heap.store, target, sig_region, sig_offset, sig_value)
+            if sig_done > engine.now_ticks:
+                engine.at_ticks(sig_done, store, actor=nic._amo_actors[target])
+            else:
+                store()
+        elif op == "resp":
+            _, _, op_id, value, send = m
+            proc = self._pending.pop(op_id)
+            engine._step(proc, value)
+        else:  # pragma: no cover - wire-format guard
+            raise SimulationError(f"unknown cross-shard message {op!r}")
+
+    def diagnostic(self) -> str:
+        """Extra context for merged deadlock reports."""
+        if not self._pending and not self.outbox:
+            return ""
+        return (f"  shard {self.shard_id}: {len(self._pending)} fetch(es) "
+                f"awaiting cross-shard responses, "
+                f"{len(self.outbox)} message(s) buffered")
+
+
+# ======================================================================
+# Shard-aware barrier
+# ======================================================================
+class ShardBarrier:
+    """Job-wide ``barrier_all`` split across shards.
+
+    Each shard parks its local arrivals; the coordinator watches the
+    between-window reports and, once every PE in the job is parked,
+    broadcasts a release tick of ``max(last arrival) + the dissemination
+    release cost`` — the exact tick the single-engine
+    :class:`repro.shmem.api._Barrier` resumes at (the cost there is
+    charged from the moment the last PE arrives).  The cost is at least
+    one ``alpha + inter`` hop, which is >= the window width, so the
+    release always lands at or beyond the next window bound.
+    """
+
+    __slots__ = ("engine", "_waiting", "_generation", "_last_arrival")
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._waiting: list[Process] = []
+        self._generation = 0
+        self._last_arrival = 0
+
+    def arrive(self) -> Call:
+        def handler(engine: Engine, proc: Process) -> None:
+            proc.blocked_on = "barrier_all (sharded)"
+            self._waiting.append(proc)
+            if engine.now_ticks > self._last_arrival:
+                self._last_arrival = engine.now_ticks
+
+        return Call(handler)
+
+    def report(self) -> tuple[int, int, int]:
+        """(generation, locally parked PEs, last local arrival tick)."""
+        return (self._generation, len(self._waiting), self._last_arrival)
+
+    def release(self, tick: int) -> None:
+        """Resume every parked PE at ``tick`` (coordinator broadcast)."""
+        engine = self.engine
+        # An unrelated in-flight completion may have nudged this shard's
+        # clock just past the release tick; resuming "now" instead keeps
+        # time monotone and is the same rounding a straggler would see.
+        when = max(tick, engine.now_ticks)
+        waiters, self._waiting = self._waiting, []
+        self._generation += 1
+        self._last_arrival = 0
+        for proc in waiters:
+            engine.at_ticks(when, proc._step0, actor=proc.name)
+
+
+# ======================================================================
+# Window-loop coordinator (transport-agnostic)
+# ======================================================================
+#: One shard's between-window report:
+#: (next_event_tick | None, outbox, (barrier_gen, waiting, last_arrival), live)
+ShardState = tuple
+
+
+class SerialShardHandle:
+    """In-process shard driver: deterministic, zero IPC.
+
+    Wraps anything exposing ``engine`` (an :class:`Engine`), ``router``
+    (a :class:`ShardRouter`) and ``barrier`` (an object with
+    ``report()``); the sharded ``ShmemCtx`` does.
+    """
+
+    def __init__(self, shard: Any) -> None:
+        self.engine: Engine = shard.engine
+        self.router: ShardRouter = shard.router
+        self.barrier = shard.barrier
+        self._state: ShardState | None = None
+
+    def _snapshot(self) -> ShardState:
+        return (
+            self.engine.next_event_ticks(),
+            self.router.drain_outbox(),
+            self.barrier.report(),
+            self.engine.live,
+        )
+
+    def start(self) -> ShardState:
+        return self._snapshot()
+
+    def send_step(self, limit: int, msgs: list[tuple]) -> None:
+        self.router.deliver(msgs)
+        self.engine.run_window(limit)
+        self._state = self._snapshot()
+
+    def recv_state(self) -> ShardState:
+        state, self._state = self._state, None
+        return state
+
+    def deadlock_text(self) -> str:
+        lines = [self.engine._deadlock_report()]
+        extra = self.router.diagnostic()
+        if extra:
+            lines.append(extra)
+        return "\n".join(lines)
+
+    def finish(self) -> Any:
+        return None
+
+
+def run_window_loop(
+    handles: list,
+    *,
+    window_ticks: int,
+    npes: int,
+    barrier_cost: int,
+    trace: list | None = None,
+) -> int:
+    """Drive shards through lock-step windows until global completion.
+
+    Returns the total number of exchange rounds.  Raises
+    :class:`DeadlockError` (with every shard's report merged) when all
+    queues drain, nothing is in flight, and live processes remain.
+
+    ``trace``, when given, receives one
+    ``(window_limit, [(dest, opcode, delivery_tick, send_tick), ...])``
+    record per round — the property suite audits the lookahead invariant
+    from it.
+    """
+    if window_ticks <= 0:
+        raise SimulationError(
+            f"window width must be positive, got {window_ticks} ticks"
+        )
+    nshards = len(handles)
+    states: list[ShardState] = [h.start() for h in handles]
+    #: Undelivered messages: (sort_key, dest, msg).
+    pending: list[tuple[tuple, int, tuple]] = []
+    rounds = 0
+    while True:
+        for origin, st in enumerate(states):
+            for idx, (dest, msg) in enumerate(st[1]):
+                pending.append(((msg[1], origin, idx), dest, msg))
+
+        # Barrier: when every PE in the job is parked, release all
+        # shards at max(arrival) + the dissemination-release cost — the
+        # same tick a single engine's barrier would pick.  The cost is
+        # >= one alpha + inter hop >= the window width, so the release
+        # tick always lands at or beyond the next window bound.
+        reports = [st[2] for st in states]
+        gen = reports[0][0]
+        if (all(r[0] == gen for r in reports)
+                and sum(r[1] for r in reports) == npes):
+            release = max(r[2] for r in reports) + barrier_cost
+            for dest in range(nshards):
+                pending.append(((release, -1, dest), dest, ("brel", release)))
+
+        floor: int | None = None
+        for st in states:
+            t = st[0]
+            if t is not None and (floor is None or t < floor):
+                floor = t
+        for key, _dest, msg in pending:
+            if floor is None or msg[1] < floor:
+                floor = msg[1]
+
+        if floor is None:
+            live = sum(st[3] for st in states)
+            if live:
+                parts = [
+                    f"sharded run deadlocked with {live} live process(es) "
+                    f"across {nshards} shard(s):"
+                ]
+                for s, h in enumerate(handles):
+                    parts.append(f"--- shard {s} ---")
+                    parts.append(h.deadlock_text())
+                raise DeadlockError("\n".join(parts))
+            return rounds
+
+        limit = floor + window_ticks
+        pending.sort(key=lambda e: e[0])
+        per_shard: list[list[tuple]] = [[] for _ in range(nshards)]
+        for _key, dest, msg in pending:
+            per_shard[dest].append(msg)
+        if trace is not None:
+            trace.append((
+                limit,
+                [(dest, msg[0], msg[1], msg[-1] if msg[0] != "brel" else None)
+                 for _k, dest, msg in pending],
+            ))
+        pending.clear()
+        for h, msgs in zip(handles, per_shard):
+            h.send_step(limit, msgs)
+        states = [h.recv_state() for h in handles]
+        rounds += 1
+
+
+# ======================================================================
+# Fork transport: one OS process per shard over the mp seam
+# ======================================================================
+def _shard_child_main(conn, build: Callable[[int], Any], shard_id: int) -> None:
+    """Child process body: build the shard, serve coordinator commands."""
+    import traceback
+
+    try:
+        handle = build(shard_id)
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == "start":
+                conn.send(handle.start())
+            elif op == "step":
+                handle.send_step(cmd[1], cmd[2])
+                conn.send(handle.recv_state())
+            elif op == "deadlock":
+                conn.send(handle.deadlock_text())
+            elif op == "finish":
+                conn.send(handle.finish())
+                return
+            else:  # pragma: no cover - protocol guard
+                raise SimulationError(f"unknown shard command {op!r}")
+    except BaseException as exc:  # surface child failures to the parent
+        try:
+            conn.send(("__shard_error__", repr(exc), traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class ShardChildError(SimulationError):
+    """A shard worker process failed; carries the child traceback."""
+
+
+class ForkShardHandle:
+    """Coordinator-side proxy for one forked shard process.
+
+    ``build(shard_id)`` runs *in the child* after fork and must return a
+    :class:`SerialShardHandle`-compatible object; with the fork start
+    method the closure (and everything it captured) is inherited, so no
+    pickling of simulator state ever happens — only the small
+    between-window message tuples cross the pipe.
+    """
+
+    def __init__(self, mp_ctx, build: Callable[[int], Any], shard_id: int) -> None:
+        parent_conn, child_conn = mp_ctx.Pipe()
+        self.conn = parent_conn
+        self.shard_id = shard_id
+        self.proc = mp_ctx.Process(
+            target=_shard_child_main,
+            args=(child_conn, build, shard_id),
+            name=f"shard{shard_id}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def _recv(self):
+        try:
+            reply = self.conn.recv()
+        except EOFError:
+            raise ShardChildError(
+                f"shard {self.shard_id} process exited unexpectedly "
+                f"(exitcode={self.proc.exitcode})"
+            ) from None
+        if (isinstance(reply, tuple) and reply
+                and reply[0] == "__shard_error__"):
+            raise ShardChildError(
+                f"shard {self.shard_id} failed: {reply[1]}\n{reply[2]}"
+            )
+        return reply
+
+    def start(self) -> ShardState:
+        self.conn.send(("start",))
+        return self._recv()
+
+    def send_step(self, limit: int, msgs: list[tuple]) -> None:
+        self.conn.send(("step", limit, msgs))
+
+    def recv_state(self) -> ShardState:
+        return self._recv()
+
+    def deadlock_text(self) -> str:
+        self.conn.send(("deadlock",))
+        return self._recv()
+
+    def finish(self) -> Any:
+        self.conn.send(("finish",))
+        reply = self._recv()
+        self.conn.close()
+        self.proc.join(timeout=30)
+        if self.proc.is_alive():  # pragma: no cover - hung child guard
+            self.proc.terminate()
+        return reply
+
+    def abort(self) -> None:
+        """Tear the child down after a coordinator-side failure."""
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=5)
+
+
+def fork_context():
+    """The ``fork`` multiprocessing context, or None when unsupported."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+# ======================================================================
+# Context-level shard group (serial transport)
+# ======================================================================
+class ShardGroup:
+    """N sharded ``ShmemCtx`` instances driven as one logical job.
+
+    The ctx-level entry point: spawn generator processes on the shard
+    that owns their PE, then :meth:`run` the lock-step window loop over
+    all shards in-process.  Every shard constructs the *same* symmetric
+    heap layout (construction is deterministic and identical), so
+    ``(pe, region, offset)`` addressing agrees across shards; only the
+    owning shard's rows are ever authoritative.
+    """
+
+    def __init__(self, npes: int, nshards: int, latency: LatencyModel,
+                 **ctx_kwargs: Any) -> None:
+        from ..shmem.api import ShmemCtx
+
+        self.plan = ShardPlan(npes, nshards)
+        self.latency = latency
+        check_shardable(latency)
+        self.ctxs = [
+            ShmemCtx(npes, latency=latency,
+                     shard=ShardBinding(self.plan, s), **ctx_kwargs)
+            for s in range(nshards)
+        ]
+
+    def ctx_of(self, rank: int):
+        """The sharded context owning one PE."""
+        return self.ctxs[self.plan.shard_of(rank)]
+
+    def spawn(self, rank: int, gen, name: str | None = None) -> Process:
+        """Spawn a generator process on the shard owning PE ``rank``."""
+        return self.ctx_of(rank).engine.spawn(gen, name=name or f"pe{rank}")
+
+    def run(self, trace: list | None = None) -> float:
+        """Run the window loop to completion; returns final seconds."""
+        handles = [SerialShardHandle(ctx) for ctx in self.ctxs]
+        run_window_loop(
+            handles,
+            window_ticks=self.latency.shard_window_ticks(),
+            npes=self.plan.npes,
+            barrier_cost=barrier_cost_ticks(self.latency, self.plan.npes),
+            trace=trace,
+        )
+        return max(ctx.engine.now for ctx in self.ctxs)

@@ -114,6 +114,13 @@ class Protocol:
     tiered:
         Protocol wants the socket/node/rack tiered topology + latency
         model by default (localized stealing).
+    shardable:
+        Whether the protocol works under the sharded conservative-window
+        simulator (:mod:`repro.runtime.sharded`).  Requires every
+        cross-PE access to route through the NIC; protocols with
+        zero-cost shared-memory bookkeeping across PEs (the fence-free
+        deque's reclaim-floor registry reads the victim's tail directly)
+        cannot run against stale per-shard heap replicas.
     comms_total / comms_blocking:
         One-sided fabric operations per successful steal (Fig. 2 style).
     threads_queue:
@@ -135,6 +142,7 @@ class Protocol:
     supports_damping: bool = False
     supports_faults: bool = False
     tiered: bool = False
+    shardable: bool = True
     comms_total: int = 0
     comms_blocking: int = 0
     threads_queue: Callable | None = None
@@ -256,6 +264,7 @@ register_protocol(
         family="ffmult",
         queue_system=FfMultQueueSystem,
         supports_faults=False,
+        shardable=False,
         comms_total=3,
         comms_blocking=3,
         threads_queue=_threads_ffmult,

@@ -1,0 +1,271 @@
+"""Sharded task-pool runner: conservative parallel execution of one job.
+
+:class:`ShardedTaskPool` is the drop-in parallel counterpart of
+:class:`~repro.runtime.pool.TaskPool`: same construction arguments plus
+``nshards``/``transport``, same :class:`~repro.runtime.stats.RunStats`
+out.  The job's PEs are partitioned into contiguous blocks; each block
+runs inside its own :class:`~repro.runtime.pool.TaskPool` bound to a
+shard (its own engine + calendar queue), and the shards advance in
+conservative lock-step time windows (:mod:`repro.fabric.sharding`).
+
+``nshards=1`` is special-cased to a plain ``TaskPool`` — no router, no
+window loop, today's engine loop unchanged — so single-shard runs stay
+bit-identical to the classic path.
+
+Transports
+----------
+``serial``
+    All shards in this process, stepped round-robin.  Deterministic and
+    dependency-free; what the conformance and property suites use.  No
+    wall-clock speedup (same core), but identical virtual-time results.
+``fork``
+    One OS process per shard over the ``multiprocessing`` fork seam;
+    the parent is the exchange coordinator.  Same virtual-time results
+    as ``serial`` (the window algebra is transport-independent); wall
+    speedup tracks available cores.  POSIX only — falls back to serial
+    with a warning where fork is unavailable.
+
+Every shard constructs the *full* job (all queues, all worker objects)
+— construction is deterministic, so all shards agree on the symmetric
+heap layout — but spawns only its own PEs.  Remote heap rows are stale
+replicas; all access to them routes through the NIC's shard router.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable
+
+from ..fabric.latency import EDR_INFINIBAND, LatencyModel
+from ..fabric.sharding import (
+    ForkShardHandle,
+    SerialShardHandle,
+    ShardBinding,
+    ShardPlan,
+    barrier_cost_ticks,
+    check_shardable,
+    fork_context,
+    run_window_loop,
+)
+from .oracle import check_merged_conservation
+from .pool import TaskPool, resolved_latency
+from .protocols import get_protocol
+from .registry import TaskRegistry
+from .stats import RunStats
+from .task import Task
+
+
+class _PoolShardHandle(SerialShardHandle):
+    """Window-loop handle over one shard's TaskPool."""
+
+    def __init__(self, pool: TaskPool) -> None:
+        pool.start_workers()
+        super().__init__(pool.ctx)
+        self.pool = pool
+
+    def finish(self) -> dict:
+        return self.pool.shard_result()
+
+
+class ShardedTaskPool:
+    """One simulated work-stealing job run across N shard engines."""
+
+    def __init__(
+        self,
+        npes: int,
+        registry: TaskRegistry,
+        nshards: int,
+        impl: str = "sws",
+        transport: str = "serial",
+        latency: LatencyModel = EDR_INFINIBAND,
+        oracle: bool = False,
+        **pool_kwargs: Any,
+    ) -> None:
+        if transport not in ("serial", "fork"):
+            raise ValueError(
+                f"transport must be 'serial' or 'fork', got {transport!r}"
+            )
+        self.plan = ShardPlan(npes, nshards)
+        self.npes = npes
+        self.nshards = nshards
+        self.impl = impl
+        self.transport = transport
+        self.registry = registry
+        self.oracle = oracle
+        self._pool_kwargs = dict(pool_kwargs)
+        self._pool_kwargs["latency"] = latency
+        self.protocol = get_protocol(impl)
+        #: The window width derives from the latency the pool will
+        #: *actually* use (tiered protocols may swap presets in).
+        self.latency = resolved_latency(
+            impl, latency, pool_kwargs.get("topology")
+        )
+        if nshards > 1:
+            if not self.protocol.shardable:
+                raise ValueError(
+                    f"protocol {impl!r} cannot run sharded: its steal "
+                    f"path relies on shared-memory bookkeeping across "
+                    f"PEs (reads remote heap rows without NIC "
+                    f"mediation), which stale per-shard replicas break. "
+                    f"Use --shards 1 or a shardable protocol."
+                )
+            self.window_ticks = check_shardable(self.latency)
+        else:
+            self.window_ticks = 0  # single shard: classic engine loop
+        self._seeds: list[tuple[int, list[Task]]] = []
+        self._round_robin: list[Task] = []
+        self._ran = False
+        #: Exchange rounds the window loop performed (0 for nshards=1).
+        self.rounds = 0
+        #: Engine events summed across shards, set by :meth:`run`.
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    def seed(self, rank: int, tasks: list[Task]) -> None:
+        """Seed initial tasks onto PE ``rank`` before running."""
+        if self._ran:
+            raise RuntimeError("pool already ran")
+        self._seeds.append((rank, list(tasks)))
+
+    def seed_round_robin(self, tasks: list[Task]) -> None:
+        """Distribute seed tasks cyclically across all PEs."""
+        if self._ran:
+            raise RuntimeError("pool already ran")
+        self._round_robin.extend(tasks)
+
+    # ------------------------------------------------------------------
+    def _build_pool(self, shard_id: int | None) -> TaskPool:
+        """Construct one shard's pool (or the classic pool for None).
+
+        Every shard applies *all* seeds: seeding writes through local
+        heap state, which is only authoritative on the owning shard, but
+        applying it everywhere keeps construction identical across
+        shards (same layout, same initial words).
+        """
+        shard = (
+            None if shard_id is None else ShardBinding(self.plan, shard_id)
+        )
+        pool = TaskPool(
+            self.npes,
+            self.registry,
+            impl=self.impl,
+            oracle=self.oracle,
+            shard=shard,
+            **self._pool_kwargs,
+        )
+        for rank, tasks in self._seeds:
+            pool.seed(rank, tasks)
+        if self._round_robin:
+            pool.seed_round_robin(self._round_robin)
+        return pool
+
+    def run(self) -> RunStats:
+        """Execute to global termination; returns merged statistics."""
+        if self._ran:
+            raise RuntimeError("pool already ran")
+        if self.nshards == 1:
+            pool = self._build_pool(None)
+            self._ran = True
+            stats = pool.run()
+            self.events_processed = pool.ctx.engine.events_processed
+            return stats
+        self._ran = True
+        transport = self.transport
+        if transport == "fork":
+            mp_ctx = fork_context()
+            if mp_ctx is None:  # pragma: no cover - non-POSIX platforms
+                print(
+                    "warning: fork transport unavailable on this platform; "
+                    "falling back to serial shards",
+                    file=sys.stderr,
+                )
+                transport = "serial"
+        if transport == "fork":
+            results = self._run_fork(mp_ctx)
+        else:
+            results = self._run_serial()
+        return self._merge(results)
+
+    def _run_serial(self) -> list[dict]:
+        handles = [
+            _PoolShardHandle(self._build_pool(s)) for s in range(self.nshards)
+        ]
+        self.rounds = run_window_loop(
+            handles,
+            window_ticks=self.window_ticks,
+            npes=self.npes,
+            barrier_cost=barrier_cost_ticks(self.latency, self.npes),
+        )
+        return [h.finish() for h in handles]
+
+    def _run_fork(self, mp_ctx) -> list[dict]:
+        build = self._child_builder()
+        handles = [
+            ForkShardHandle(mp_ctx, build, s) for s in range(self.nshards)
+        ]
+        try:
+            self.rounds = run_window_loop(
+                handles,
+                window_ticks=self.window_ticks,
+                npes=self.npes,
+                barrier_cost=barrier_cost_ticks(self.latency, self.npes),
+            )
+            results = [h.finish() for h in handles]
+            # The children's engines ran in their own processes; credit
+            # their events to this process's sweep tally so events/sec
+            # reporting sees the whole job.
+            from ..fabric.engine import add_event_tally
+
+            add_event_tally(sum(r["events"] for r in results))
+            return results
+        except BaseException:
+            for h in handles:
+                h.abort()
+            raise
+
+    def _child_builder(self) -> Callable[[int], _PoolShardHandle]:
+        """The closure each forked child runs to build its shard.
+
+        With the fork start method the child inherits ``self`` (registry,
+        seeds, kwargs) by memory image — nothing here is pickled.
+        """
+        def build(shard_id: int) -> _PoolShardHandle:
+            return _PoolShardHandle(self._build_pool(shard_id))
+
+        return build
+
+    # ------------------------------------------------------------------
+    def _merge(self, results: list[dict]) -> RunStats:
+        """Fold per-shard payloads into one job-wide RunStats."""
+        check_merged_conservation(
+            [r["books"] for r in results],
+            exactly_once=self.protocol.semantics.exactly_once,
+        )
+        workers = [w for r in results for w in r["workers"]]
+        workers.sort(key=lambda w: w.rank)
+        comm: dict[str, int] = {}
+        for r in results:
+            for key, val in r["comm"].items():
+                comm[key] = comm.get(key, 0) + val
+        self.events_processed = sum(r["events"] for r in results)
+        return RunStats(
+            npes=self.npes,
+            runtime=max(r["end"] for r in results),
+            workers=workers,
+            comm=comm,
+            faults={},
+        )
+
+
+def run_sharded_pool(
+    npes: int,
+    registry: TaskRegistry,
+    seeds: list[Task],
+    nshards: int,
+    impl: str = "sws",
+    **kwargs: Any,
+) -> RunStats:
+    """One-shot convenience: build a sharded pool, seed PE 0, run it."""
+    pool = ShardedTaskPool(npes, registry, nshards, impl=impl, **kwargs)
+    pool.seed(0, seeds)
+    return pool.run()

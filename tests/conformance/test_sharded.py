@@ -1,0 +1,139 @@
+"""Sharded-simulator conformance: golden §4 schedule across shard counts.
+
+The paper's golden scenario — 300 enqueued tasks, a 150-task allotment
+drained by one thief — must come out *identical* whether the fabric
+simulation runs on one engine or is partitioned across conservative
+time-window shards with the thief stealing across the shard boundary:
+
+* the claim-volume schedule stays {75, 37, 19, 9, 5, 2, 1, 1, 1};
+* the stolen/kept partition (and its checksum) matches the classic
+  single-engine run bit-for-bit;
+* every exactly-once protocol conserves the full task set.
+
+Runs the victim on PE 0 and the thief on the *last* PE of a 4-PE job so
+that 2- and 4-shard partitions both place the steal across shards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .backends import GOLDEN_150, NTOTAL, partition_checksum, protocol_fabric
+
+pytestmark = [pytest.mark.conformance, pytest.mark.timeout(300)]
+
+SHARDED_PROTOCOLS = ("sws", "sdc", "localized")
+NPES = 4
+THIEF = NPES - 1
+
+
+def sharded_golden(protocol_name: str, nshards: int) -> dict:
+    """The golden scenario with the steal crossing a shard boundary."""
+    from repro.core.config import QueueConfig
+    from repro.core.results import StealStatus
+    from repro.fabric.engine import Delay
+    from repro.fabric.sharding import ShardGroup
+    from repro.runtime.protocols import get_protocol
+
+    from ..conftest import TEST_LAT, rec, rec_id
+
+    protocol = get_protocol(protocol_name)
+    cfg = QueueConfig(qsize=512, task_size=16)
+    group = ShardGroup(NPES, nshards, TEST_LAT)
+    # Every shard constructs the identical queue layout; only the
+    # owning shard's rows are authoritative.
+    systems = [protocol.queue_system(ctx, cfg) for ctx in group.ctxs]
+    victim_q = systems[group.plan.shard_of(0)].handle(0)
+    thief_q = systems[group.plan.shard_of(THIEF)].handle(THIEF)
+    volumes: list[int] = []
+    stolen: list[int] = []
+
+    def victim():
+        for i in range(NTOTAL):
+            victim_q.enqueue(rec(i))
+        if protocol.family == "sws":
+            yield from victim_q.release()
+        else:
+            victim_q.release()
+
+    def thief():
+        yield Delay(50e-6)
+        while True:
+            result = yield from thief_q.steal(0)
+            if result.status is not StealStatus.STOLEN:
+                return result.status
+            volumes.append(result.ntasks)
+            stolen.extend(rec_id(r) for r in result.records)
+
+    group.spawn(0, victim(), name="victim")
+    thief_proc = group.spawn(THIEF, thief(), name="thief")
+    group.run()
+    assert thief_proc.result is StealStatus.EMPTY
+    kept: list[int] = []
+    while (record := victim_q.dequeue()) is not None:
+        kept.append(rec_id(record))
+    return {"volumes": volumes, "stolen": stolen, "kept": kept}
+
+
+@pytest.fixture(scope="module")
+def cells():
+    """(protocol, nshards) -> observables, plus the classic reference."""
+    out = {}
+    for proto in SHARDED_PROTOCOLS:
+        out[(proto, "classic")] = protocol_fabric(proto)
+        for nshards in (1, 2, 4):
+            out[(proto, nshards)] = sharded_golden(proto, nshards)
+    return out
+
+
+@pytest.mark.parametrize("proto", SHARDED_PROTOCOLS)
+@pytest.mark.parametrize("nshards", [1, 2, 4])
+def test_sharded_volumes_match_golden(cells, proto, nshards):
+    """The §4 steal-half schedule survives shard partitioning."""
+    assert cells[(proto, nshards)]["volumes"] == GOLDEN_150
+
+
+@pytest.mark.parametrize("proto", SHARDED_PROTOCOLS)
+@pytest.mark.parametrize("nshards", [1, 2, 4])
+def test_sharded_partition_matches_classic(cells, proto, nshards):
+    """Stolen/kept ids agree bit-for-bit with the single-engine run."""
+    classic = cells[(proto, "classic")]
+    sharded = cells[(proto, nshards)]
+    assert sharded["stolen"] == classic["stolen"]
+    assert sharded["kept"] == classic["kept"]
+    assert (partition_checksum(sharded["stolen"] + sharded["kept"])
+            == partition_checksum(classic["stolen"] + classic["kept"]))
+
+
+@pytest.mark.parametrize("proto", SHARDED_PROTOCOLS)
+@pytest.mark.parametrize("nshards", [1, 2, 4])
+def test_sharded_conserves_tasks(cells, proto, nshards):
+    """Exactly-once: the partition covers all 300 tasks, no duplicates."""
+    cell = cells[(proto, nshards)]
+    ids = cell["stolen"] + cell["kept"]
+    assert sorted(ids) == list(range(NTOTAL))
+
+
+@pytest.mark.parametrize("proto", SHARDED_PROTOCOLS)
+def test_shard_counts_agree_with_each_other(cells, proto):
+    """1, 2 and 4 shards are the same computation, not merely each
+    individually plausible."""
+    one, two, four = (cells[(proto, n)] for n in (1, 2, 4))
+    assert one == two == four
+
+
+def test_sharded_pool_end_to_end_conserves():
+    """Whole-pool sharded run: merged books balance across transports."""
+    from repro.runtime.registry import TaskOutcome, TaskRegistry
+    from repro.runtime.sharded import ShardedTaskPool
+    from repro.runtime.task import Task
+
+    for transport in ("serial", "fork"):
+        reg = TaskRegistry()
+        reg.register("leaf", lambda payload, tc: TaskOutcome(duration=5e-6))
+        pool = ShardedTaskPool(8, reg, 4, impl="sws", oracle=True,
+                               transport=transport)
+        pool.seed_round_robin([Task(reg.id_of("leaf")) for _ in range(NTOTAL)])
+        stats = pool.run()
+        executed = sum(w.tasks_executed for w in stats.workers)
+        assert executed == NTOTAL, transport

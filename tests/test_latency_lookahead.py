@@ -1,0 +1,132 @@
+"""Lookahead/window derivation of the latency models (docs/sharding.md).
+
+The sharded simulator's correctness rests on two numbers per latency
+model: the *lookahead* (hard lower bound on request delivery delay,
+``alpha_sw + min one-way``) and the *window* (safe lock-step width,
+``min(alpha_sw, amo_process, get_process) + min one-way`` — tighter
+because response hops skip the injection overhead).  Both must be
+derived from the model's own per-op constants, never hand-tuned; these
+tests pin the derivation *and* the concrete femtosecond values for the
+shipped presets so a silent constant change cannot loosen the window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.engine import TICKS_PER_SECOND
+from repro.fabric.latency import (
+    EDR_INFINIBAND,
+    TIERED_EDR,
+    ZERO_LATENCY,
+    LatencyModel,
+    TieredLatencyModel,
+)
+
+from .conftest import TEST_LAT
+
+
+def _derived_lookahead(m: LatencyModel) -> int:
+    return (round(m.alpha_sw * TICKS_PER_SECOND)
+            + round(m.min_one_way() * TICKS_PER_SECOND))
+
+
+def _derived_window(m: LatencyModel) -> int:
+    floor = min(
+        round(m.alpha_sw * TICKS_PER_SECOND),
+        round(m.amo_process * TICKS_PER_SECOND),
+        round(m.get_process * TICKS_PER_SECOND),
+    )
+    return floor + round(m.min_one_way() * TICKS_PER_SECOND)
+
+
+# ----------------------------------------------------------------------
+# derivation: lookahead and window are functions of the model fields
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("model", [EDR_INFINIBAND, TIERED_EDR, TEST_LAT])
+def test_lookahead_matches_derivation(model):
+    assert model.min_lookahead_ticks() == _derived_lookahead(model)
+
+
+@pytest.mark.parametrize("model", [EDR_INFINIBAND, TIERED_EDR, TEST_LAT])
+def test_window_matches_derivation(model):
+    assert model.shard_window_ticks() == _derived_window(model)
+
+
+def test_window_never_exceeds_lookahead():
+    for model in (EDR_INFINIBAND, TIERED_EDR, TEST_LAT):
+        assert model.shard_window_ticks() <= model.min_lookahead_ticks()
+
+
+# ----------------------------------------------------------------------
+# two-level model: min one-way is the intra-node hop
+# ----------------------------------------------------------------------
+def test_flat_min_one_way_is_intra():
+    assert EDR_INFINIBAND.min_one_way() == EDR_INFINIBAND.half_rtt_intra
+    assert EDR_INFINIBAND.min_one_way() < EDR_INFINIBAND.half_rtt_inter
+
+
+def test_edr_lookahead_pinned():
+    """EDR: 80 ns alpha + 250 ns intra hop = 330,000,000 fs."""
+    assert EDR_INFINIBAND.min_lookahead_ticks() == 330_000_000
+
+
+def test_edr_window_pinned():
+    """EDR: 20 ns get_process + 250 ns intra hop = 270,000,000 fs."""
+    assert EDR_INFINIBAND.shard_window_ticks() == 270_000_000
+    assert EDR_INFINIBAND.shard_window_ticks() > 0
+
+
+# ----------------------------------------------------------------------
+# tiered model: min one-way is the tightest tier (same-socket)
+# ----------------------------------------------------------------------
+def test_tiered_min_one_way_is_socket():
+    assert TIERED_EDR.min_one_way() == TIERED_EDR.half_rtt_socket
+    assert TIERED_EDR.min_one_way() <= TIERED_EDR.half_rtt_intra
+
+
+def test_tiered_lookahead_pinned():
+    """TIERED_EDR: 80 ns alpha + 120 ns socket hop = 200,000,000 fs."""
+    assert TIERED_EDR.min_lookahead_ticks() == 200_000_000
+
+
+def test_tiered_lookahead_tighter_than_flat():
+    """Tiers add a faster hop, so the tiered window must shrink."""
+    assert TIERED_EDR.min_lookahead_ticks() < EDR_INFINIBAND.min_lookahead_ticks()
+
+
+def test_tiered_window_uses_socket_hop():
+    expected = (round(TIERED_EDR.get_process * TICKS_PER_SECOND)
+                + round(TIERED_EDR.half_rtt_socket * TICKS_PER_SECOND))
+    assert TIERED_EDR.shard_window_ticks() == expected
+
+
+# ----------------------------------------------------------------------
+# scaled models: the derivation follows the constants, no caching
+# ----------------------------------------------------------------------
+def test_scaled_model_scales_lookahead():
+    doubled = LatencyModel(
+        alpha_sw=EDR_INFINIBAND.alpha_sw * 2,
+        half_rtt_inter=EDR_INFINIBAND.half_rtt_inter * 2,
+        half_rtt_intra=EDR_INFINIBAND.half_rtt_intra * 2,
+        beta=EDR_INFINIBAND.beta,
+        amo_process=EDR_INFINIBAND.amo_process * 2,
+        get_process=EDR_INFINIBAND.get_process * 2,
+    )
+    assert doubled.min_lookahead_ticks() == 2 * EDR_INFINIBAND.min_lookahead_ticks()
+    assert doubled.shard_window_ticks() == 2 * EDR_INFINIBAND.shard_window_ticks()
+
+
+def test_zero_latency_has_no_lookahead():
+    """Zero latency means zero window — sharding must reject it."""
+    from repro.fabric.sharding import check_shardable
+
+    assert ZERO_LATENCY.shard_window_ticks() == 0
+    with pytest.raises(ValueError, match="lookahead"):
+        check_shardable(ZERO_LATENCY)
+
+
+def test_tiered_model_is_a_latency_model():
+    """The tiered preset overrides min_one_way, nothing else."""
+    assert isinstance(TIERED_EDR, TieredLatencyModel)
+    assert isinstance(TIERED_EDR, LatencyModel)
