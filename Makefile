@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos chaos-mp schedules mp conformance explore bench bench-fast bench-baseline shard-bench profile experiments experiments-full examples clean
+.PHONY: install test chaos chaos-mp schedules mp conformance serving explore bench bench-fast bench-baseline shard-bench profile experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -33,6 +33,12 @@ mp:
 # task conservation and completion accounting.
 conformance:
 	$(PYTHON) -m pytest -m conformance tests/conformance/
+
+# Open-system serving mode: arrival-process properties, quantile-sketch
+# bounds, SLO/shedding/elastic runs, and the cross-backend serving
+# checksums (docs/serving.md).
+serving:
+	$(PYTHON) -m pytest -m serving tests/
 
 # Deeper interleaving sweep than the pytest suite (see docs/testing.md);
 # failing schedules land in results/schedules/ as replayable traces.

@@ -14,6 +14,9 @@ Subcommands::
                           [--baseline FILE] [--matrix ...]
     python -m repro mp [--workload synthetic|uts] [--impl sws|sdc]
                        [--npes N] [--ntasks N | --tree NAME] [--verify]
+    python -m repro serve --arrival poisson:RATE --duration T [--slo MS]
+                          [--backend fabric|threads|mp|all] [--impl I]
+                          [--npes N] [--shed-threshold K] [--elastic PLAN]
 
 ``--protocol`` runs one registered steal protocol (``sws``, ``sws-v1``,
 ``sdc``, ``ff-mult``, ``localized`` — see docs/protocols.md) across the
@@ -30,7 +33,9 @@ deterministic bench scenarios / matrix cells across a process pool with
 an on-disk result cache and emits ``BENCH_fabric.json`` (see
 docs/performance.md); ``mp`` runs a workload end-to-end on the
 multiprocess substrate — real OS processes over shared memory (see
-docs/backends.md).
+docs/backends.md); ``serve`` runs the open-system serving mode —
+streaming arrivals, tail-latency SLOs, shedding and elastic PE
+membership across any of the three substrates (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -441,6 +446,133 @@ def _cmd_mp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_fabric(args: argparse.Namespace, slo_s: float) -> tuple[int, int]:
+    """One fabric serving run; returns (checksum, shed)."""
+    from .runtime.serving import run_serve
+
+    stats = run_serve(
+        args.npes,
+        impl=args.impl,
+        arrival=args.arrival,
+        duration_s=args.duration,
+        slo_s=slo_s,
+        seed=args.seed,
+        task_s=args.task_s,
+        shed_threshold=args.shed_threshold,
+        elastic=args.elastic,
+    )
+    s = stats.serving
+    pct = s.latency.percentiles()
+    to_us = 1e6 / 1e15  # virtual latency is in ticks (1 fs)
+    print(
+        f"  fabric:  {args.npes} PEs, {s.emitted} arrivals -> "
+        f"{s.injected} injected + {s.shed} shed, {s.completed} completed"
+    )
+    print(
+        f"           p50={pct['p50'] * to_us:.2f}us "
+        f"p99={pct['p99'] * to_us:.2f}us "
+        f"p999={pct['p999'] * to_us:.2f}us (virtual)"
+        + (f", SLO attained {s.slo_fraction:.1%}" if s.slo_ticks else "")
+    )
+    if s.leaves or s.joins:
+        print(
+            f"           elastic: {s.leaves} leave(s), {s.joins} join(s), "
+            f"{s.handoffs} residue task(s) handed off"
+        )
+    print(f"           checksum {s.checksum:#018x} — oracle clean")
+    return s.checksum, s.shed
+
+
+def _serve_threads(args: argparse.Namespace, slo_s: float) -> int:
+    from .threads.serving import run_serve_threads
+
+    res = run_serve_threads(
+        args.arrival,
+        args.duration,
+        seed=args.seed,
+        impl=args.impl,
+        nthieves=max(1, args.npes - 1),
+        slo_s=slo_s,
+    )
+    s = res.serving
+    pct = s.latency.percentiles()
+    print(
+        f"  threads: 1 owner + {max(1, args.npes - 1)} thieves, "
+        f"{s.emitted} arrivals, {s.completed} claimed "
+        f"(p50={pct['p50'] / 1e3:.1f}us p99={pct['p99'] / 1e3:.1f}us "
+        f"claim latency)"
+        + (f", SLO {s.slo_fraction:.1%}" if s.slo_ticks else "")
+    )
+    print(f"           checksum {s.checksum:#018x}")
+    return s.checksum
+
+
+def _serve_mp(args: argparse.Namespace, slo_s: float) -> int:
+    from .mp.driver import run_mp_serve
+
+    res = run_mp_serve(
+        args.arrival,
+        args.duration,
+        impl=args.impl,
+        npes=args.npes,
+        seed=args.seed,
+        slo_s=slo_s,
+    )
+    s = res.serving
+    pct = s.latency.percentiles()
+    print(
+        f"  mp:      {args.npes} processes, {s.emitted} arrivals, "
+        f"{s.completed} completed in {res.wall_s:.3f}s wall "
+        f"(p50={pct['p50'] / 1e3:.1f}us p99={pct['p99'] / 1e3:.1f}us)"
+        + (f", SLO {s.slo_fraction:.1%}" if s.slo_ticks else "")
+    )
+    print(f"           checksum {s.checksum:#018x}")
+    return s.checksum
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    backends = (
+        ("fabric", "threads", "mp")
+        if args.backend == "all"
+        else (args.backend,)
+    )
+    if args.backend != "fabric" and (args.shed_threshold or args.elastic):
+        if args.backend == "all":
+            print("note: --shed-threshold/--elastic apply to the fabric "
+                  "run only")
+        else:
+            print("error: --shed-threshold/--elastic need --backend fabric",
+                  file=sys.stderr)
+            return 2
+    slo_s = args.slo * 1e-3 if args.slo else 0.0
+    print(
+        f"serve/{args.impl}: {args.arrival} over {args.duration * 1e3:g}ms"
+        + (f", SLO {args.slo:g}ms" if args.slo else "")
+        + (f", elastic {args.elastic}" if args.elastic else "")
+    )
+    checksums = {}
+    shed = 0
+    for backend in backends:
+        if backend == "fabric":
+            checksums["fabric"], shed = _serve_fabric(args, slo_s)
+        elif backend == "threads":
+            checksums["threads"] = _serve_threads(args, slo_s)
+        else:
+            checksums["mp"] = _serve_mp(args, slo_s)
+    if len(checksums) > 1:
+        if shed:
+            print("(fabric shed arrivals; cross-backend checksum "
+                  "comparison skipped)")
+        elif len(set(checksums.values())) == 1:
+            print(f"all {len(checksums)} backends completed the identical "
+                  f"task set (checksum {checksums['fabric']:#018x})")
+        else:
+            print("FAIL: backends completed different task sets: "
+                  + ", ".join(f"{b}={c:#x}" for b, c in checksums.items()))
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -570,6 +702,37 @@ def main(argv: list[str] | None = None) -> int:
     p_mp.add_argument("--respawn", action="store_true",
                       help="supervisor restarts each crashed rank once")
     p_mp.set_defaults(fn=_cmd_mp)
+
+    p_sv = sub.add_parser(
+        "serve", help="open-system serving: streaming arrivals with "
+                      "tail-latency SLOs (docs/serving.md)"
+    )
+    p_sv.add_argument("--arrival", default="poisson:50000",
+                      metavar="KIND:ARGS",
+                      help="arrival process: poisson:RATE, fixed:RATE, "
+                           "bursty:LO,HI[,DLO,DHI], diurnal:BASE,PEAK"
+                           "[,PERIOD] (rates in tasks/s)")
+    p_sv.add_argument("--duration", type=float, default=2e-3,
+                      help="arrival horizon in seconds (virtual on fabric, "
+                           "trace length elsewhere)")
+    p_sv.add_argument("--slo", type=float, default=0.0, metavar="MS",
+                      help="latency SLO in milliseconds (0 = no SLO "
+                           "accounting)")
+    p_sv.add_argument("--impl", default="sws", choices=("sws", "sdc"))
+    p_sv.add_argument("--backend", default="fabric",
+                      choices=("fabric", "threads", "mp", "all"))
+    p_sv.add_argument("--npes", type=int, default=4)
+    p_sv.add_argument("--seed", type=int, default=0)
+    p_sv.add_argument("--task-s", type=float, default=2e-6,
+                      help="fabric: virtual service time per task")
+    p_sv.add_argument("--shed-threshold", type=int, default=None,
+                      metavar="K",
+                      help="fabric: shed arrivals when every active queue "
+                           "holds >= K tasks")
+    p_sv.add_argument("--elastic", default=None, metavar="PLAN",
+                      help="fabric: membership plan "
+                           "('leave:RANK@T,join:RANK@T' or 'seeded')")
+    p_sv.set_defaults(fn=_cmd_serve)
 
     # main() with no argv is the library entry point (and the historic
     # behaviour): run the demo, never read sys.argv.

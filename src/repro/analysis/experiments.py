@@ -1151,6 +1151,128 @@ def exp_fig7_jumbo(scale: str = "quick") -> ExperimentResult:
 
 
 # ----------------------------------------------------------------------
+# Serving — open-system SDC vs SWS rate sweep (docs/serving.md)
+# ----------------------------------------------------------------------
+def exp_serving(scale: str = "quick") -> ExperimentResult:
+    """Tail latency and SLO attainment vs offered load, SDC vs SWS.
+
+    A Poisson arrival stream is served by a 4-PE pool at three offered
+    loads relative to the pool's service capacity (npes / task_s):
+    underloaded, near saturation, and overloaded.  The overloaded rate
+    runs with a shed threshold, so the shed column is the overload
+    signal; the latency percentiles come from the virtual-clock
+    enqueue-to-completion distribution of the same seeded trace for both
+    protocols.
+    """
+    from ..runtime.serving import run_serve
+
+    npes = 4
+    task_s = 2e-6
+    duration = 1e-3 if scale == "quick" else 4e-3
+    slo_s = 5e-5  # 50us virtual SLO
+    capacity = npes / task_s  # tasks/s the pool can absorb
+    loads = [
+        ("0.25x", 0.25, None),
+        ("0.90x", 0.90, None),
+        ("1.50x", 1.50, 64),
+    ]
+    rows = []
+    for impl in ("sdc", "sws"):
+        for label, factor, shed_threshold in loads:
+            rate = int(capacity * factor)
+            stats = run_serve(
+                npes,
+                impl=impl,
+                arrival=f"poisson:{rate}",
+                duration_s=duration,
+                slo_s=slo_s,
+                seed=11,
+                task_s=task_s,
+                shed_threshold=shed_threshold,
+            )
+            s = stats.serving
+            pct = s.latency.percentiles()
+            to_us = 1e6 / 1e15  # ticks -> microseconds
+            rows.append([
+                impl.upper(),
+                label,
+                s.emitted,
+                s.injected,
+                s.shed,
+                round(pct["p50"] * to_us, 2),
+                round(pct["p99"] * to_us, 2),
+                round(pct["p999"] * to_us, 2),
+                f"{s.slo_fraction:.1%}",
+            ])
+    return ExperimentResult(
+        exp_id="serving",
+        title="Open-system serving: tail latency vs offered load "
+              f"({npes} PEs, {slo_s * 1e6:.0f}us SLO)",
+        headers=["impl", "load", "emitted", "injected", "shed",
+                 "p50 us", "p99 us", "p999 us", "SLO"],
+        rows=rows,
+        notes=[
+            f"capacity = npes/task_s = {capacity:,.0f} tasks/s; the 1.50x "
+            f"row runs with shed threshold 64 (overload signal)",
+            "same seeded Poisson trace for both impls at each rate; "
+            "latency is virtual enqueue-to-completion time",
+        ],
+    )
+
+
+def _serving_bench(impl: str, scale: str) -> ExperimentResult:
+    """One near-saturation serving run — the bench row for one impl.
+
+    Single rate, single seed: the sweep runner measures the wall of the
+    whole open-system machinery (arrival events, latency sketch,
+    termination gating) per protocol, and the deterministic payload row
+    (counts, percentiles, checksum) doubles as a change detector.
+    """
+    from ..runtime.serving import run_serve
+
+    npes = 4
+    task_s = 2e-6
+    duration = 1e-3 if scale == "quick" else 4e-3
+    rate = int(0.9 * npes / task_s)
+    stats = run_serve(
+        npes,
+        impl=impl,
+        arrival=f"poisson:{rate}",
+        duration_s=duration,
+        slo_s=5e-5,
+        seed=11,
+        task_s=task_s,
+    )
+    s = stats.serving
+    pct = s.latency.percentiles()
+    to_us = 1e6 / 1e15
+    row = [
+        impl.upper(), rate, s.emitted, s.injected, s.completed,
+        round(pct["p50"] * to_us, 2), round(pct["p99"] * to_us, 2),
+        round(pct["p999"] * to_us, 2), f"{s.slo_fraction:.1%}",
+        f"{s.checksum:#018x}",
+    ]
+    return ExperimentResult(
+        exp_id=f"serving_{impl}",
+        title=f"Serving bench: {impl.upper()} at 0.9x capacity "
+              f"({npes} PEs, Poisson)",
+        headers=["impl", "rate", "emitted", "injected", "completed",
+                 "p50 us", "p99 us", "p999 us", "SLO", "checksum"],
+        rows=[row],
+        notes=["near-saturation open-system run; see `serving` for the "
+               "full rate sweep"],
+    )
+
+
+def exp_serving_sws(scale: str = "quick") -> ExperimentResult:
+    return _serving_bench("sws", scale)
+
+
+def exp_serving_sdc(scale: str = "quick") -> ExperimentResult:
+    return _serving_bench("sdc", scale)
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 EXPERIMENTS: dict[str, Callable[[str], ExperimentResult]] = {
@@ -1165,6 +1287,9 @@ EXPERIMENTS: dict[str, Callable[[str], ExperimentResult]] = {
     "fig7_jumbo": exp_fig7_jumbo,
     "fig8": exp_fig8,
     "protocols": exp_protocols,
+    "serving": exp_serving,
+    "serving_sws": exp_serving_sws,
+    "serving_sdc": exp_serving_sdc,
     "ablate-damping": exp_ablation_damping,
     "ablate-epochs": exp_ablation_epochs,
     "ablate-contention": exp_ablation_contention,

@@ -113,7 +113,7 @@ def run_sweep(factory: WorkloadFactory, cfg: SweepConfig | None = None) -> list[
 #: baseline carries them; see ``check_regressions``).
 BENCH_SCENARIOS: tuple[str, ...] = (
     "fig2", "fig34", "fig5", "fig6", "fig7", "fig8", "protocols",
-    "fig7_sharded_s4", "fig7_jumbo",
+    "fig7_sharded_s4", "fig7_jumbo", "serving_sws", "serving_sdc",
 )
 
 #: Multiprocess-substrate scenarios measured alongside the bench set:
@@ -246,6 +246,11 @@ BENCH_REPS = 3
 BENCH_REPS_OVERRIDE: dict[str, int] = {
     "fig7_sharded_s4": 1,
     "fig7_jumbo": 1,
+    # Serving rows are open-system single runs; their payload is a change
+    # detector (deterministic checksum) more than a timing row, so one
+    # rep suffices.
+    "serving_sws": 1,
+    "serving_sdc": 1,
 }
 
 

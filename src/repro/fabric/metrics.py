@@ -53,6 +53,14 @@ class FabricMetrics:
         self.bytes_by_pe: list[int] = [0] * npes
         self.trace_enabled = trace
         self.trace: list[OpRecord] = []
+        #: Open-system serving events (arrival injections, sheds, elastic
+        #: membership changes).  Empty for closed-batch runs, so their
+        #: snapshots stay byte-identical to pre-serving archives.
+        self.serving: Counter = Counter()
+
+    def record_serving(self, event: str, count: int = 1) -> None:
+        """Tally one serving-frontend event (injected/shed/leave/join/…)."""
+        self.serving[event] += count
 
     def record(
         self, time: float, initiator: int, target: int, kind: str, nbytes: int
@@ -97,6 +105,9 @@ class FabricMetrics:
         out["total"] = sum(agg.values())
         out["blocking"] = self.total_blocking_ops()
         out["bytes"] = self.total_bytes()
+        for event, n in sorted(self.serving.items()):
+            if n:
+                out[f"serving_{event}"] = n
         return out
 
     def delta(self, before: dict[str, int]) -> dict[str, int]:

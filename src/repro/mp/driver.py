@@ -42,11 +42,11 @@ from ..shmem.heap import SymmetricAllocator
 from ..threads.protocol import Backoff, StallTimeout
 from ..workloads.uts import UtsParams, expand, get_tree
 from .atomics import _preferred_context, pid_alive
-from .errors import MpStallError
+from .errors import MpStallError, RingOverflowError
 from .faults import CrashInjector, CrashPlan, NO_CRASHES
 from .heap import MpHeap
 from .queue import SdcQueueLayout, SwsQueueLayout
-from .recovery import CrashRegions, scavenge_rank
+from .recovery import CrashRegions, ShmInbox, scavenge_rank
 
 _U64 = (1 << 64) - 1
 
@@ -1057,6 +1057,408 @@ def _run_mp_crash(
             if p.is_alive():
                 p.terminate()
         for p in procs.values():
+            p.join(timeout=5)
+        heap.close()
+        heap.unlink()
+
+
+# ----------------------------------------------------------------------
+# Open-system serving mode (docs/serving.md)
+#
+# The parent process is the arrival feeder: it replays a seeded arrival
+# trace (in arrival order) into per-rank SPSC inboxes, bumping the
+# global ``created`` counter *before* each post so the created/completed
+# books can never balance while an injection is still in flight.  PEs
+# drain their inbox into the local deque and otherwise run the classic
+# share/steal loop; each record carries ``(seq, post_ns)`` so completion
+# latency survives steals.  Termination: the feeder sets ``closed`` after
+# the last post, and a starved PE exits once ``closed`` is set and
+# ``completed == created`` (completed read first, as ever).
+# ----------------------------------------------------------------------
+
+#: Serving records are (arrival seq, post timestamp ns) pairs.
+_SERVE_WPT = 2
+
+
+@dataclass
+class MpServeResult:
+    """Everything one mp serving run produced."""
+
+    impl: str
+    npes: int
+    seed: int
+    created: int
+    completed: int
+    wall_s: float
+    pes: list["MpPeStats"] = field(default_factory=list)
+    serving: "ServingStats | None" = None
+
+    @property
+    def checksum(self) -> int:
+        chk = 0
+        for s in self.pes:
+            chk ^= s.checksum
+        return chk
+
+    def summary(self) -> dict:
+        out = {
+            "impl": self.impl,
+            "npes": self.npes,
+            "created": self.created,
+            "completed": self.completed,
+            "wall_s": round(self.wall_s, 4),
+            "tasks_per_s": (
+                round(self.completed / self.wall_s, 1) if self.wall_s > 0 else 0.0
+            ),
+            "checksum": self.checksum,
+        }
+        if self.serving is not None:
+            pct = self.serving.latency.percentiles()
+            out.update(
+                {
+                    "injected": self.serving.injected,
+                    "p50_ns": round(pct["p50"], 1),
+                    "p99_ns": round(pct["p99"], 1),
+                    "p999_ns": round(pct["p999"], 1),
+                    "slo_fraction": round(self.serving.slo_fraction, 4),
+                }
+            )
+        return out
+
+
+def _reserve_serve_inbox(heap, rank: int, capacity: int):
+    """Symmetric rd/wr/buf words for one PE's arrival inbox."""
+    alloc = SymmetricAllocator(heap, f"serve{rank}")
+    rd = alloc.word("rd")
+    wr = alloc.word("wr")
+    buf = alloc.array("buf", capacity * _SERVE_WPT)
+    alloc.commit()
+    return (rd, wr, buf, capacity)
+
+
+def _serve_inbox(heap, region) -> ShmInbox:
+    rd, wr, buf, capacity = region
+    return ShmInbox(heap, rd, wr, buf, capacity, _SERVE_WPT)
+
+
+def _pe_main_serve(
+    rank, npes, heap, layouts, inbox_regions, impl, ctl, seed, damping,
+    slo_ns, outq
+) -> None:
+    try:
+        payload = _pe_loop_serve(
+            rank, npes, heap, layouts, inbox_regions, impl, ctl, seed,
+            damping, slo_ns
+        )
+        outq.put(("ok", rank, payload))
+    except BaseException:
+        import traceback
+
+        outq.put(("error", rank, traceback.format_exc()))
+
+
+def _pe_loop_serve(
+    rank, npes, heap, layouts, inbox_regions, impl, ctl, seed, damping,
+    slo_ns
+) -> dict:
+    from ..runtime.stats import QuantileSketch
+
+    created = heap.ref(ctl["created"])
+    completed = heap.ref(ctl["completed"])
+    closed = heap.ref(ctl["closed"])
+    owner = layouts[rank].owner(heap)
+    inbox = _serve_inbox(heap, inbox_regions[rank])
+    thieves = {
+        v: layouts[v].thief(heap) for v in range(npes) if v != rank
+    }
+    rng = random.Random((seed * 1_000_003) ^ rank)
+    tracker = DampingTracker(npes, enabled=damping and impl == "sws")
+    stats = MpPeStats(rank=rank)
+    local: deque = deque()
+    sketch = QuantileSketch()
+    slo_attained = 0
+
+    sv_cache = [None, False]
+
+    def shared_has_work() -> bool:
+        if impl == "sws":
+            raw = owner.stealval.load_seq()
+            if raw != sv_cache[0]:
+                sv_cache[0] = raw
+                sv_cache[1] = DampingTracker.view_has_work(
+                    StealValEpoch.unpack(raw)
+                )
+            return sv_cache[1]
+        return owner.split.load_seq() - owner.tail.load_seq() > 0
+
+    def reclaim() -> int:
+        kept = owner.take_kept()
+        local.extend(kept)
+        return len(kept)
+
+    def try_share() -> None:
+        if (
+            len(local) < RELEASE_MIN
+            or owner.nfilled >= owner.capacity
+            or shared_has_work()
+        ):
+            return
+        n = len(local) // 2
+        batch = [local.popleft() for _ in range(n)]
+        pushed = owner.push_all(batch)
+        for payload in reversed(batch[pushed:]):
+            local.appendleft(payload)
+        if pushed:
+            owner.release(pushed)
+            stats.releases += 1
+            reclaim()
+
+    def try_steal_from(victim: int) -> bool:
+        thief = thieves[victim]
+        if impl == "sws":
+            if tracker.mode(victim) is TargetMode.EMPTY:
+                view = StealValEpoch.unpack(thief.probe())
+                tracker.note_probe(victim, DampingTracker.view_has_work(view))
+                if tracker.mode(victim) is TargetMode.EMPTY:
+                    return False
+            res = thief.steal()
+            if res.claimed:
+                status = StealStatus.STOLEN
+                tracker.note_success(victim)
+            elif res.aborted_locked:
+                status = StealStatus.DISABLED
+            else:
+                status = StealStatus.EMPTY
+                tracker.note_failed_claim(victim, res.view)
+        else:
+            res = thief.steal(max_spins=200)
+            if res.claimed:
+                status = StealStatus.STOLEN
+            elif res.empty:
+                status = StealStatus.EMPTY
+            else:
+                status = StealStatus.LOCKED_ABORT
+        stats.steals[status.value] = stats.steals.get(status.value, 0) + 1
+        if res.claimed:
+            stats.steal_volumes.append(len(res.claimed))
+            local.extend(res.claimed)
+            return True
+        return False
+
+    done_pending = 0
+
+    def _idle_stall() -> bool:
+        if heap.words.break_dead_leases():
+            return True
+        raise MpStallError("serving PE idle loop made no progress",
+                           rank=rank, waited_s=MP_IDLE_STALL_S)
+
+    idle = Backoff(sleep_s=1e-5, max_sleep_s=1e-3,
+                   deadline_s=MP_IDLE_STALL_S, on_deadline=_idle_stall)
+    while True:
+        if local:
+            payload = local.pop()
+            seq, post_ns = payload
+            lat = time.monotonic_ns() - post_ns
+            sketch.add(lat)
+            if slo_ns and lat <= slo_ns:
+                slo_attained += 1
+            done_pending += 1
+            stats.executed += 1
+            stats.checksum ^= _mix64(seq)
+            try_share()
+            continue
+        if done_pending:
+            completed.fetch_add(done_pending)
+            done_pending = 0
+        fresh = inbox.drain()
+        if fresh:
+            local.extend(fresh)
+            idle.reset()
+            continue
+        owner.acquire()
+        stats.acquires += 1
+        if reclaim():
+            idle.reset()
+            continue
+        order = rng.sample(sorted(thieves), len(thieves))
+        if any(try_steal_from(v) for v in order):
+            idle.reset()
+            continue
+        if closed.load_seq():
+            done = completed.load_seq()
+            if done == created.load_seq():
+                break
+        idle.wait()
+
+    stats.probes = tracker.stats.probes
+    stats.probe_aborts = tracker.stats.probe_aborts
+    stats.demotions = tracker.stats.demotions
+    stats.promotions = tracker.stats.promotions
+    payload = stats.__dict__
+    payload["serve_sketch"] = sketch.to_dict()
+    payload["serve_slo_attained"] = slo_attained
+    return payload
+
+
+def run_mp_serve(
+    arrival="poisson:50000",
+    duration_s: float = 2e-3,
+    impl: str = "sws",
+    npes: int = 4,
+    *,
+    seed: int = 0,
+    slo_s: float = 0.0,
+    damping: bool = True,
+    capacity: int | None = None,
+    inbox_cap: int | None = None,
+    nbatches: int = 16,
+    pace_s: float = 2e-4,
+    join_timeout: float = 120.0,
+) -> MpServeResult:
+    """Serve one arrival trace across ``npes`` real processes.
+
+    The trace's *order* is replayed (the mp substrate has no virtual
+    clock): the parent feeds batches round-robin into per-rank inboxes
+    with ``pace_s`` gaps, and latency is wall-clock nanoseconds from post
+    to execution, surviving steals because the stamp travels inside the
+    2-word task record.  No shedding on this substrate — every emitted
+    arrival is injected, so ``checksum`` must equal the fabric/threads
+    serving checksum for the same trace length.
+    """
+    from ..runtime.arrivals import parse_arrival_spec
+    from ..runtime.stats import QuantileSketch, ServingStats
+
+    if impl not in ("sws", "sdc"):
+        raise ValueError(f"impl must be sws|sdc, got {impl!r}")
+    if npes < 2:
+        raise ValueError(f"npes must be >= 2, got {npes}")
+    if isinstance(arrival, str):
+        process = parse_arrival_spec(arrival, duration_s, seed)
+    else:
+        process = arrival
+    n = process.emitted
+    capacity = capacity or max(256, 2 * n)
+    inbox_cap = inbox_cap or max(64, capacity)
+    slo_ns = int(slo_s * 1e9)
+
+    ctx = _preferred_context()
+    heap = MpHeap(ctx=ctx)
+    layout_cls = SwsQueueLayout if impl == "sws" else SdcQueueLayout
+    layouts = [
+        layout_cls.reserve(heap, f"pe{r}", capacity,
+                           words_per_task=_SERVE_WPT)
+        for r in range(npes)
+    ]
+    inbox_regions = [
+        _reserve_serve_inbox(heap, r, inbox_cap) for r in range(npes)
+    ]
+    alloc = SymmetricAllocator(heap, "ctl")
+    ctl = {
+        "created": alloc.word("created"),
+        "completed": alloc.word("completed"),
+        "closed": alloc.word("closed"),
+    }
+    alloc.commit()
+    heap.freeze()
+    procs: list = []
+    try:
+        created = heap.ref(ctl["created"])
+        closed = heap.ref(ctl["closed"])
+        outq = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_pe_main_serve,
+                args=(r, npes, heap, layouts, inbox_regions, impl, ctl,
+                      seed, damping, slo_ns, outq),
+                daemon=True,
+            )
+            for r in range(npes)
+        ]
+        t0 = time.perf_counter()
+        for p in procs:
+            p.start()
+
+        # -- the feeder: replay the trace in batches, round-robin ------
+        inboxes = [_serve_inbox(heap, reg) for reg in inbox_regions]
+        batch = max(1, (n + nbatches - 1) // nbatches) if n else 0
+        injected = 0
+        while injected < n:
+            seqs = range(injected, min(n, injected + batch))
+            by_rank: dict[int, list[int]] = {}
+            for s in seqs:
+                by_rank.setdefault(s % npes, []).append(s)
+            for r in sorted(by_rank):
+                group = by_rank[r]
+                # Count first: the books cannot balance while the post
+                # is still in flight, so no PE exits early.
+                created.fetch_add(len(group))
+                stamp = time.monotonic_ns()
+                records = [(s, stamp) for s in group]
+                while True:
+                    try:
+                        inboxes[r].post(records)
+                        break
+                    except RingOverflowError:
+                        time.sleep(1e-4)
+            injected += len(seqs)
+            time.sleep(pace_s)
+        closed.store(1)
+
+        pes: list[MpPeStats] = []
+        errors: list[str] = []
+        sketch = QuantileSketch()
+        slo_attained = 0
+        try:
+            for _ in range(npes):
+                status, rank, payload = outq.get(timeout=join_timeout)
+                if status == "ok":
+                    sk = payload.pop("serve_sketch")
+                    slo_attained += payload.pop("serve_slo_attained")
+                    sketch.merge(QuantileSketch.from_dict(sk))
+                    pes.append(MpPeStats(**payload))
+                else:
+                    errors.append(f"PE {rank}:\n{payload}")
+        except BaseException:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            raise
+        wall = time.perf_counter() - t0
+        for p in procs:
+            p.join(timeout=join_timeout)
+            if p.is_alive():
+                p.terminate()
+                errors.append("PE process failed to exit after reporting")
+        if errors:
+            raise RuntimeError("mp serve run failed:\n" + "\n".join(errors))
+
+        pes.sort(key=lambda s: s.rank)
+        result = MpServeResult(
+            impl=impl,
+            npes=npes,
+            seed=seed,
+            created=created.load(),
+            completed=heap.ref(ctl["completed"]).load(),
+            wall_s=wall,
+            pes=pes,
+        )
+        result.serving = ServingStats(
+            emitted=n,
+            injected=injected,
+            shed=0,
+            completed=result.completed,
+            slo_ticks=slo_ns,
+            slo_attained=slo_attained,
+            checksum=result.checksum,
+            latency=sketch,
+        )
+        return result
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
             p.join(timeout=5)
         heap.close()
         heap.unlink()

@@ -251,6 +251,46 @@ class PoolOracle:
             )
 
 
+def check_serving_conservation(books: dict) -> None:
+    """Open-system conservation at the end of a serving run.
+
+    ``books`` carries the serving frontend's ledger (``emitted`` from the
+    arrival process's own trace, ``injected``/``shed`` counted by the
+    injection path) and the pool's closed-system sums (``spawned``
+    includes injections, ``executed``, ``resident``).  Two identities
+    must hold:
+
+    * every emitted arrival was either injected or shed —
+      ``emitted == injected + shed``.  A silently dropped arrival is
+      neither, so it is caught here;
+    * the generalized four-counter books balance —
+      ``(spawned - injected) + emitted == executed + resident + shed``,
+      i.e. internal spawns plus the full arrival stream are accounted
+      for by executions, queue residue, and shedding.
+    """
+    emitted = books["emitted"]
+    injected = books["injected"]
+    shed = books["shed"]
+    spawned = books["spawned"]
+    executed = books["executed"]
+    resident = books["resident"]
+    if emitted != injected + shed:
+        raise OracleViolation(
+            "conservation-open",
+            f"{emitted} arrivals emitted but only {injected} injected + "
+            f"{shed} shed ({emitted - injected - shed} arrival(s) silently "
+            f"dropped)",
+        )
+    internal = spawned - injected
+    if internal + emitted != executed + resident + shed:
+        raise OracleViolation(
+            "conservation-open",
+            f"open-system books unbalanced: {internal} internal spawns + "
+            f"{emitted} arrivals != {executed} executed + {resident} "
+            f"resident + {shed} shed",
+        )
+
+
 def check_merged_conservation(books: list[dict], exactly_once: bool) -> None:
     """Merged end-of-run conservation over every shard of a sharded run.
 

@@ -11,7 +11,189 @@ series the figures plot.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field
+
+
+class QuantileSketch:
+    """Streaming quantile sketch with bounded *relative* rank error.
+
+    DDSketch-style logarithmic bucketing: value ``v > 0`` lands in
+    bucket ``ceil(log_base(v))`` with ``base = (1+γ)/(1-γ)``, so every
+    value in a bucket is within relative error γ of the bucket's
+    midpoint estimate.  Inserts and quantile queries are O(1)-ish;
+    sketches **merge exactly** (bucket-count addition), so per-PE
+    latency sketches combine into the run-wide sketch with zero loss —
+    ``merge(a, b).quantile(q) == sketch(a ++ b).quantile(q)`` for every
+    q, which the property suite pins.
+
+    Latencies here are integer ticks (or nanoseconds on the real
+    backends); non-positive values collapse into a dedicated zero
+    bucket.
+    """
+
+    __slots__ = ("gamma", "_log_base", "buckets", "zero_count", "count",
+                 "min_value", "max_value", "total")
+
+    def __init__(self, rel_err: float = 0.01) -> None:
+        if not 0 < rel_err < 1:
+            raise ValueError(f"rel_err must be in (0, 1), got {rel_err}")
+        self.gamma = rel_err
+        self._log_base = math.log((1 + rel_err) / (1 - rel_err))
+        self.buckets: dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Insert ``value`` (``count`` times) into the sketch."""
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if value <= 0:
+            self.zero_count += count
+            return
+        idx = math.ceil(math.log(value) / self._log_base)
+        self.buckets[idx] = self.buckets.get(idx, 0) + count
+
+    def _estimate(self, idx: int) -> float:
+        # Midpoint of bucket (base^(i-1), base^i] in the relative sense.
+        base = math.exp(self._log_base)
+        return 2.0 * base ** idx / (base + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` (0 ≤ q ≤ 1), within relative error γ."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        # 0-based rank of the order statistic we want.
+        rank = min(self.count - 1, max(0, math.ceil(q * self.count) - 1))
+        if rank < self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if rank < seen:
+                return self._estimate(idx)
+        return self._estimate(max(self.buckets))  # pragma: no cover
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into this sketch (lossless for equal γ)."""
+        if abs(other.gamma - self.gamma) > 1e-12:
+            raise ValueError(
+                f"cannot merge sketches with different rel_err "
+                f"({self.gamma} vs {other.gamma})"
+            )
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+
+    def percentiles(self) -> dict[str, float]:
+        """The serving headline trio: p50 / p99 / p999."""
+        return {
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
+
+    def to_dict(self) -> dict:
+        """JSON/queue-safe form (mp workers ship sketches this way)."""
+        return {
+            "gamma": self.gamma,
+            "buckets": {str(k): v for k, v in self.buckets.items()},
+            "zero_count": self.zero_count,
+            "count": self.count,
+            "min": self.min_value if self.count else None,
+            "max": self.max_value if self.count else None,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuantileSketch":
+        sk = cls(rel_err=payload["gamma"])
+        sk.buckets = {int(k): v for k, v in payload["buckets"].items()}
+        sk.zero_count = payload["zero_count"]
+        sk.count = payload["count"]
+        sk.min_value = (
+            payload["min"] if payload.get("min") is not None else math.inf
+        )
+        sk.max_value = (
+            payload["max"] if payload.get("max") is not None else -math.inf
+        )
+        sk.total = payload["total"]
+        return sk
+
+
+@dataclass
+class ServingStats:
+    """Open-system results of one ``serve`` run.
+
+    ``emitted`` is the arrival process's ledger; ``injected`` + ``shed``
+    must equal it (the open-system conservation oracle).  ``latency``
+    holds completion latencies — enqueue→complete ticks on the fabric,
+    release→claim / post→execute nanoseconds on the real backends — and
+    ``slo_attained`` counts completions within ``slo_ticks``.
+    """
+
+    emitted: int = 0
+    injected: int = 0
+    shed: int = 0
+    completed: int = 0
+    handoffs: int = 0               # elastic leave residue re-homed
+    leaves: int = 0                 # elastic membership changes applied
+    joins: int = 0
+    slo_ticks: int = 0              # 0 = no SLO configured
+    slo_attained: int = 0
+    checksum: int = 0               # xor-mix64 over completed seqs
+    latency: QuantileSketch = field(default_factory=QuantileSketch)
+
+    @property
+    def slo_fraction(self) -> float:
+        """Fraction of completed tasks inside the SLO (1.0 if no SLO)."""
+        if not self.slo_ticks or not self.completed:
+            return 1.0
+        return self.slo_attained / self.completed
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.emitted if self.emitted else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "emitted": self.emitted,
+            "injected": self.injected,
+            "shed": self.shed,
+            "completed": self.completed,
+            "handoffs": self.handoffs,
+            "leaves": self.leaves,
+            "joins": self.joins,
+            "slo_ticks": self.slo_ticks,
+            "slo_attained": self.slo_attained,
+            "checksum": self.checksum,
+            "latency": self.latency.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServingStats":
+        payload = dict(payload)
+        latency = QuantileSketch.from_dict(payload.pop("latency"))
+        return cls(latency=latency, **payload)
 
 
 @dataclass
@@ -77,6 +259,9 @@ class RunStats:
     #: Fabric-level fault counters (``FaultInjector.snapshot()``); empty
     #: when the run used a reliable fabric.
     faults: dict[str, int] = field(default_factory=dict)
+    #: Open-system serving results (``ServingStats``); ``None`` for the
+    #: classic closed-batch runs.
+    serving: ServingStats | None = None
 
     @property
     def total_tasks(self) -> int:
@@ -208,6 +393,8 @@ class RunStats:
         }
         if self.faults:
             payload["faults"] = self.faults
+        if self.serving is not None:
+            payload["serving"] = self.serving.to_dict()
         return json.dumps(payload)
 
     @classmethod
@@ -227,10 +414,33 @@ class RunStats:
             workers=workers,
             comm=payload.get("comm", {}),
             faults=payload.get("faults", {}),
+            serving=(
+                ServingStats.from_dict(payload["serving"])
+                if "serving" in payload
+                else None
+            ),
         )
 
     def summary(self) -> dict[str, float]:
         """Flat dict of the headline numbers (for reports and CSV)."""
+        out = self._summary_base()
+        if self.serving is not None:
+            pct = self.serving.latency.percentiles()
+            out.update(
+                {
+                    "arrivals_emitted": self.serving.emitted,
+                    "arrivals_injected": self.serving.injected,
+                    "arrivals_shed": self.serving.shed,
+                    "serving_completed": self.serving.completed,
+                    "latency_p50": pct["p50"],
+                    "latency_p99": pct["p99"],
+                    "latency_p999": pct["p999"],
+                    "slo_fraction": self.serving.slo_fraction,
+                }
+            )
+        return out
+
+    def _summary_base(self) -> dict[str, float]:
         return {
             "npes": self.npes,
             "runtime": self.runtime,

@@ -76,6 +76,11 @@ class TerminationSystem:
         self.ctx = ctx
         self.faults = faults
         self.token_timeout = token_timeout
+        #: Open-system arrival source (anything with ``pending() -> int``).
+        #: While it still has future injections scheduled, ``created ==
+        #: executed`` is a transient coincidence, not quiescence — the
+        #: detectors refuse to declare until the source is exhausted.
+        self.arrival_source = None
         ctx.heap.alloc_words(REGION, WORDS)
 
     @property
@@ -110,6 +115,16 @@ class TerminationDetector:
     def terminated(self) -> bool:
         """Has global termination been declared?"""
         return self.pe.local_load(REGION, TERM_FLAG) == 1
+
+    def _arrivals_pending(self) -> bool:
+        """Does an attached open-system source still owe injections?
+
+        Pending counts are monotone non-increasing, so a ``False`` here
+        is stable: once the source is drained it stays drained, and the
+        classic drain-only declare logic applies unchanged.
+        """
+        src = self.system.arrival_source
+        return src is not None and src.pending() > 0
 
     def wake_conditions(self) -> list[tuple[int, str, int]]:
         """Local words whose mutation requires servicing this detector.
@@ -149,7 +164,7 @@ class TerminationDetector:
             )
             return done
         if self.npes == 1:
-            if idle and created == executed:
+            if idle and created == executed and not self._arrivals_pending():
                 self.pe.local_store(REGION, TERM_FLAG, 1)
                 return True
             return False
@@ -167,7 +182,11 @@ class TerminationDetector:
                 e = self.pe.local_load(REGION, TOKEN_EXECUTED)
                 self.pe.local_store(REGION, TOKEN_FLAG, 0)
                 self._holding = True
-                if c == e and self._prev == (c, e):
+                if (
+                    c == e
+                    and self._prev == (c, e)
+                    and not self._arrivals_pending()
+                ):
                     yield from self._declare()
                     return True
                 self._prev = (c, e)
@@ -228,7 +247,11 @@ class TerminationDetector:
                     # Stale rounds (duplicates of a regenerated token)
                     # are dropped; only the expected round counts.
                     self._holding = True
-                    if self._prev == (c, e) and (c == e or (qbit and self._prev_q)):
+                    if (
+                        self._prev == (c, e)
+                        and (c == e or (qbit and self._prev_q))
+                        and not self._arrivals_pending()
+                    ):
                         yield from self._declare_fault()
                         return True
                     self._prev = (c, e)
@@ -322,6 +345,8 @@ class TreeTerminationSystem:
 
     def __init__(self, ctx: ShmemCtx) -> None:
         self.ctx = ctx
+        #: Open-system arrival source; see :class:`TerminationSystem`.
+        self.arrival_source = None
         ctx.heap.alloc_words(TREE_REGION, T_WORDS)
         # TERM flag shares the ring detector's region layout.
         ctx.heap.alloc_words(REGION, WORDS)
@@ -351,6 +376,11 @@ class TreeTerminationDetector:
     def terminated(self) -> bool:
         """Has global termination been declared?"""
         return self.pe.local_load(REGION, TERM_FLAG) == 1
+
+    def _arrivals_pending(self) -> bool:
+        """Open-system gate; see ``TerminationDetector._arrivals_pending``."""
+        src = self.system.arrival_source
+        return src is not None and src.pending() > 0
 
     def _down_pending(self, word: int) -> bool:
         """Is there an unserviced down-wave word?"""
@@ -395,7 +425,7 @@ class TreeTerminationDetector:
         if self.terminated:
             return True
         if self.npes == 1:
-            if idle and created == executed:
+            if idle and created == executed and not self._arrivals_pending():
                 self.pe.local_store(REGION, TERM_FLAG, 1)
                 return True
             return False
@@ -433,7 +463,11 @@ class TreeTerminationDetector:
         if not idle:
             return False
         self._reported = self._round
-        if c_sum == e_sum and self._prev == (c_sum, e_sum):
+        if (
+            c_sum == e_sum
+            and self._prev == (c_sum, e_sum)
+            and not self._arrivals_pending()
+        ):
             yield from self._broadcast_down(self._round, True)
             self.pe.local_store(REGION, TERM_FLAG, 1)
             return True

@@ -341,6 +341,53 @@ class QuarantineSelector:
             note(success)
 
 
+class ElasticMembership:
+    """Serving-mode wrapper: never target a PE that has left the pool.
+
+    Wraps any :class:`VictimSelector` over a membership *directory*
+    (anything with ``is_active(rank) -> bool``, in practice the serving
+    layer's ``ElasticDirectory``).  Selection redraws from the inner
+    policy up to ``max_redraws`` times to dodge inactive PEs; when
+    everything drawn is inactive the last draw is returned anyway — a
+    parked victim simply has an empty queue, so the steal fails cleanly
+    rather than the thief livelocking.  Mirrors
+    :class:`QuarantineSelector`'s shape so the two compose with the
+    same worker plumbing.
+    """
+
+    def __init__(self, inner: VictimSelector, directory, max_redraws: int = 8) -> None:
+        self.inner = inner
+        self.directory = directory
+        self.max_redraws = max_redraws
+
+    def next_victim(self) -> int:
+        """A victim from the inner policy, dodging inactive PEs."""
+        victim = self.inner.next_victim()
+        for _ in range(self.max_redraws):
+            if self.directory.is_active(victim):
+                return victim
+            victim = self.inner.next_victim()
+        return victim
+
+    def note(self, success: bool) -> None:
+        """Forward outcome notes to an adaptive inner selector."""
+        note = getattr(self.inner, "note", None)
+        if note is not None:
+            note(success)
+
+    def note_timeout(self, victim: int) -> None:
+        """Forward timeout reports (inner may be a QuarantineSelector)."""
+        note_timeout = getattr(self.inner, "note_timeout", None)
+        if note_timeout is not None:
+            note_timeout(victim)
+
+    def note_steal(self, victim: int, success: bool) -> None:
+        """Forward completion reports likewise."""
+        note_steal = getattr(self.inner, "note_steal", None)
+        if note_steal is not None:
+            note_steal(victim, success)
+
+
 def make_selector(
     kind: str, npes: int, rank: int, seed: int = 0, topology: Topology | None = None
 ) -> VictimSelector:

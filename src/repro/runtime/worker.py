@@ -266,6 +266,12 @@ class Worker:
         self._batches = 0
         self._backoff = config.steal_backoff
         self._remote_spawns: list[tuple[int, Task]] = []
+        #: Elastic membership directory (serving mode); ``None`` keeps
+        #: the classic always-on behaviour.  Set by the serving layer
+        #: after construction, together with an inbox requirement.
+        self.elastic = None
+        self._parked = False
+        self.elastic_handoffs = 0
         #: (virtual time, local count, stealable count) samples, when
         #: ``sample_queue`` is enabled.
         self.samples: list[tuple[float, int, int]] = []
@@ -314,6 +320,16 @@ class Worker:
 
             if self.inbox is not None:
                 self._drain_inbox()
+
+            if self.elastic is not None:
+                if not self.elastic.is_active(self.rank):
+                    yield from self._elastic_park()
+                    continue
+                if self._parked:
+                    # Rejoined: resume stealing with a fresh backoff.
+                    self._parked = False
+                    self._backoff = self.cfg.steal_backoff
+
             if (
                 self.lifeline is not None
                 and self.lifeline.active
@@ -499,6 +515,41 @@ class Worker:
         """Move committed remote spawns onto the local queue (local ops)."""
         for record in self.inbox.drain():
             self.driver.enqueue(record)
+
+    def _elastic_park(self) -> Generator:
+        """Graceful leave: drain the queue, hand off residue, go passive.
+
+        Mirrors the fail-stop plumbing but loses nothing: everything
+        advertised to thieves is reclaimed (acquire), then the whole
+        local portion is handed to the lowest active rank through the
+        remote-spawn inbox.  Handoffs do NOT bump ``tasks_spawned`` —
+        the producer already counted these tasks, and the receiver's
+        inbox drain enqueues without a bump, so the four-counter books
+        and the conservation oracle stay exact.  While parked the PE
+        keeps servicing termination and its inbox (late steals or
+        handoff races can still deliver work, which is re-homed), so
+        the ring token always flows.
+        """
+        drv = self.driver
+        if self.inbox is None:
+            raise ProtocolError("elastic membership requires the inbox")
+        while drv.stealable_remaining > 0:
+            got = yield from drv.acquire_op()
+            self.stats.acquires += 1
+            if not got:
+                break  # a thief holds a claim; retry next iteration
+        if drv.stealable_remaining == 0:
+            target = self.elastic.handoff_target(self.rank)
+            while True:
+                rec = drv.dequeue()
+                if rec is None:
+                    break
+                yield from self.inbox.send(target, rec)
+                self.elastic_handoffs += 1
+            drv.progress()
+            self._parked = True
+        yield Delay(self._backoff)
+        self._backoff = min(self.cfg.steal_backoff_max, self._backoff * 2)
 
     def _manage(self) -> Generator:
         """Post-batch queue management: release + periodic progress."""
