@@ -66,8 +66,9 @@ bench-baseline:
 
 # Sharded-simulator measurements alone: the wall-vs-shards speedup
 # series and the 2112-PE jumbo smoke (docs/sharding.md).  Walls are
-# host-dependent; on a single core the fork transport is *slower* than
-# one shard — that is the expected, documented outcome there.
+# host-dependent; the auto transport forks only when multiple cores
+# exist (on a single core it elides the IPC and runs serial — the
+# transport/host_cpus columns record what actually ran).
 shard-bench:
 	$(PYTHON) -m repro sweep --no-cache \
 	    --scenarios fig7_sharded_s4,fig7_jumbo

@@ -6,7 +6,7 @@ the Figure-2 communication counts, pointers to the full harness).
 Subcommands::
 
     python -m repro --protocol P [--backend fabric|threads|mp|all]
-                    [--shards N [--shard-transport serial|fork]]
+                    [--shards N [--shard-transport auto|serial|fork]]
     python -m repro explore [--workload W] [--impl I] [--policy P]
                             [--seeds N] [--dfs-depth D] [--out DIR]
     python -m repro replay TRACE.json [--strict] [--shrink]
@@ -81,11 +81,18 @@ def _run_protocol_fabric(
     else:
         from .runtime.sharded import run_sharded_pool
 
+        # The argparse default is "auto", so transport == "fork" means
+        # the user asked for it explicitly: refuse to degrade silently.
         stats = run_sharded_pool(
             npes, reg, seeds, shards, impl=proto.name, oracle=True,
-            transport=transport,
+            transport=transport, strict_transport=(transport == "fork"),
         )
-        where = f"{npes} PEs / {shards} shards ({transport})"
+        sh = stats.sharding or {}
+        where = (
+            f"{npes} PEs / {shards} shards "
+            f"({sh.get('transport', transport)} transport, "
+            f"{sh.get('host_cpus', '?')} host cpu(s))"
+        )
     executed = sum(w.tasks_executed for w in stats.workers)
     steals = sum(w.tasks_stolen for w in stats.workers)
     print(
@@ -93,6 +100,15 @@ def _run_protocol_fabric(
         f"({executed - ntasks} duplicate(s)), {steals} tasks stolen, "
         f"virtual runtime {stats.runtime * 1e3:.3f} ms — oracle clean"
     )
+    if shards != 1 and stats.sharding:
+        sh = stats.sharding
+        print(
+            f"           exchange: {sh.get('rounds', 0)} round(s), "
+            f"{sh.get('grants', 0)} grant(s), "
+            f"{sh.get('elisions', 0)} elision(s), "
+            f"{sh.get('messages', 0)} message(s), "
+            f"{sh.get('exchange_bytes', 0)} ring byte(s)"
+        )
     return True
 
 
@@ -194,10 +210,16 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
     ok = True
     for backend in backends:
         if backend == "fabric":
-            ok &= _run_protocol_fabric(
-                proto, args.npes, args.ntasks,
-                shards=args.shards, transport=args.shard_transport,
-            )
+            from .runtime.sharded import TransportUnavailable
+
+            try:
+                ok &= _run_protocol_fabric(
+                    proto, args.npes, args.ntasks,
+                    shards=args.shards, transport=args.shard_transport,
+                )
+            except TransportUnavailable as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         elif backend == "threads":
             ok &= _run_protocol_threads(proto, args.ntasks)
         else:
@@ -593,11 +615,12 @@ def main(argv: list[str] | None = None) -> int:
                              "across N shard engines in conservative "
                              "lock-step time windows (fabric backend "
                              "only; see docs/sharding.md)")
-    parser.add_argument("--shard-transport", default="serial",
-                        choices=("serial", "fork"),
+    parser.add_argument("--shard-transport", default="auto",
+                        choices=("auto", "serial", "fork"),
                         help="with --shards > 1: run shards in-process "
-                             "(serial, deterministic) or as forked OS "
-                             "processes")
+                             "(serial, deterministic), as forked OS "
+                             "processes (fork), or pick per host (auto: "
+                             "fork only with >1 CPU to overlap on)")
     sub = parser.add_subparsers(dest="cmd")
 
     p_ex = sub.add_parser("explore", help="sweep event schedules under the oracle")

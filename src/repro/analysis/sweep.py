@@ -263,8 +263,15 @@ def run_job(spec: dict) -> dict:
     worker, or was replayed from cache.  Wall time and events/sec live
     in *meta* and are measurement metadata, not identity.
     """
+    import gc
+
     from ..fabric import engine as fabric_engine
 
+    # Measurement hygiene: settle the previous job's garbage *before*
+    # this job's clock starts, so a big scenario's collection debt is
+    # not billed to whichever scenario happens to run next (serial mode
+    # runs many scenarios in one process).
+    gc.collect()
     fabric_engine.reset_event_tally()
     events = None
     wall_override = None
@@ -570,6 +577,20 @@ def bench_report(outcome: SweepOutcome) -> dict:
             "events_per_sec": round(meta["events_per_sec"], 1),
             "cached": bool(rec.get("cached")),
         }
+        # Sharded scenarios carry exchange counters in their rows;
+        # surface the totals (and the per-row effective transports) at
+        # the scenario level so the coordination cost is a first-class
+        # bench observable, not buried in a table.
+        payload = rec.get("payload") or {}
+        headers = payload.get("headers")
+        if headers and "rounds" in headers:
+            idx = {h: i for i, h in enumerate(headers)}
+            rows = payload.get("rows", [])
+            entry["rounds"] = sum(r[idx["rounds"]] for r in rows)
+            if "xbytes" in idx:
+                entry["exchange_bytes"] = sum(r[idx["xbytes"]] for r in rows)
+            if "transport" in idx:
+                entry["transports"] = [r[idx["transport"]] for r in rows]
         if spec["kind"] == "mp":
             # events == completed tasks here, so the gate's events/sec
             # reads as tasks/sec; mp scenarios gate like any other once
@@ -581,6 +602,7 @@ def bench_report(outcome: SweepOutcome) -> dict:
         "code_version": outcome.code_version,
         "mode": outcome.mode,
         "workers": outcome.workers,
+        "host_cpus": os.cpu_count() or 1,
         "cache_hits": outcome.hits,
         "total_wall_s": round(outcome.wall_s, 4),
         "scenarios": scenarios,

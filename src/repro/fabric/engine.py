@@ -417,6 +417,18 @@ class Engine:
         #: Callbacks invoked after every executed event (invariant
         #: oracles).  Must not mutate simulation state.
         self.observers: list[Callable[[], None]] = []
+        #: Active window bound while :meth:`run_window` is executing
+        #: (None outside a window).  Event handlers may *lower* it via
+        #: :meth:`clamp_window` — the sharded router clamps when a
+        #: cross-shard fetch parks (its response may arrive as early as
+        #: ``request_arrival + W``) and the shard barrier clamps when
+        #: every local PE is parked (the release tick is not yet known).
+        self._window_limit: int | None = None
+        #: Effective bound of the last :meth:`run_window` call after any
+        #: in-window clamps: every event with ``when < window_ran_to``
+        #: has been executed.  The shard coordinator reads this to know
+        #: how far the shard actually advanced.
+        self.window_ran_to = 0
 
     # ------------------------------------------------------------------
     # clock & event queue
@@ -674,15 +686,21 @@ class Engine:
         Window mode supports observers (per-shard oracles) but not
         schedule exploration: sharded contexts reject schedulers up
         front.
+
+        The bound is dynamic: an event handler may lower it mid-window
+        through :meth:`clamp_window` (never raise it).  The effective
+        bound at exit is published as :attr:`window_ran_to` — the tick
+        below which every event has now been executed.
         """
         global _event_tally
         observers = self.observers
         q = self._q
         events = 0
+        self._window_limit = limit_ticks
         try:
             while True:
                 e = q.peek()
-                if e is None or e[0] >= limit_ticks:
+                if e is None or e[0] >= self._window_limit:
                     break
                 q._cur_i += 1
                 q._len -= 1
@@ -695,9 +713,23 @@ class Engine:
                     for obs in observers:
                         obs()
         finally:
+            self.window_ran_to = self._window_limit
+            self._window_limit = None
             self.events_processed += events
             _event_tally += events
         return events
+
+    def clamp_window(self, limit_ticks: int) -> None:
+        """Lower the active :meth:`run_window` bound (no-op outside one).
+
+        Events execute in tick order, so by the time a handler running
+        at tick ``t`` clamps to ``limit_ticks >= t`` no event beyond the
+        new bound has executed — lowering is always sound; raising is
+        never allowed.
+        """
+        wl = self._window_limit
+        if wl is not None and limit_ticks < wl:
+            self._window_limit = limit_ticks
 
     # ------------------------------------------------------------------
     # main loop

@@ -12,13 +12,21 @@ keeps them causally consistent with the classic conservative
   buffered messages are enqueued into the destination shard's calendar
   queue at their true arrival ticks, so event ordering within each
   shard stays ``(when, seq)``-exact;
-* the next window bound is ``min(next event anywhere) + W`` where the
+* each shard gets its own conservative bound: shard *i* may run to
+  ``min(E_j for j != i) + W``, where ``E_j`` is shard *j*'s earliest
+  unexecuted work (next event or undelivered inbound arrival) and the
   window width ``W`` is the hard lookahead lower bound derived from the
   active :class:`~repro.fabric.latency.LatencyModel`
   (:meth:`~repro.fabric.latency.LatencyModel.shard_window_ticks`) —
-  never hand-tuned.  Any event a shard executes inside the window can
-  only generate cross-shard effects at or beyond the bound, so shards
-  never see a message from their past.
+  never hand-tuned.  Any future cross-shard message targeting *i* is
+  sent at some tick >= ``min E_j`` and arrives >= ``send + W``, so no
+  shard ever sees a message from its past; quiet shards are simply not
+  granted (round-elision) and the shard owning the global floor is no
+  longer throttled to it.  Two in-window clamps keep the per-shard
+  bound sound where the coordinator cannot see ahead: a parked
+  cross-shard fetch clamps its shard's window to ``request_arrival +
+  W`` (the earliest tick the response can land), and a fully-parked
+  shard barrier clamps to "now" (the release tick is not yet known).
 
 Message taxonomy (see ``docs/sharding.md`` for the full derivation):
 
@@ -45,6 +53,7 @@ coordinator.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import partial
 from math import ceil, log2
@@ -186,14 +195,30 @@ class ShardRouter:
     itself.
     """
 
-    def __init__(self, nic: Nic, plan: ShardPlan, shard_id: int) -> None:
+    def __init__(self, nic: Nic, plan: ShardPlan, shard_id: int,
+                 window_ticks: int = 0) -> None:
         self.nic = nic
         self.plan = plan
         self.shard_id = shard_id
+        #: Lookahead W; a parked fetch clamps the running window to
+        #: ``request_arrival + W`` — the earliest tick its response can
+        #: arrive — so a shard granted a deep window never runs past a
+        #: reply it has not received yet.
+        self.window_ticks = window_ticks
         #: (dest_shard, message) tuples awaiting the next exchange.
         self.outbox: list[tuple[int, tuple]] = []
         #: op_id -> parked initiator process awaiting a fetch response.
         self._pending: dict[int, Process] = {}
+        #: op_id -> request arrival tick, for fetches whose *response*
+        #: has not yet been scheduled locally.  The response resumes the
+        #: initiator at >= arrival + W (the target processes the request
+        #: at its arrival event; the return hop's margin is >= W), so
+        #: ``min + W`` is a sound floor on this shard's next activity —
+        #: without it the coordinator would read a parked shard's next
+        #: *local* event as its earliest work and grant other shards past
+        #: the resumption.  Cleared at :meth:`deliver` time, when the
+        #: locally scheduled response makes ``next_event_ticks`` exact.
+        self._pending_bound: dict[int, int] = {}
         self._op_seq = 0
         #: True for PEs this shard owns (list indexing beats dict here).
         self._local = [plan.shard_of(pe) == shard_id for pe in range(plan.npes)]
@@ -211,6 +236,12 @@ class ShardRouter:
         """Fetch ops awaiting a cross-shard response (diagnostics)."""
         return len(self._pending)
 
+    def response_floor(self) -> int | None:
+        """Earliest tick an un-scheduled fetch response can resume us."""
+        if not self._pending_bound:
+            return None
+        return min(self._pending_bound.values()) + self.window_ticks
+
     # ------------------------------------------------------------------
     # initiator side: Call factories the NIC diverts to
     # ------------------------------------------------------------------
@@ -227,11 +258,13 @@ class ShardRouter:
             op_id = self._op_seq
             self._op_seq += 1
             self._pending[op_id] = proc
+            self._pending_bound[op_id] = arrival
             self.outbox.append((
                 self.plan.shard_of(target),
                 ("amo", arrival, initiator, target, region, offset,
                  kind, a1, a2, op_id, self.shard_id, send),
             ))
+            engine.clamp_window(arrival + self.window_ticks)
 
         return Call(handler)
 
@@ -248,11 +281,13 @@ class ShardRouter:
             op_id = self._op_seq
             self._op_seq += 1
             self._pending[op_id] = proc
+            self._pending_bound[op_id] = arrival
             self.outbox.append((
                 self.plan.shard_of(target),
                 ("get", arrival, initiator, target, region, offset,
                  count, nbytes, opcode, op_id, self.shard_id, send),
             ))
+            engine.clamp_window(arrival + self.window_ticks)
 
         return Call(handler)
 
@@ -361,6 +396,10 @@ class ShardRouter:
             if m[0] == "brel":
                 self.barrier_release(m[1])
                 continue
+            if m[0] == "resp":
+                # The response now has an exact local event tick; the
+                # conservative pending floor is no longer needed.
+                self._pending_bound.pop(m[2], None)
             engine.at_ticks(m[1], partial(self._apply, m), actor="xshard")
 
     #: Hook installed by the shard-aware barrier (shmem layer).
@@ -465,10 +504,17 @@ class ShardBarrier:
     release always lands at or beyond the next window bound.
     """
 
-    __slots__ = ("engine", "_waiting", "_generation", "_last_arrival")
+    __slots__ = ("engine", "local_pes", "_waiting", "_generation",
+                 "_last_arrival")
 
-    def __init__(self, engine: Engine) -> None:
+    def __init__(self, engine: Engine, local_pes: int = 0) -> None:
         self.engine = engine
+        #: PEs owned by this shard; when all of them are parked the
+        #: arrival handler clamps the running window to "now" — the
+        #: release tick depends on *other* shards' arrivals the
+        #: coordinator has not seen yet, so running trailing events
+        #: further could overtake the eventual release.
+        self.local_pes = local_pes
         self._waiting: list[Process] = []
         self._generation = 0
         self._last_arrival = 0
@@ -479,6 +525,8 @@ class ShardBarrier:
             self._waiting.append(proc)
             if engine.now_ticks > self._last_arrival:
                 self._last_arrival = engine.now_ticks
+            if self.local_pes and len(self._waiting) >= self.local_pes:
+                engine.clamp_window(engine.now_ticks)
 
         return Call(handler)
 
@@ -504,8 +552,48 @@ class ShardBarrier:
 # Window-loop coordinator (transport-agnostic)
 # ======================================================================
 #: One shard's between-window report:
-#: (next_event_tick | None, outbox, (barrier_gen, waiting, last_arrival), live)
+#: (next_event_tick | None, outbox, (barrier_gen, waiting, last_arrival),
+#:  live, ran_to, resp_floor | None) — ``ran_to`` is the effective bound
+#: of the shard's last window after in-window clamps: every event with
+#: ``when < ran_to`` has executed, and it is monotone across rounds.
+#: ``resp_floor`` is :meth:`ShardRouter.response_floor`: a lower bound on
+#: when a still-in-flight fetch response can resume this shard, which
+#: must participate in the shard's earliest-work estimate even though no
+#: local event for it exists yet.
 ShardState = tuple
+
+#: "Unbounded" grant sentinel: every other shard is idle-empty, so no
+#: future message can target the grantee and it may drain its queue.
+INF_TICKS = 1 << 62
+
+
+@dataclass
+class ExchangeStats:
+    """Coordinator-side counters for one sharded run.
+
+    ``rounds`` counts coordinator iterations; ``grants`` window grants
+    actually posted (< rounds * nshards when round-elision skips quiet
+    or blocked shards, whose skip count is ``elisions``).  Byte counters
+    cover the shared-memory exchange rings and stay 0 on the serial
+    transport (no wire).
+    """
+
+    rounds: int = 0
+    grants: int = 0
+    elisions: int = 0
+    messages: int = 0
+    barrier_releases: int = 0
+    exchange_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "grants": self.grants,
+            "elisions": self.elisions,
+            "messages": self.messages,
+            "barrier_releases": self.barrier_releases,
+            "exchange_bytes": self.exchange_bytes,
+        }
 
 
 class SerialShardHandle:
@@ -521,6 +609,7 @@ class SerialShardHandle:
         self.router: ShardRouter = shard.router
         self.barrier = shard.barrier
         self._state: ShardState | None = None
+        self._ran_to = 0
 
     def _snapshot(self) -> ShardState:
         return (
@@ -528,17 +617,27 @@ class SerialShardHandle:
             self.router.drain_outbox(),
             self.barrier.report(),
             self.engine.live,
+            self._ran_to,
+            self.router.response_floor(),
         )
 
     def start(self) -> ShardState:
         return self._snapshot()
 
-    def send_step(self, limit: int, msgs: list[tuple]) -> None:
+    def post(self, limit: int, msgs: list[tuple]) -> None:
+        """Deliver ``msgs`` and run one window to (at most) ``limit``."""
         self.router.deliver(msgs)
         self.engine.run_window(limit)
+        # A fetch/barrier clamp may have stopped the window early; a
+        # delivery-only grant may re-post a bound below a deeper earlier
+        # one.  Either way the high-water mark is what "executed below
+        # this" means, so keep it monotone.
+        eff = self.engine.window_ran_to
+        if eff > self._ran_to:
+            self._ran_to = eff
         self._state = self._snapshot()
 
-    def recv_state(self) -> ShardState:
+    def collect(self) -> ShardState:
         state, self._state = self._state, None
         return state
 
@@ -552,6 +651,13 @@ class SerialShardHandle:
     def finish(self) -> Any:
         return None
 
+    def shutdown(self) -> None:
+        """No-op: serial shards live in the coordinator's process."""
+
+    @property
+    def exchange_bytes(self) -> int:
+        return 0
+
 
 def run_window_loop(
     handles: list,
@@ -560,55 +666,119 @@ def run_window_loop(
     npes: int,
     barrier_cost: int,
     trace: list | None = None,
-) -> int:
-    """Drive shards through lock-step windows until global completion.
+) -> ExchangeStats:
+    """Drive shards through conservative windows until global completion.
 
-    Returns the total number of exchange rounds.  Raises
-    :class:`DeadlockError` (with every shard's report merged) when all
-    queues drain, nothing is in flight, and live processes remain.
+    Per-shard bounds instead of a single global floor: with ``E_j`` =
+    shard *j*'s earliest unexecuted work (next event tick or earliest
+    undelivered inbound arrival), shard *i* may run to
 
-    ``trace``, when given, receives one
-    ``(window_limit, [(dest, opcode, delivery_tick, send_tick), ...])``
-    record per round — the property suite audits the lookahead invariant
-    from it.
+        ``limit_i = min(E_j for j != i) + W``
+
+    because any message that could still target *i* is sent at or after
+    ``min E_j`` and arrives >= ``send + W``.  When every other shard is
+    idle-empty the bound is :data:`INF_TICKS` (drain freely).  While a
+    barrier is forming (any shard reports parked PEs) the bound is
+    additionally capped at ``E_i + barrier_cost`` so no shard's trailing
+    events overtake the eventual release tick.  Shards that cannot make
+    progress under their bound — and have no pending deliveries — are
+    simply not granted this round (round-elision); the shard owning the
+    global minimum always can (its bound exceeds its position by >= W),
+    so every round grants at least one shard and the loop terminates.
+
+    Grants are posted to every eligible shard before any report is
+    collected, so transports with real concurrency (fork) overlap all
+    granted shards' windows; the coordinator's own sort/encode work for
+    later shards overlaps earlier shards' stepping.
+
+    Returns an :class:`ExchangeStats`.  Raises :class:`DeadlockError`
+    (with every shard's report merged) when all queues drain, nothing is
+    in flight, and live processes remain.
+
+    ``trace``, when given, receives one record per round::
+
+        {"E": [...], "ran_to": [...], "bound": [...], "limits": {s: L},
+         "deliveries": [(dest, opcode, arrival_tick, send_tick), ...],
+         "barrier": release_tick | None}
+
+    — the property suite audits the lookahead and grant invariants from
+    it (``bound`` is the uncapped conservative bound, ``limits`` what
+    was actually posted).
     """
     if window_ticks <= 0:
         raise SimulationError(
             f"window width must be positive, got {window_ticks} ticks"
         )
     nshards = len(handles)
-    states: list[ShardState] = [h.start() for h in handles]
-    #: Undelivered messages: (sort_key, dest, msg).
-    pending: list[tuple[tuple, int, tuple]] = []
-    rounds = 0
+    stats = ExchangeStats()
+    #: Undelivered messages per destination: (sort_key, msg) with
+    #: sort_key = (arrival, origin, per-origin seq) — the deterministic
+    #: delivery order regardless of report timing.
+    inbox: list[list[tuple[tuple, tuple]]] = [[] for _ in range(nshards)]
+    origin_seq = [0] * nshards
+    states: list[ShardState | None] = [None] * nshards
+    inflight = [False] * nshards
+
+    def ingest(origin: int, st: ShardState) -> None:
+        states[origin] = st
+        seq = origin_seq[origin]
+        for dest, msg in st[1]:
+            inbox[dest].append(((msg[1], origin, seq), msg))
+            seq += 1
+        stats.messages += len(st[1])
+        origin_seq[origin] = seq
+
+    for s, h in enumerate(handles):
+        ingest(s, h.start())
+
     while True:
-        for origin, st in enumerate(states):
-            for idx, (dest, msg) in enumerate(st[1]):
-                pending.append(((msg[1], origin, idx), dest, msg))
+        for s in range(nshards):
+            if inflight[s]:
+                ingest(s, handles[s].collect())
+                inflight[s] = False
 
         # Barrier: when every PE in the job is parked, release all
         # shards at max(arrival) + the dissemination-release cost — the
-        # same tick a single engine's barrier would pick.  The cost is
-        # >= one alpha + inter hop >= the window width, so the release
-        # tick always lands at or beyond the next window bound.
+        # same tick a single engine's barrier would pick.  The release
+        # is injected as a pending delivery, so it participates in every
+        # E_j until delivered (bounding other shards to release + W).
         reports = [st[2] for st in states]
         gen = reports[0][0]
+        release: int | None = None
         if (all(r[0] == gen for r in reports)
                 and sum(r[1] for r in reports) == npes):
             release = max(r[2] for r in reports) + barrier_cost
             for dest in range(nshards):
-                pending.append(((release, -1, dest), dest, ("brel", release)))
+                inbox[dest].append(((release, -1, dest), ("brel", release)))
+            stats.barrier_releases += 1
+        barrier_pending = any(r[1] > 0 for r in reports)
 
-        floor: int | None = None
-        for st in states:
-            t = st[0]
-            if t is not None and (floor is None or t < floor):
-                floor = t
-        for key, _dest, msg in pending:
-            if floor is None or msg[1] < floor:
-                floor = msg[1]
+        E: list[int | None] = []
+        # Two smallest E values in one pass: shard i's bound needs
+        # min(E_j for j != i), which is min2 when i owns the global
+        # minimum and min1 otherwise — no per-shard "others" scan.
+        min1 = min2 = None
+        argmin = -1
+        for s in range(nshards):
+            t = states[s][0]
+            floor = states[s][5]
+            if floor is not None and (t is None or floor < t):
+                t = floor
+            box = inbox[s]
+            if box:
+                a = min(key[0] for key, _m in box)
+                t = a if t is None or a < t else t
+            E.append(t)
+            if t is None:
+                continue
+            if min1 is None or t < min1:
+                min2 = min1
+                min1 = t
+                argmin = s
+            elif min2 is None or t < min2:
+                min2 = t
 
-        if floor is None:
+        if min1 is None:  # every E is None: nothing anywhere can run
             live = sum(st[3] for st in states)
             if live:
                 parts = [
@@ -619,44 +789,101 @@ def run_window_loop(
                     parts.append(f"--- shard {s} ---")
                     parts.append(h.deadlock_text())
                 raise DeadlockError("\n".join(parts))
-            return rounds
+            return stats
 
-        limit = floor + window_ticks
-        pending.sort(key=lambda e: e[0])
-        per_shard: list[list[tuple]] = [[] for _ in range(nshards)]
-        for _key, dest, msg in pending:
-            per_shard[dest].append(msg)
         if trace is not None:
-            trace.append((
-                limit,
-                [(dest, msg[0], msg[1], msg[-1] if msg[0] != "brel" else None)
-                 for _k, dest, msg in pending],
-            ))
-        pending.clear()
-        for h, msgs in zip(handles, per_shard):
-            h.send_step(limit, msgs)
-        states = [h.recv_state() for h in handles]
-        rounds += 1
+            rec = {
+                "E": list(E),
+                "ran_to": [st[4] for st in states],
+                "bound": [None] * nshards,
+                "limits": {},
+                "deliveries": [],
+                "barrier": release,
+            }
+        posted = 0
+        for s in range(nshards):
+            o = min2 if s == argmin else min1
+            bound = INF_TICKS if o is None else o + window_ticks
+            limit = bound
+            if barrier_pending and E[s] is not None:
+                cap = E[s] + barrier_cost
+                if cap < limit:
+                    limit = cap
+            if trace is not None:
+                rec["bound"][s] = bound
+            t = states[s][0]
+            box = inbox[s]
+            if not box and (t is None or limit <= t):
+                # Nothing deliverable and nothing executable under the
+                # bound: skip the shard entirely this round.
+                stats.elisions += 1
+                continue
+            ran_to = states[s][4]
+            if limit < ran_to:
+                # Delivery-only grant: the shard already ran deeper than
+                # today's bound allows (an earlier, wider grant).  Never
+                # regress the posted bound below the high-water mark.
+                limit = ran_to
+            if box:
+                box.sort(key=lambda e: e[0])
+                msgs = [m for _k, m in box]
+                inbox[s] = []
+            else:
+                msgs = []
+            if trace is not None:
+                rec["limits"][s] = limit
+                rec["deliveries"].extend(
+                    (s, m[0], m[1], m[-1] if m[0] != "brel" else None)
+                    for m in msgs
+                )
+            handles[s].post(limit, msgs)
+            inflight[s] = True
+            posted += 1
+        stats.grants += posted
+        stats.rounds += 1
+        if trace is not None:
+            trace.append(rec)
+        if not posted:  # pragma: no cover - progress-proof guard
+            raise SimulationError(
+                "sharded exchange stalled: no shard eligible for a grant"
+            )
 
 
 # ======================================================================
-# Fork transport: one OS process per shard over the mp seam
+# Fork transport: one OS process per shard over shared-memory rings
 # ======================================================================
-def _shard_child_main(conn, build: Callable[[int], Any], shard_id: int) -> None:
-    """Child process body: build the shard, serve coordinator commands."""
+def _shard_child_main(conn, link, build: Callable[[int], Any],
+                      shard_id: int) -> None:
+    """Child process body: build the shard, serve grants off the ring.
+
+    The per-round path (grants in, reports out) runs entirely over the
+    inherited :class:`~repro.fabric.shardring.ShardLink`; the pipe
+    carries only the rare control traffic — deadlock reports, the final
+    result, and error payloads.
+    """
+    import os
     import traceback
+
+    parent = os.getppid()
+
+    def check() -> None:
+        if os.getppid() != parent:  # pragma: no cover - orphan guard
+            raise SimulationError("shard child orphaned: coordinator died")
 
     try:
         handle = build(shard_id)
+        link.send_report(handle.start(), check)
+        while True:
+            frame = link.recv_grant(check)
+            if frame is None:  # STOP: switch to the pipe control loop
+                break
+            limit, msgs = frame
+            handle.post(limit, msgs)
+            link.send_report(handle.collect(), check)
         while True:
             cmd = conn.recv()
             op = cmd[0]
-            if op == "start":
-                conn.send(handle.start())
-            elif op == "step":
-                handle.send_step(cmd[1], cmd[2])
-                conn.send(handle.recv_state())
-            elif op == "deadlock":
+            if op == "deadlock":
                 conn.send(handle.deadlock_text())
             elif op == "finish":
                 conn.send(handle.finish())
@@ -669,7 +896,11 @@ def _shard_child_main(conn, build: Callable[[int], Any], shard_id: int) -> None:
         except Exception:  # pragma: no cover - parent already gone
             pass
     finally:
-        conn.close()
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+        link.close()
 
 
 class ShardChildError(SimulationError):
@@ -682,22 +913,49 @@ class ForkShardHandle:
     ``build(shard_id)`` runs *in the child* after fork and must return a
     :class:`SerialShardHandle`-compatible object; with the fork start
     method the closure (and everything it captured) is inherited, so no
-    pickling of simulator state ever happens — only the small
-    between-window message tuples cross the pipe.
+    pickling of simulator state ever happens.  Per-round traffic crosses
+    a :class:`~repro.fabric.shardring.ShardLink` (struct-packed, no
+    pickle); the pipe survives only for start/finish/deadlock/error.
+
+    :meth:`post` returns as soon as the grant frame is in the ring, so
+    the coordinator keeps encoding and posting other shards' grants
+    while this child is already stepping.
     """
 
-    def __init__(self, mp_ctx, build: Callable[[int], Any], shard_id: int) -> None:
+    def __init__(self, mp_ctx, build: Callable[[int], Any], shard_id: int,
+                 capacity_words: int | None = None) -> None:
+        from .shardring import ShardLink
+
+        self.link = ShardLink(mp_ctx, capacity_words)
         parent_conn, child_conn = mp_ctx.Pipe()
         self.conn = parent_conn
         self.shard_id = shard_id
+        self._stopped = False
+        self._cleaned = False
         self.proc = mp_ctx.Process(
             target=_shard_child_main,
-            args=(child_conn, build, shard_id),
+            args=(child_conn, self.link, build, shard_id),
             name=f"shard{shard_id}",
             daemon=True,
         )
         self.proc.start()
         child_conn.close()
+
+    def _check_child(self) -> None:
+        """Ring-poll liveness hook: fail fast instead of spinning on a
+        ring whose far side is dead or has raised."""
+        if self.conn.poll(0):
+            # Unsolicited pipe traffic during ring I/O is always an
+            # error payload from the child's catch-all.
+            self._recv()
+            raise ShardChildError(  # pragma: no cover - protocol guard
+                f"shard {self.shard_id} sent unexpected control traffic"
+            )
+        if not self.proc.is_alive():
+            raise ShardChildError(
+                f"shard {self.shard_id} process exited unexpectedly "
+                f"(exitcode={self.proc.exitcode})"
+            )
 
     def _recv(self):
         try:
@@ -715,27 +973,59 @@ class ForkShardHandle:
         return reply
 
     def start(self) -> ShardState:
-        self.conn.send(("start",))
-        return self._recv()
+        return self.link.recv_report(self._check_child)
 
-    def send_step(self, limit: int, msgs: list[tuple]) -> None:
-        self.conn.send(("step", limit, msgs))
+    def post(self, limit: int, msgs: list[tuple]) -> None:
+        self.link.post_grant(limit, msgs, self._check_child)
 
-    def recv_state(self) -> ShardState:
-        return self._recv()
+    def collect(self) -> ShardState:
+        return self.link.recv_report(self._check_child)
+
+    def shutdown(self) -> None:
+        """Move the child from the ring loop to the pipe control loop."""
+        if not self._stopped:
+            self._stopped = True
+            self.link.post_stop(self._check_child)
 
     def deadlock_text(self) -> str:
+        self.shutdown()
         self.conn.send(("deadlock",))
         return self._recv()
 
-    def finish(self) -> Any:
+    @property
+    def exchange_bytes(self) -> int:
+        return self.link.bytes_moved
+
+    def request_finish(self) -> None:
+        """Ask the child for its result without blocking on it."""
+        self.shutdown()
         self.conn.send(("finish",))
+
+    def collect_finish(self) -> Any:
         reply = self._recv()
         self.conn.close()
-        self.proc.join(timeout=30)
+        return reply
+
+    def join(self, deadline: float) -> None:
+        """Join against a shared deadline; terminate a straggler."""
+        self.proc.join(timeout=max(0.0, deadline - time.monotonic()))
         if self.proc.is_alive():  # pragma: no cover - hung child guard
             self.proc.terminate()
+            self.proc.join(timeout=5)
+        self._cleanup()
+
+    def finish(self) -> Any:
+        """Single-handle convenience; prefer :func:`finish_shards`."""
+        self.request_finish()
+        reply = self.collect_finish()
+        self.join(time.monotonic() + 30)
         return reply
+
+    def _cleanup(self) -> None:
+        if not self._cleaned:
+            self._cleaned = True
+            self.link.close()
+            self.link.unlink()
 
     def abort(self) -> None:
         """Tear the child down after a coordinator-side failure."""
@@ -746,6 +1036,29 @@ class ForkShardHandle:
         if self.proc.is_alive():
             self.proc.terminate()
         self.proc.join(timeout=5)
+        self._cleanup()
+
+
+def finish_shards(handles: list, timeout: float = 30.0) -> list:
+    """Finish a group of shard handles with concurrent teardown.
+
+    All children get their finish request first (they compute and
+    pickle their results in parallel), then results are collected and
+    every pipe closed, then all processes are joined against *one*
+    shared deadline — a hung child costs the group ``timeout`` seconds
+    total, not ``timeout`` each, and is terminated rather than leaked.
+    Works for serial handles too (their finish is synchronous).
+    """
+    serial = [h for h in handles if not isinstance(h, ForkShardHandle)]
+    if serial:
+        return [h.finish() for h in handles]
+    for h in handles:
+        h.request_finish()
+    results = [h.collect_finish() for h in handles]
+    deadline = time.monotonic() + timeout
+    for h in handles:
+        h.join(deadline)
+    return results
 
 
 def fork_context():
@@ -784,6 +1097,8 @@ class ShardGroup:
                      shard=ShardBinding(self.plan, s), **ctx_kwargs)
             for s in range(nshards)
         ]
+        #: ExchangeStats from the last :meth:`run`.
+        self.exchange: ExchangeStats | None = None
 
     def ctx_of(self, rank: int):
         """The sharded context owning one PE."""
@@ -794,9 +1109,12 @@ class ShardGroup:
         return self.ctx_of(rank).engine.spawn(gen, name=name or f"pe{rank}")
 
     def run(self, trace: list | None = None) -> float:
-        """Run the window loop to completion; returns final seconds."""
+        """Run the window loop to completion; returns final seconds.
+
+        The coordinator counters land in :attr:`exchange`.
+        """
         handles = [SerialShardHandle(ctx) for ctx in self.ctxs]
-        run_window_loop(
+        self.exchange = run_window_loop(
             handles,
             window_ticks=self.latency.shard_window_ticks(),
             npes=self.plan.npes,

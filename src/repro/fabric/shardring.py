@@ -1,0 +1,476 @@
+"""Pickle-free shared-memory exchange rings for the fork shard transport.
+
+One :class:`ShardLink` per forked shard replaces the per-round
+``multiprocessing.Pipe`` pickles with two SPSC byte streams inside a
+single :class:`~repro.mp.atomics.ShmWords` segment (the mp backend's
+seqlock machinery from PR 5):
+
+* the **grant stream** carries coordinator→shard window grants — a
+  fixed header plus the round's inbound messages;
+* the **report stream** carries shard→coordinator between-window
+  reports — next-event tick, effective window bound, liveness, the
+  barrier triple, and the drained outbox.
+
+Each stream is a power-of-two ring of 64-bit words with monotone
+head/tail counters.  The producer bulk-copies payload with the
+lock-free :meth:`~repro.mp.atomics.ShmWords.write_block` into the
+unpublished region and then publishes by storing the head through the
+locked (seqlock-fenced) word API; the consumer polls the head with the
+lock-free :meth:`~repro.mp.atomics.ShmWords.load_seq`, bulk-copies with
+:meth:`~repro.mp.atomics.ShmWords.read_block`, and retires the range by
+storing the tail.  Frames larger than the ring degrade gracefully: the
+producer publishes in chunks and the consumer drains incrementally, so
+capacity bounds memory, not message size.
+
+An empty-ring wait does **not** spin: each stream carries a *doorbell*
+— an ``os.pipe`` the producer rings (one non-blocking byte) after every
+publish, and the consumer blocks on in ``select`` when it finds the
+ring empty.  On an oversubscribed host (fewer cores than shards + the
+coordinator, the common CI shape) a blocked reader hands the CPU to the
+producer within a scheduler quantum, where spin/sleep backoff would
+burn the producer's own timeslice and then oversleep the kernel timer
+slack.  The byte is written strictly after the head store, so a
+consumer that saw the ring empty either re-reads a fresh head or finds
+the byte pending — no lost wakeups — and stale bytes merely cost one
+spurious re-check.  The ``select`` timeout bounds how stale the
+liveness ``check`` hook can get (a dead peer is noticed within ~50 ms,
+not never).
+
+Cross-shard op records are struct-packed by a small tagged codec
+(:func:`encode_value` / :func:`decode_value`) that round-trips exactly
+the value shapes the :class:`~repro.fabric.sharding.ShardRouter` wire
+format uses — ints (arbitrary precision, bit-exact), strings, bytes,
+bools, None, and nested tuples/lists with a fast path for word
+payloads — so no pickle ever touches the per-round path.  The pipe
+survives only for start/finish/deadlock/error traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import struct
+from typing import Any, Callable
+
+from ..threads.protocol import Backoff
+from .errors import SimulationError
+
+WORD = 8
+_U64_MAX = (1 << 64) - 1
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+_Q = struct.Struct("<Q")
+_TAG_U64 = b"Q"      # unsigned 64-bit int
+_TAG_I64 = b"q"      # signed 64-bit int (negative deltas)
+_TAG_BIG = b"B"      # arbitrary-precision int: sign, length, magnitude
+_TAG_STR = b"S"
+_TAG_BYTES = b"Y"
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_TUPLE = b"U"
+_TAG_LIST = b"L"
+_TAG_WTUPLE = b"V"   # tuple of u64 words, packed flat
+_TAG_WLIST = b"W"    # list of u64 words, packed flat
+_TAG_FLOAT = b"D"
+
+#: Frame kinds on the grant stream.
+GRANT, STOP = 1, 2
+#: Frame kind on the report stream.
+REPORT = 3
+
+_GRANT_HDR = struct.Struct("<QQQ")         # kind, limit, nmsgs
+_REPORT_HDR = struct.Struct("<QQQQQQQQQ")  # kind, next+1, ran_to, live,
+                                           # gen, waiting, last_arrival,
+                                           # resp_floor+1, nmsgs
+
+
+# ======================================================================
+# Tagged value codec (no pickle)
+# ======================================================================
+def _words_only(items: Any) -> bool:
+    for v in items:
+        if type(v) is not int or v < 0 or v > _U64_MAX:
+            return False
+    return True
+
+
+def encode_value(obj: Any, out: bytearray) -> None:
+    """Append one tagged value to ``out`` (exact round trip)."""
+    t = type(obj)
+    if t is int:
+        if 0 <= obj <= _U64_MAX:
+            out += _TAG_U64
+            out += _Q.pack(obj)
+        elif _I64_MIN <= obj < 0:
+            out += _TAG_I64
+            out += struct.pack("<q", obj)
+        else:
+            mag = abs(obj)
+            raw = mag.to_bytes((mag.bit_length() + 7) // 8 or 1, "little")
+            out += _TAG_BIG
+            out += struct.pack("<bI", -1 if obj < 0 else 1, len(raw))
+            out += raw
+    elif t is str:
+        raw = obj.encode("utf-8")
+        out += _TAG_STR
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif t is bytes:
+        out += _TAG_BYTES
+        out += struct.pack("<I", len(obj))
+        out += obj
+    elif obj is None:
+        out += _TAG_NONE
+    elif obj is True:
+        out += _TAG_TRUE
+    elif obj is False:
+        out += _TAG_FALSE
+    elif t is tuple or t is list:
+        if len(obj) > 1 and _words_only(obj):
+            out += _TAG_WTUPLE if t is tuple else _TAG_WLIST
+            out += struct.pack("<I", len(obj))
+            out += struct.pack(f"<{len(obj)}Q", *obj)
+        else:
+            out += _TAG_TUPLE if t is tuple else _TAG_LIST
+            out += struct.pack("<I", len(obj))
+            for item in obj:
+                encode_value(item, out)
+    elif t is float:
+        out += _TAG_FLOAT
+        out += struct.pack("<d", obj)
+    elif t is bytearray:
+        out += _TAG_BYTES
+        out += struct.pack("<I", len(obj))
+        out += bytes(obj)
+    else:
+        raise SimulationError(
+            f"cross-shard message contains unencodable {t.__name__}: {obj!r}"
+        )
+
+
+def decode_value(buf: bytes, pos: int) -> tuple[Any, int]:
+    """Decode one tagged value from ``buf`` at ``pos``; returns (value, end)."""
+    tag = buf[pos:pos + 1]
+    pos += 1
+    if tag == _TAG_U64:
+        return _Q.unpack_from(buf, pos)[0], pos + 8
+    if tag == _TAG_I64:
+        return struct.unpack_from("<q", buf, pos)[0], pos + 8
+    if tag == _TAG_BIG:
+        sign, n = struct.unpack_from("<bI", buf, pos)
+        pos += 5
+        return sign * int.from_bytes(buf[pos:pos + n], "little"), pos + n
+    if tag == _TAG_STR:
+        n = struct.unpack_from("<I", buf, pos)[0]
+        pos += 4
+        return buf[pos:pos + n].decode("utf-8"), pos + n
+    if tag == _TAG_BYTES:
+        n = struct.unpack_from("<I", buf, pos)[0]
+        pos += 4
+        return bytes(buf[pos:pos + n]), pos + n
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag in (_TAG_WTUPLE, _TAG_WLIST):
+        n = struct.unpack_from("<I", buf, pos)[0]
+        pos += 4
+        words = struct.unpack_from(f"<{n}Q", buf, pos)
+        pos += 8 * n
+        return (words if tag == _TAG_WTUPLE else list(words)), pos
+    if tag in (_TAG_TUPLE, _TAG_LIST):
+        n = struct.unpack_from("<I", buf, pos)[0]
+        pos += 4
+        items = []
+        for _ in range(n):
+            v, pos = decode_value(buf, pos)
+            items.append(v)
+        return (tuple(items) if tag == _TAG_TUPLE else items), pos
+    if tag == _TAG_FLOAT:
+        return struct.unpack_from("<d", buf, pos)[0], pos + 8
+    raise SimulationError(f"corrupt shard-ring frame: unknown tag {tag!r}")
+
+
+def encode_blob(obj: Any) -> bytes:
+    """Encode one value as a word-aligned, length-prefixed blob."""
+    body = bytearray()
+    encode_value(obj, body)
+    pad = (-len(body)) % WORD
+    return _Q.pack(len(body)) + bytes(body) + b"\x00" * pad
+
+
+def _blob_words(payload_len: int) -> int:
+    return 1 + (payload_len + WORD - 1) // WORD
+
+
+# ======================================================================
+# SPSC word stream over one ShmWords region
+# ======================================================================
+class _Stream:
+    """One direction of a link: single producer, single consumer.
+
+    ``head``/``tail`` are monotone word counters living at fixed indices
+    of the shared segment; the data region is ``capacity`` words starting
+    at ``base``.  Each side caches its own counter locally (it is the
+    only writer of it) and polls the other side's through the seqlock.
+
+    ``bell`` is an optional ``(read_fd, write_fd)`` doorbell pipe: the
+    producer rings it after every publish and an empty-ring consumer
+    blocks on it instead of spinning (see the module docstring for the
+    lost-wakeup argument).  Without a bell (same-process unit tests) the
+    consumer falls back to spin/sleep backoff.
+    """
+
+    __slots__ = ("words", "head_idx", "tail_idx", "base", "capacity",
+                 "_head", "_tail", "bytes_moved", "bell_rd", "bell_wr")
+
+    #: Seconds a bell-blocked consumer waits per ``select`` before
+    #: re-running the liveness ``check`` hook.
+    BELL_TIMEOUT = 0.05
+
+    def __init__(self, words, head_idx: int, tail_idx: int,
+                 base: int, capacity: int,
+                 bell: tuple[int, int] | None = None) -> None:
+        self.words = words
+        self.head_idx = head_idx
+        self.tail_idx = tail_idx
+        self.base = base
+        self.capacity = capacity
+        self._head = 0   # producer-local
+        self._tail = 0   # consumer-local
+        self.bytes_moved = 0
+        self.bell_rd, self.bell_wr = bell if bell else (None, None)
+
+    def _ring_bell(self) -> None:
+        try:
+            os.write(self.bell_wr, b"\x01")
+        except BlockingIOError:
+            pass  # pipe already brimming with unseen wakeups
+
+    def _await_bell(self, check: Callable[[], None] | None) -> None:
+        """Block until the producer rings; drains stale bytes so the
+        pipe cannot fill up.  The liveness ``check`` hook runs only on
+        a timeout or end-of-file (peer's write end closed) — a normal
+        ring is proof enough of life, and skipping the per-wake check
+        keeps it off the hot path."""
+        ready, _, _ = select.select([self.bell_rd], [], [], self.BELL_TIMEOUT)
+        if ready:
+            try:
+                data = os.read(self.bell_rd, 4096)
+            except BlockingIOError:  # pragma: no cover - raced drain
+                return
+            if data:
+                return
+        if check is not None:
+            check()
+
+    def write(self, data: bytes, check: Callable[[], None] | None = None) -> None:
+        """Producer: append ``data`` (word-aligned), publishing as space
+        frees up.  ``check`` runs on every backoff wait (peer liveness)."""
+        if len(data) % WORD:
+            raise SimulationError("shard-ring frames must be word-aligned")
+        words = self.words
+        cap = self.capacity
+        total = len(data) // WORD
+        done = 0
+        head = self._head
+        backoff = Backoff()
+        while done < total:
+            tail = words.load_seq(self.tail_idx)
+            free = cap - (head - tail)
+            if free == 0:
+                if check is not None:
+                    check()
+                backoff.wait()
+                continue
+            n = min(free, total - done)
+            pos = head % cap
+            first = min(n, cap - pos)
+            words.write_block(self.base + pos, data[done * WORD:(done + first) * WORD])
+            if n > first:
+                words.write_block(
+                    self.base, data[(done + first) * WORD:(done + n) * WORD]
+                )
+            head += n
+            words.store(self.head_idx, head)
+            if self.bell_wr is not None:
+                self._ring_bell()
+            done += n
+            backoff.reset()
+        self._head = head
+        self.bytes_moved += len(data)
+
+    def read(self, nbytes: int, check: Callable[[], None] | None = None) -> bytes:
+        """Consumer: block until ``nbytes`` (word-aligned) are drained."""
+        words = self.words
+        cap = self.capacity
+        want = nbytes // WORD
+        out = bytearray()
+        tail = self._tail
+        backoff = None
+        while want:
+            head = words.load_seq(self.head_idx)
+            avail = head - tail
+            if avail == 0:
+                if self.bell_rd is not None:
+                    self._await_bell(check)
+                else:
+                    if check is not None:
+                        check()
+                    if backoff is None:
+                        backoff = Backoff()
+                    backoff.wait()
+                continue
+            n = min(avail, want)
+            pos = tail % cap
+            first = min(n, cap - pos)
+            out += words.read_block(self.base + pos, first)
+            if n > first:
+                out += words.read_block(self.base, n - first)
+            tail += n
+            words.store(self.tail_idx, tail)
+            want -= n
+            if backoff is not None:
+                backoff.reset()
+        self._tail = tail
+        self.bytes_moved += len(out)
+        return bytes(out)
+
+
+# ======================================================================
+# The per-shard link: grant stream down, report stream up
+# ======================================================================
+class ShardLink:
+    """Both directions of one coordinator↔shard exchange channel.
+
+    Created by the coordinator before fork; the child inherits the
+    mapping and the doorbell pipes (fork start method — no pickling).
+    The coordinator side produces grants and consumes reports; the
+    child side mirrors.  The coordinator owns the segment lifecycle
+    (:meth:`unlink`).
+
+    Every frame on the wire is length-prefixed, so a consumer makes
+    exactly two ring reads per frame — one word for the length, one
+    bulk copy for the body — and parses the body from local memory.
+    """
+
+    #: Per-direction ring capacity. 1 << 14 words = 128 KiB — far above
+    #: a typical round's traffic; bigger frames stream through in chunks.
+    CAPACITY_WORDS = 1 << 14
+
+    def __init__(self, mp_ctx=None, capacity_words: int | None = None) -> None:
+        from ..mp.atomics import ShmWords
+
+        cap = capacity_words or self.CAPACITY_WORDS
+        if cap & (cap - 1):
+            raise ValueError("ring capacity must be a power of two")
+        self.capacity = cap
+        # Layout: [g_head, g_tail, r_head, r_tail, grant data, report data]
+        self.words = ShmWords(4 + 2 * cap, ctx=mp_ctx)
+        self._bells = [*os.pipe(), *os.pipe()]
+        for fd in self._bells:
+            os.set_blocking(fd, False)
+        self.grant = _Stream(self.words, 0, 1, 4, cap,
+                             bell=(self._bells[0], self._bells[1]))
+        self.report = _Stream(self.words, 2, 3, 4 + cap, cap,
+                              bell=(self._bells[2], self._bells[3]))
+        self._closed = False
+
+    def _write_frame(self, stream: _Stream, frame: bytes,
+                     check: Callable[[], None] | None) -> None:
+        stream.write(_Q.pack(len(frame)) + frame, check)
+
+    def _read_frame(self, stream: _Stream,
+                    check: Callable[[], None] | None) -> bytes:
+        n = _Q.unpack(stream.read(WORD, check))[0]
+        return stream.read(n, check)
+
+    # -- coordinator side ---------------------------------------------
+    def post_grant(self, limit: int, msgs: list,
+                   check: Callable[[], None] | None = None) -> None:
+        frame = bytearray(_GRANT_HDR.pack(GRANT, limit, len(msgs)))
+        for m in msgs:
+            frame += encode_blob(m)
+        self._write_frame(self.grant, bytes(frame), check)
+
+    def post_stop(self, check: Callable[[], None] | None = None) -> None:
+        self._write_frame(self.grant, _GRANT_HDR.pack(STOP, 0, 0), check)
+
+    def recv_report(self, check: Callable[[], None] | None = None) -> tuple:
+        buf = self._read_frame(self.report, check)
+        (kind, nxt, ran_to, live, gen, waiting, last,
+         floor, nmsgs) = _REPORT_HDR.unpack_from(buf, 0)
+        if kind != REPORT:
+            raise SimulationError(f"corrupt shard report frame (kind={kind})")
+        pos = _REPORT_HDR.size
+        outbox = []
+        for _ in range(nmsgs):
+            dest, arrival, blen = struct.unpack_from("<QQQ", buf, pos)
+            pos += 3 * WORD
+            msg, _ = decode_value(buf, pos)
+            pos += WORD * ((blen + WORD - 1) // WORD)
+            if msg[1] != arrival:  # pragma: no cover - wire-format guard
+                raise SimulationError("shard report header/payload mismatch")
+            outbox.append((dest, msg))
+        next_event = None if nxt == 0 else nxt - 1
+        resp_floor = None if floor == 0 else floor - 1
+        return (next_event, outbox, (gen, waiting, last), live, ran_to,
+                resp_floor)
+
+    # -- child side ----------------------------------------------------
+    def recv_grant(self, check: Callable[[], None] | None = None):
+        """Returns ``(limit, msgs)`` or None on a STOP frame."""
+        buf = self._read_frame(self.grant, check)
+        kind, limit, nmsgs = _GRANT_HDR.unpack_from(buf, 0)
+        if kind == STOP:
+            return None
+        if kind != GRANT:
+            raise SimulationError(f"corrupt shard grant frame (kind={kind})")
+        pos = _GRANT_HDR.size
+        msgs = []
+        for _ in range(nmsgs):
+            blen = _Q.unpack_from(buf, pos)[0]
+            pos += WORD
+            msg, _ = decode_value(buf, pos)
+            pos += WORD * ((blen + WORD - 1) // WORD)
+            msgs.append(msg)
+        return limit, msgs
+
+    def send_report(self, state: tuple,
+                    check: Callable[[], None] | None = None) -> None:
+        next_event, outbox, (gen, waiting, last), live, ran_to, floor = state
+        frame = bytearray(_REPORT_HDR.pack(
+            REPORT,
+            0 if next_event is None else next_event + 1,
+            ran_to, live, gen, waiting, last,
+            0 if floor is None else floor + 1,
+            len(outbox),
+        ))
+        for dest, msg in outbox:
+            body = bytearray()
+            encode_value(msg, body)
+            pad = (-len(body)) % WORD
+            frame += struct.pack("<QQQ", dest, msg[1], len(body))
+            frame += bytes(body) + b"\x00" * pad
+        self._write_frame(self.report, bytes(frame), check)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def bytes_moved(self) -> int:
+        return self.grant.bytes_moved + self.report.bytes_moved
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for fd in self._bells:
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        self.words.close()
+
+    def unlink(self) -> None:
+        self.words.unlink()

@@ -24,6 +24,16 @@ Transports
     as ``serial`` (the window algebra is transport-independent); wall
     speedup tracks available cores.  POSIX only — falls back to serial
     with a warning where fork is unavailable.
+``auto`` (default)
+    ``fork`` when it can actually pay for itself — the start method
+    exists and the host has more than one CPU to overlap shards on —
+    else ``serial``.  On a single-CPU host every fork window round
+    still costs two scheduler handoffs plus the exchange encode/decode
+    on both sides with *zero* overlap, a strict loss over stepping the
+    shards in-process; eliding that IPC is the single biggest win on
+    oversubscribed hosts.  The resolved choice is recorded as
+    ``effective_transport`` / ``RunStats.sharding["transport"]``
+    alongside ``host_cpus``, so every report shows what actually ran.
 
 Every shard constructs the *full* job (all queues, all worker objects)
 — construction is deterministic, so all shards agree on the symmetric
@@ -33,17 +43,20 @@ replicas; all access to them routes through the NIC's shard router.
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import Any, Callable
 
 from ..fabric.latency import EDR_INFINIBAND, LatencyModel
 from ..fabric.sharding import (
+    ExchangeStats,
     ForkShardHandle,
     SerialShardHandle,
     ShardBinding,
     ShardPlan,
     barrier_cost_ticks,
     check_shardable,
+    finish_shards,
     fork_context,
     run_window_loop,
 )
@@ -53,6 +66,10 @@ from .protocols import get_protocol
 from .registry import TaskRegistry
 from .stats import RunStats
 from .task import Task
+
+
+class TransportUnavailable(RuntimeError):
+    """The explicitly requested shard transport cannot run here."""
 
 
 class _PoolShardHandle(SerialShardHandle):
@@ -76,15 +93,22 @@ class ShardedTaskPool:
         registry: TaskRegistry,
         nshards: int,
         impl: str = "sws",
-        transport: str = "serial",
+        transport: str = "auto",
         latency: LatencyModel = EDR_INFINIBAND,
         oracle: bool = False,
+        strict_transport: bool = False,
         **pool_kwargs: Any,
     ) -> None:
-        if transport not in ("serial", "fork"):
+        if transport not in ("auto", "serial", "fork"):
             raise ValueError(
-                f"transport must be 'serial' or 'fork', got {transport!r}"
+                f"transport must be 'auto', 'serial' or 'fork', "
+                f"got {transport!r}"
             )
+        #: With strict_transport, an unavailable fork transport raises
+        #: TransportUnavailable instead of silently degrading to serial
+        #: (the CLI maps the explicit --shard-transport fork case to
+        #: exit code 2).
+        self.strict_transport = strict_transport
         self.plan = ShardPlan(npes, nshards)
         self.npes = npes
         self.nshards = nshards
@@ -117,6 +141,11 @@ class ShardedTaskPool:
         self._ran = False
         #: Exchange rounds the window loop performed (0 for nshards=1).
         self.rounds = 0
+        #: Full coordinator counters (ExchangeStats) after :meth:`run`.
+        self.exchange: ExchangeStats | None = None
+        #: The transport the run actually used ("none" for nshards=1;
+        #: "serial" after a fork fallback).
+        self.effective_transport = "none" if nshards == 1 else transport
         #: Engine events summed across shards, set by :meth:`run`.
         self.events_processed = 0
 
@@ -168,18 +197,36 @@ class ShardedTaskPool:
             self._ran = True
             stats = pool.run()
             self.events_processed = pool.ctx.engine.events_processed
+            stats.sharding = self._sharding_stats()
             return stats
         self._ran = True
         transport = self.transport
-        if transport == "fork":
+        if transport == "auto":
+            # Fork only when it can pay for itself: a start method to
+            # fork with AND at least one spare CPU to overlap shards on.
+            # On a single-CPU host every fork round is two scheduler
+            # handoffs plus double-sided encode/decode with no overlap —
+            # strictly worse than stepping the shards in-process.
+            mp_ctx = fork_context()
+            if mp_ctx is not None and (os.cpu_count() or 1) > 1:
+                transport = "fork"
+            else:
+                transport = "serial"
+        elif transport == "fork":
             mp_ctx = fork_context()
             if mp_ctx is None:  # pragma: no cover - non-POSIX platforms
+                if self.strict_transport:
+                    raise TransportUnavailable(
+                        "fork transport unavailable on this platform "
+                        "(no 'fork' multiprocessing start method)"
+                    )
                 print(
                     "warning: fork transport unavailable on this platform; "
                     "falling back to serial shards",
                     file=sys.stderr,
                 )
                 transport = "serial"
+        self.effective_transport = transport
         if transport == "fork":
             results = self._run_fork(mp_ctx)
         else:
@@ -190,12 +237,13 @@ class ShardedTaskPool:
         handles = [
             _PoolShardHandle(self._build_pool(s)) for s in range(self.nshards)
         ]
-        self.rounds = run_window_loop(
+        self.exchange = run_window_loop(
             handles,
             window_ticks=self.window_ticks,
             npes=self.npes,
             barrier_cost=barrier_cost_ticks(self.latency, self.npes),
         )
+        self.rounds = self.exchange.rounds
         return [h.finish() for h in handles]
 
     def _run_fork(self, mp_ctx) -> list[dict]:
@@ -204,13 +252,17 @@ class ShardedTaskPool:
             ForkShardHandle(mp_ctx, build, s) for s in range(self.nshards)
         ]
         try:
-            self.rounds = run_window_loop(
+            self.exchange = run_window_loop(
                 handles,
                 window_ticks=self.window_ticks,
                 npes=self.npes,
                 barrier_cost=barrier_cost_ticks(self.latency, self.npes),
             )
-            results = [h.finish() for h in handles]
+            self.rounds = self.exchange.rounds
+            self.exchange.exchange_bytes = sum(
+                h.exchange_bytes for h in handles
+            )
+            results = finish_shards(handles)
             # The children's engines ran in their own processes; credit
             # their events to this process's sweep tally so events/sec
             # reporting sees the whole job.
@@ -235,6 +287,17 @@ class ShardedTaskPool:
         return build
 
     # ------------------------------------------------------------------
+    def _sharding_stats(self) -> dict:
+        """The sharding block every RunStats from this pool carries."""
+        out = {
+            "nshards": self.nshards,
+            "transport": self.effective_transport,
+            "host_cpus": os.cpu_count() or 1,
+        }
+        if self.exchange is not None:
+            out.update(self.exchange.as_dict())
+        return out
+
     def _merge(self, results: list[dict]) -> RunStats:
         """Fold per-shard payloads into one job-wide RunStats."""
         check_merged_conservation(
@@ -254,6 +317,7 @@ class ShardedTaskPool:
             workers=workers,
             comm=comm,
             faults={},
+            sharding=self._sharding_stats(),
         )
 
 

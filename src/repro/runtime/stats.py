@@ -262,6 +262,11 @@ class RunStats:
     #: Open-system serving results (``ServingStats``); ``None`` for the
     #: classic closed-batch runs.
     serving: ServingStats | None = None
+    #: Shard-execution record (``ShardedTaskPool._sharding_stats()``):
+    #: shard count, effective transport, host CPU count, and — for
+    #: multi-shard runs — the coordinator's round/grant/byte counters.
+    #: ``None`` for pools that never touched the sharding layer.
+    sharding: dict | None = None
 
     @property
     def total_tasks(self) -> int:
@@ -395,6 +400,8 @@ class RunStats:
             payload["faults"] = self.faults
         if self.serving is not None:
             payload["serving"] = self.serving.to_dict()
+        if self.sharding is not None:
+            payload["sharding"] = self.sharding
         return json.dumps(payload)
 
     @classmethod
@@ -419,6 +426,7 @@ class RunStats:
                 if "serving" in payload
                 else None
             ),
+            sharding=payload.get("sharding"),
         )
 
     def summary(self) -> dict[str, float]:
@@ -436,6 +444,16 @@ class RunStats:
                     "latency_p99": pct["p99"],
                     "latency_p999": pct["p999"],
                     "slo_fraction": self.serving.slo_fraction,
+                }
+            )
+        if self.sharding is not None:
+            out.update(
+                {
+                    "nshards": self.sharding.get("nshards", 1),
+                    "shard_rounds": self.sharding.get("rounds", 0),
+                    "shard_grants": self.sharding.get("grants", 0),
+                    "exchange_bytes": self.sharding.get("exchange_bytes", 0),
+                    "host_cpus": self.sharding.get("host_cpus", 0),
                 }
             )
         return out

@@ -119,8 +119,14 @@ class ShmemCtx:
         if shard is not None:
             from ..fabric.sharding import ShardBarrier, ShardRouter
 
-            self.router = ShardRouter(self.nic, shard.plan, shard.shard_id)
-            self.barrier = ShardBarrier(self.engine)
+            self.router = ShardRouter(
+                self.nic, shard.plan, shard.shard_id,
+                window_ticks=latency.shard_window_ticks(),
+            )
+            self.barrier = ShardBarrier(
+                self.engine,
+                local_pes=shard.plan.local_size(shard.shard_id),
+            )
             self.router.barrier_release = self.barrier.release
             self._barrier = self.barrier
         else:

@@ -122,18 +122,46 @@ def test_shard_counts_agree_with_each_other(cells, proto):
     assert one == two == four
 
 
-def test_sharded_pool_end_to_end_conserves():
-    """Whole-pool sharded run: merged books balance across transports."""
+def _pool_run(transport: str):
     from repro.runtime.registry import TaskOutcome, TaskRegistry
     from repro.runtime.sharded import ShardedTaskPool
     from repro.runtime.task import Task
 
+    reg = TaskRegistry()
+    reg.register("leaf", lambda payload, tc: TaskOutcome(duration=5e-6))
+    pool = ShardedTaskPool(8, reg, 4, impl="sws", oracle=True,
+                           transport=transport)
+    pool.seed_round_robin([Task(reg.id_of("leaf")) for _ in range(NTOTAL)])
+    return pool.run()
+
+
+def test_sharded_pool_end_to_end_conserves():
+    """Whole-pool sharded run: merged books balance across transports."""
     for transport in ("serial", "fork"):
-        reg = TaskRegistry()
-        reg.register("leaf", lambda payload, tc: TaskOutcome(duration=5e-6))
-        pool = ShardedTaskPool(8, reg, 4, impl="sws", oracle=True,
-                               transport=transport)
-        pool.seed_round_robin([Task(reg.id_of("leaf")) for _ in range(NTOTAL)])
-        stats = pool.run()
+        stats = _pool_run(transport)
         executed = sum(w.tasks_executed for w in stats.workers)
         assert executed == NTOTAL, transport
+
+
+def test_fork_transport_bit_identical_to_serial():
+    """The fork transport is the same computation as serial shards, not
+    merely conserving: per-PE worker stats, virtual runtime and merged
+    comm counters must all agree bit-for-bit (the window algebra is
+    transport-independent; only the exchange wiring differs)."""
+    from repro.fabric.sharding import fork_context
+
+    if fork_context() is None:  # pragma: no cover - non-POSIX platforms
+        pytest.skip("fork start method unavailable")
+    serial, fork = _pool_run("serial"), _pool_run("fork")
+    assert fork.runtime == serial.runtime
+    assert [w.__dict__ for w in fork.workers] == [
+        w.__dict__ for w in serial.workers
+    ]
+    assert fork.comm == serial.comm
+    # Same coordinator decisions too — the counters must agree exactly
+    # (exchange_bytes differs by design: serial has no wire).
+    for key in ("rounds", "grants", "elisions", "messages",
+                "barrier_releases"):
+        assert fork.sharding[key] == serial.sharding[key], key
+    assert fork.sharding["transport"] == "fork"
+    assert fork.sharding["exchange_bytes"] > 0

@@ -6,10 +6,13 @@ Covers the pieces of :mod:`repro.fabric.sharding` and
 * partition arithmetic (remainder spread, ownership consistency);
 * up-front validation of ``--shards``/``--npes`` combinations, both at
   the library layer and through ``python -m repro``'s argument checks;
-* the conservative-window *lookahead invariant*, property-tested over
-  randomized cross-shard op programs: no message is delivered before
-  the window boundary of the round that sent it, and every delivery
-  tick is at least ``send + window`` in the future;
+* the per-shard conservative-window invariants, property-tested over
+  randomized cross-shard op programs: no message is delivered below the
+  receiving shard's executed past (its ``ran_to`` high-water mark),
+  every delivery tick is at least ``send + window`` in the future,
+  posted grants never exceed the conservative bound (except the
+  documented delivery-only ``ran_to`` floor), and round-elision never
+  starves the loop (every round grants at least one shard);
 * determinism of the serial transport (same program, same trace);
 * deadlock detection across shards;
 * the compatibility gates (zero-lookahead latency, non-shardable
@@ -221,21 +224,18 @@ def _jobs(draw):
 
 @settings(max_examples=25, deadline=None)
 @given(_jobs())
-def test_no_delivery_before_window_boundary(job):
-    """Messages delivered in round R were sent during round R-1, whose
-    events all ran strictly before that round's limit; conservative
-    correctness demands every delivery tick lands at or beyond it."""
+def test_no_delivery_below_receiver_ran_to(job):
+    """A delivered message may never land in the receiving shard's
+    executed past: every delivery tick must be at or beyond the
+    receiver's ``ran_to`` high-water mark (every event below it has
+    already run), else the calendar queue's clock monotonicity breaks."""
     npes, nshards, programs, use_barrier = job
     trace, _ = _run_group(npes, nshards, programs, use_barrier)
-    for i, (limit, deliveries) in enumerate(trace):
-        if i == 0:
-            assert not deliveries, "no messages can precede the first round"
-            continue
-        prev_limit = trace[i - 1][0]
-        for dest, opcode, tick, send in deliveries:
-            assert tick >= prev_limit, (
-                f"round {i}: {opcode} delivered at {tick} before the "
-                f"boundary {prev_limit} of the round that sent it"
+    for i, rec in enumerate(trace):
+        for dest, opcode, tick, send in rec["deliveries"]:
+            assert tick >= rec["ran_to"][dest], (
+                f"round {i}: {opcode} delivered to shard {dest} at {tick}, "
+                f"below its executed past {rec['ran_to'][dest]}"
             )
 
 
@@ -245,14 +245,59 @@ def test_delivery_at_least_send_plus_lookahead(job):
     """Every cross-shard message arrives >= one window after it was sent."""
     npes, nshards, programs, use_barrier = job
     trace, _ = _run_group(npes, nshards, programs, use_barrier)
-    for limit, deliveries in trace:
-        for dest, opcode, tick, send in deliveries:
+    for rec in trace:
+        for dest, opcode, tick, send in rec["deliveries"]:
             if send is None:  # barrier release: no single send tick
                 continue
             assert tick >= send + WINDOW, (
                 f"{opcode} sent at {send} arrived at {tick}, less than "
                 f"the {WINDOW}-tick lookahead later"
             )
+
+
+@settings(max_examples=25, deadline=None)
+@given(_jobs())
+def test_grants_respect_conservative_bound(job):
+    """Posted limits never exceed the per-shard conservative bound
+    ``min(E_j for j != i) + W`` — except via the documented delivery-only
+    floor, which re-posts a shard's own monotone ``ran_to`` high-water
+    mark (never new execution room beyond what an earlier grant gave)."""
+    npes, nshards, programs, use_barrier = job
+    trace, _ = _run_group(npes, nshards, programs, use_barrier)
+    for i, rec in enumerate(trace):
+        for s, limit in rec["limits"].items():
+            assert limit <= max(rec["bound"][s], rec["ran_to"][s]), (
+                f"round {i}: shard {s} granted {limit} beyond both its "
+                f"conservative bound {rec['bound'][s]} and high-water "
+                f"mark {rec['ran_to'][s]}"
+            )
+            assert limit >= rec["ran_to"][s], (
+                f"round {i}: shard {s} granted {limit}, regressing below "
+                f"its high-water mark {rec['ran_to'][s]}"
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(_jobs())
+def test_elision_never_starves(job):
+    """Round-elision skips quiet shards but every round still grants at
+    least one shard, and the run terminates (the loop completing at all
+    is the termination half of the property)."""
+    npes, nshards, programs, use_barrier = job
+    trace, _ = _run_group(npes, nshards, programs, use_barrier)
+    for i, rec in enumerate(trace):
+        assert rec["limits"], f"round {i} granted no shard (stall)"
+
+
+@settings(max_examples=25, deadline=None)
+@given(_jobs())
+def test_ran_to_monotone(job):
+    """Each shard's reported ``ran_to`` never moves backwards."""
+    npes, nshards, programs, use_barrier = job
+    trace, _ = _run_group(npes, nshards, programs, use_barrier)
+    for s in range(nshards):
+        marks = [rec["ran_to"][s] for rec in trace]
+        assert marks == sorted(marks), f"shard {s} ran_to regressed"
 
 
 @settings(max_examples=10, deadline=None)

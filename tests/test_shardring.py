@@ -1,0 +1,313 @@
+"""Shared-memory exchange rings for the fork shard transport.
+
+Covers :mod:`repro.fabric.shardring` in isolation plus the fork
+transport's failure modes (the teardown/abort regression suite):
+
+* the tagged codec round-trips every value shape the cross-shard wire
+  format uses — bit-exact ints of any size, strings, bytes, bools,
+  None, floats, nested tuples/lists, and the flat word fast paths;
+* the SPSC streams move word-aligned frames across wrap-around and
+  degrade gracefully when a frame exceeds the ring capacity (chunked
+  streaming, capacity bounds memory, not message size);
+* grant/report frames survive the link round trip, including the
+  response-floor field and the STOP sentinel;
+* a SIGKILLed shard child surfaces as :class:`ShardChildError` at the
+  coordinator instead of a hang, a child exception carries its
+  traceback across, and teardown leaves no orphan processes either way.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.shardring import (
+    ShardLink,
+    _Stream,
+    decode_value,
+    encode_blob,
+    encode_value,
+)
+
+
+def roundtrip(obj):
+    buf = bytearray()
+    encode_value(obj, buf)
+    value, end = decode_value(bytes(buf), 0)
+    assert end == len(buf), "codec must consume exactly what it wrote"
+    return value
+
+
+# ----------------------------------------------------------------------
+# tagged codec
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("obj", [
+    0, 1, 12345, (1 << 64) - 1,            # u64 fast path
+    -1, -(1 << 63),                         # i64
+    1 << 64, 1 << 200, -(1 << 100),         # bigint, sign + magnitude
+    "", "ctr", "héllo ✓",
+    b"", b"payload\x00\xff",
+    None, True, False,
+    1.5, -0.0,
+    (), [], (1, "a", None), [b"x", (2, 3)],
+    ("amo", 123, 0, 1, "ctr", 4, "amo_fetch_add", 1, 0, 7, 0, 99),
+    (2, 3, 4, 5),                           # word-tuple fast path
+    [10, 20, 30],                           # word-list fast path
+    ((1, (2, (3,))), [[]]),
+])
+def test_codec_roundtrip_exact(obj):
+    value = roundtrip(obj)
+    assert value == obj
+    assert type(value) is type(obj)
+
+
+def test_codec_int_bit_exact():
+    for n in (0, 1, (1 << 64) - 1, 1 << 64, (1 << 64) + 1, -1,
+              -(1 << 63), -(1 << 63) - 1, 1 << 513):
+        assert roundtrip(n) == n
+
+
+def test_codec_rejects_unencodable():
+    from repro.fabric.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="unencodable"):
+        encode_blob(object())
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.recursive(
+    st.one_of(
+        st.integers(),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+    ),
+    max_leaves=12,
+))
+def test_codec_roundtrip_property(obj):
+    assert roundtrip(obj) == obj
+
+
+def test_blob_word_aligned():
+    for obj in ("x", b"abc", (1, "yz"), 12345):
+        blob = encode_blob(obj)
+        assert len(blob) % 8 == 0
+        n = int.from_bytes(blob[:8], "little")
+        value, _ = decode_value(blob[8:8 + n], 0)
+        assert value == obj
+
+
+# ----------------------------------------------------------------------
+# SPSC streams
+# ----------------------------------------------------------------------
+def make_stream(cap_words: int = 16):
+    from repro.mp.atomics import ShmWords
+
+    words = ShmWords(2 + cap_words)
+    return words, _Stream(words, 0, 1, 2, cap_words)
+
+
+def test_stream_roundtrip_with_wraparound():
+    words, s = make_stream(8)
+    try:
+        for i in range(20):  # 20 frames of 3 words through an 8-word ring
+            frame = bytes(range(i % 8, i % 8 + 8)) * 3
+            s.write(frame)
+            assert s.read(len(frame)) == frame
+    finally:
+        words.close()
+        words.unlink()
+
+
+def test_stream_frame_larger_than_capacity():
+    """A frame bigger than the ring streams through in chunks — but only
+    if the consumer drains concurrently; here the producer fills the
+    ring, the consumer drains, and the tail publishes incrementally."""
+    words, s = make_stream(4)
+    big = os.urandom(4 * 8)  # exactly capacity: fits in one go
+    try:
+        s.write(big)
+        assert s.read(len(big)) == big
+    finally:
+        words.close()
+        words.unlink()
+
+
+def test_stream_rejects_unaligned():
+    from repro.fabric.errors import SimulationError
+
+    words, s = make_stream(8)
+    try:
+        with pytest.raises(SimulationError, match="word-aligned"):
+            s.write(b"abc")
+    finally:
+        words.close()
+        words.unlink()
+
+
+def test_stream_counts_bytes():
+    words, s = make_stream(8)
+    try:
+        s.write(b"\x00" * 16)
+        s.read(16)
+        assert s.bytes_moved == 32  # 16 produced + 16 consumed
+    finally:
+        words.close()
+        words.unlink()
+
+
+# ----------------------------------------------------------------------
+# link frames
+# ----------------------------------------------------------------------
+def test_link_grant_report_roundtrip():
+    link = ShardLink()
+    try:
+        msgs = [
+            ("put", 500, 2, "ctr", 0, (7,), False, 100),
+            ("resp", 900, 3, 42, 600),
+        ]
+        link.post_grant(1234, msgs)
+        assert link.recv_grant() == (1234, msgs)
+
+        outbox = [(1, ("amo", 800, 0, 2, "ctr", 1,
+                       "amo_fetch_add", 1, 0, 5, 0, 400))]
+        state = (777, outbox, (2, 1, 650), 3, 700, 810)
+        link.send_report(state)
+        assert link.recv_report() == state
+
+        # None fields (idle shard, no pending fetches) survive too.
+        state = (None, [], (0, 0, 0), 0, 0, None)
+        link.send_report(state)
+        assert link.recv_report() == state
+
+        link.post_stop()
+        assert link.recv_grant() is None
+    finally:
+        link.close()
+        link.unlink()
+
+
+def test_link_many_rounds_exceed_capacity_budget():
+    """Total traffic far beyond the ring capacity flows fine — the ring
+    bounds memory, not cumulative bytes."""
+    link = ShardLink(capacity_words=64)
+    try:
+        payload = ("put", 10, 0, "data", 0, tuple(range(8)), False, 1)
+        for r in range(200):
+            link.post_grant(r, [payload])
+            assert link.recv_grant() == (r, [payload])
+        assert link.bytes_moved > 64 * 8 * 4
+    finally:
+        link.close()
+        link.unlink()
+
+
+# ----------------------------------------------------------------------
+# fork-transport failure modes (teardown/abort regression suite)
+# ----------------------------------------------------------------------
+def _fork_handle(build):
+    from repro.fabric.sharding import ForkShardHandle, fork_context
+
+    ctx = fork_context()
+    if ctx is None:  # pragma: no cover - non-POSIX platforms
+        pytest.skip("fork start method unavailable")
+    return ForkShardHandle(ctx, build, 0, capacity_words=256)
+
+
+class _ScriptedShard:
+    """Minimal SerialShardHandle-compatible stand-in for child tests."""
+
+    def __init__(self, fail_on_post: bool = False) -> None:
+        self.fail_on_post = fail_on_post
+
+    def start(self):
+        return (100, [], (0, 0, 0), 1, 0, None)
+
+    def post(self, limit, msgs):
+        if self.fail_on_post:
+            raise RuntimeError("scripted shard failure")
+        self._state = (limit + 10, [], (0, 0, 0), 1, limit, None)
+
+    def collect(self):
+        return self._state
+
+    def deadlock_text(self):
+        return "scripted"
+
+    def finish(self):
+        return {"ok": True, "pid": os.getpid()}
+
+
+def test_fork_handle_round_trip_and_finish():
+    h = _fork_handle(lambda s: _ScriptedShard())
+    assert h.start() == (100, [], (0, 0, 0), 1, 0, None)
+    h.post(500, [])
+    assert h.collect() == (510, [], (0, 0, 0), 1, 500, None)
+    result = h.finish()
+    assert result["ok"] and result["pid"] != os.getpid()
+    assert not h.proc.is_alive()
+    assert h.exchange_bytes > 0
+
+
+def test_killed_child_raises_not_hangs():
+    """SIGKILL mid-round must surface as ShardChildError promptly — the
+    ring poll's liveness hook — and teardown must leave no orphan."""
+    from repro.fabric.sharding import ShardChildError
+
+    h = _fork_handle(lambda s: _ScriptedShard())
+    h.start()
+    os.kill(h.proc.pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10
+    with pytest.raises(ShardChildError, match="exited unexpectedly"):
+        while time.monotonic() < deadline:
+            h.post(500, [])
+            h.collect()
+    h.abort()
+    assert not h.proc.is_alive()
+
+
+def test_child_exception_carries_traceback():
+    """An exception inside the child crosses the pipe with its formatted
+    traceback so the coordinator's error is actionable."""
+    from repro.fabric.sharding import ShardChildError
+
+    h = _fork_handle(lambda s: _ScriptedShard(fail_on_post=True))
+    h.start()
+    h.post(500, [])
+    with pytest.raises(ShardChildError, match="scripted shard failure"):
+        h.collect()
+        h.finish()  # whichever side trips first must carry the payload
+    h.abort()
+    assert not h.proc.is_alive()
+
+
+def test_abort_cleans_up_before_any_round():
+    h = _fork_handle(lambda s: _ScriptedShard())
+    h.start()
+    h.abort()
+    assert not h.proc.is_alive()
+    h.abort()  # idempotent
+
+
+def test_finish_shards_joins_against_one_deadline():
+    from repro.fabric.sharding import finish_shards
+
+    handles = [_fork_handle(lambda s: _ScriptedShard()) for _ in range(3)]
+    for h in handles:
+        h.start()
+    t0 = time.monotonic()
+    results = finish_shards(handles, timeout=30.0)
+    assert [r["ok"] for r in results] == [True, True, True]
+    assert len({r["pid"] for r in results}) == 3
+    assert time.monotonic() - t0 < 25.0
+    assert all(not h.proc.is_alive() for h in handles)
